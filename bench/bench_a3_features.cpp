@@ -1,0 +1,55 @@
+// A3 (Ablation 3) — feature extractor choice: end-to-end latency, reuse,
+// and accuracy per extractor. The extractor sits on the hit path (every
+// frame pays extraction before the cache can answer), so a cheap extractor
+// with adequate separability can beat a better-but-slower one. Expected
+// shape: cnn-embed gives the best hit quality; downsample/hog trade hit
+// quality for a cheaper hit path; histogram (weak geometry) worst quality.
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace apx;
+  using namespace apx::bench;
+
+  banner("A3", "feature extractor ablation",
+         "cnn-embed best reuse quality; cheaper extractors trade reuse for "
+         "hit-path cost");
+
+  struct Row {
+    const char* name;
+    ExtractorKind kind;
+  };
+  const Row extractors[] = {
+      {"downsample", ExtractorKind::kDownsample},
+      {"histogram", ExtractorKind::kHistogram},
+      {"hog", ExtractorKind::kHog},
+      {"cnn-embed", ExtractorKind::kCnn},
+  };
+
+  ScenarioConfig base = evaluation_scenario();
+  base.scene.class_confusion = 0.25f;  // make hit *quality* matter
+  base.scene.group_size = 4;
+
+  base.pipeline = make_nocache_config();
+  const ExperimentMetrics baseline = run_seeds(base);
+  std::printf("no-cache reference: %.2f ms, accuracy %.4f\n\n",
+              baseline.mean_latency_ms(), baseline.accuracy());
+
+  TextTable table;
+  table.header({"extractor", "extract ms", "mean ms", "reuse", "accuracy",
+                "accuracy delta"});
+  for (const Row& row : extractors) {
+    ScenarioConfig cfg = base;
+    cfg.extractor = row.kind;
+    cfg.pipeline = make_full_system_config();
+    const ExperimentMetrics m = run_seeds(cfg);
+    table.row({row.name,
+               TextTable::num(to_ms(make_extractor(row.kind)->latency()), 1),
+               TextTable::num(m.mean_latency_ms()),
+               TextTable::num(m.reuse_ratio(), 3),
+               TextTable::num(m.accuracy(), 4),
+               TextTable::num(m.accuracy() - baseline.accuracy(), 4)});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

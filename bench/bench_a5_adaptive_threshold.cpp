@@ -1,0 +1,59 @@
+// A5 (Ablation 5) — the adaptive threshold controller vs fixed thresholds,
+// across worlds of different difficulty. A fixed threshold tuned for one
+// world is wrong for another; the controller should track each world's
+// sweet spot: near-best latency on the easy world, near-best accuracy on
+// the hard one, without re-tuning.
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace apx;
+  using namespace apx::bench;
+
+  banner("A5", "adaptive threshold vs fixed thresholds across worlds",
+         "the controller is never far from the per-world best fixed "
+         "threshold on either axis");
+
+  struct World {
+    const char* name;
+    float confusion;
+  };
+  for (const World world :
+       {World{"easy", 0.0f}, World{"medium", 0.3f}, World{"hard", 0.5f}}) {
+    std::printf("--- world: %s (confusion %.1f) ---\n", world.name,
+                world.confusion);
+    ScenarioConfig base = evaluation_scenario();
+    base.scene.class_confusion = world.confusion;
+    base.scene.group_size = 4;
+
+    base.pipeline = make_nocache_config();
+    const ExperimentMetrics baseline = run_seeds(base, 2);
+
+    TextTable table;
+    table.header({"policy", "mean ms", "reuse", "accuracy",
+                  "accuracy delta"});
+    for (const float fixed : {0.03f, 0.08f, 0.50f}) {
+      ScenarioConfig cfg = base;
+      cfg.auto_threshold = false;
+      cfg.pipeline = make_full_system_config();
+      cfg.pipeline.cache.hknn.max_distance = fixed;
+      const ExperimentMetrics m = run_seeds(cfg, 2);
+      table.row({"fixed " + TextTable::num(fixed, 2),
+                 TextTable::num(m.mean_latency_ms()),
+                 TextTable::num(m.reuse_ratio(), 3),
+                 TextTable::num(m.accuracy(), 4),
+                 TextTable::num(m.accuracy() - baseline.accuracy(), 4)});
+    }
+    ScenarioConfig cfg = base;
+    cfg.auto_threshold = false;
+    cfg.pipeline = make_adaptive_config();
+    cfg.pipeline.cache.hknn.max_distance = 0.08f;  // the adapted base
+    const ExperimentMetrics m = run_seeds(cfg, 2);
+    table.row({"adaptive", TextTable::num(m.mean_latency_ms()),
+               TextTable::num(m.reuse_ratio(), 3),
+               TextTable::num(m.accuracy(), 4),
+               TextTable::num(m.accuracy() - baseline.accuracy(), 4)});
+    std::printf("%s\n", table.render().c_str());
+  }
+  return 0;
+}

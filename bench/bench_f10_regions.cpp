@@ -1,0 +1,141 @@
+// F10 (Figure 10) — region-level vs whole-frame caching on multi-object
+// scenes. Whole-frame caching fails on multi-object scenes in two ways:
+// (a) one label cannot describe a mixed scene, and (b) worse, a one-slot
+// change moves the pooled whole-frame feature so little that the STALE
+// entry still matches — silent wrong reuse. Per-region caching answers
+// every object and invalidates exactly the changed region. Expected shape:
+// per-region keeps high reuse AND high per-object accuracy as slot churn
+// grows; whole-frame accuracy collapses.
+
+#include <cstdio>
+
+#include "src/cache/approx_cache.hpp"
+#include "src/dnn/oracle.hpp"
+#include "src/dnn/zoo.hpp"
+#include "src/features/extractor.hpp"
+#include "src/util/table.hpp"
+#include "src/vision/multi_object.hpp"
+
+namespace {
+
+using namespace apx;
+
+struct Outcome {
+  double reuse = 0.0;
+  double mean_latency_ms = 0.0;
+  double accuracy = 0.0;
+};
+
+ApproxCache make_cache() {
+  ApproxCacheConfig cfg;
+  cfg.capacity = 1024;
+  cfg.hknn.max_distance = 0.045f;
+  return ApproxCache{64, cfg, make_utility_policy()};
+}
+
+/// Runs `frames` multi-object frames through cache-or-infer, either one
+/// whole-frame decision per frame or one per region.
+Outcome run(bool per_region, double slot_change_rate, int frames) {
+  SceneGenerator::Config world;
+  world.num_classes = 96;
+  world.seed = 41;
+  const SceneGenerator scenes{world};
+  const ZipfSampler popularity{96, 1.0};
+  MultiObjectStream::Config stream_cfg;
+  stream_cfg.slot_change_rate = slot_change_rate;
+  MultiObjectStream stream{scenes, popularity, stream_cfg, 11};
+
+  const auto extractor = make_cnn_extractor();
+  const ModelProfile profile = mobilenet_v2_profile();
+  auto model = make_oracle_model(profile, 96);
+  Rng rng{13};
+  auto cache = make_cache();
+
+  std::size_t decisions = 0, hits = 0, correct = 0;
+  double total_latency_us = 0.0;
+  for (int f = 0; f < frames; ++f) {
+    const MultiFrame frame = stream.next();
+    double frame_latency =
+        static_cast<double>(per_region ? kRegionDetectLatency : 0);
+    // Returns the label the cache-or-infer path answered for `img` whose
+    // ground truth (for the oracle) is `oracle_truth`.
+    auto decide = [&](const Image& img, Label oracle_truth) {
+      ++decisions;
+      frame_latency += static_cast<double>(extractor->latency());
+      const FeatureVec key = extractor->extract(img);
+      const auto lookup = cache.lookup(key, frame.t);
+      frame_latency += static_cast<double>(lookup.latency);
+      if (lookup.vote.has_value()) {
+        ++hits;
+        return lookup.vote->label;
+      }
+      frame_latency +=
+          static_cast<double>(sample_profile_latency(profile, rng));
+      const Prediction pred = model->infer(img, oracle_truth, rng);
+      cache.insert(key, pred.label, pred.confidence, frame.t);
+      return pred.label;
+    };
+    if (per_region) {
+      for (int region = 0; region < MultiFrame::kRegions; ++region) {
+        const Label truth =
+            frame.true_labels[static_cast<std::size_t>(region)];
+        if (decide(crop_region(frame.image, region), truth) == truth) {
+          ++correct;
+        }
+      }
+    } else {
+      // A whole-frame answer is one label; each of the 4 objects counts
+      // individually, so a mixed scene can score at most 1 of 4 even when
+      // the dominant label is right — the structural ceiling of
+      // whole-frame recognition. The oracle is consulted with the
+      // dominant (first) object as the nominal truth.
+      const Label answer = decide(frame.image, frame.true_labels[0]);
+      for (const Label truth : frame.true_labels) {
+        if (answer == truth) ++correct;
+      }
+    }
+    total_latency_us += frame_latency;
+  }
+  Outcome out;
+  out.reuse = static_cast<double>(hits) / static_cast<double>(decisions);
+  out.mean_latency_ms = total_latency_us / 1000.0 / frames;
+  // Accuracy is per OBJECT for both modes (4 objects per frame).
+  out.accuracy = static_cast<double>(correct) /
+                 (static_cast<double>(frames) * MultiFrame::kRegions);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== F10: region-level vs whole-frame caching ===\n");
+  std::printf("expected shape: per-region holds high reuse AND per-object "
+              "accuracy as slot churn grows; whole-frame accuracy sits at "
+              "its mixed-scene ceiling (~0.25) or below\n\n");
+
+  TextTable table;
+  table.header({"slot churn /s", "granularity", "reuse", "object accuracy",
+                "frame ms", "ms/object"});
+  for (const double rate : {0.02, 0.05, 0.15, 0.40}) {
+    const Outcome whole = run(/*per_region=*/false, rate, 400);
+    const Outcome region = run(/*per_region=*/true, rate, 400);
+    table.row({TextTable::num(rate, 2), "whole-frame",
+               TextTable::num(whole.reuse, 3),
+               TextTable::num(whole.accuracy, 3),
+               TextTable::num(whole.mean_latency_ms),
+               "-"});
+    table.row({TextTable::num(rate, 2), "per-region",
+               TextTable::num(region.reuse, 3),
+               TextTable::num(region.accuracy, 3),
+               TextTable::num(region.mean_latency_ms),
+               TextTable::num(region.mean_latency_ms / MultiFrame::kRegions)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\nObject accuracy is per object for both modes: whole-frame "
+              "answers one label for four objects (structural ~0.25 "
+              "ceiling on mixed scenes) and a one-slot change moves its "
+              "pooled feature too little to invalidate the stale entry. "
+              "Per-region pays 4 extractions per frame but answers every "
+              "object.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// F2 (Figure 2) — the accuracy/latency trade-off over the similarity
+// threshold (H-kNN max_distance), on the confusable world where loose
+// reuse actually costs accuracy. Expected shape: a knee — latency drops
+// quickly as the threshold loosens, accuracy degrades slowly at first and
+// faster past the knee.
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace apx;
+  using namespace apx::bench;
+
+  banner("F2", "accuracy / latency / reuse vs similarity threshold",
+         "latency falls and accuracy decays with looser thresholds; knee in "
+         "the middle of the sweep");
+
+  ScenarioConfig base = evaluation_scenario();
+  base.scene.class_confusion = 0.35f;
+  base.scene.group_size = 4;
+
+  base.pipeline = make_nocache_config();
+  const ExperimentMetrics baseline = run_seeds(base);
+  std::printf("no-cache reference: %.2f ms, accuracy %.4f\n\n",
+              baseline.mean_latency_ms(), baseline.accuracy());
+
+  TextTable table;
+  table.header({"max_distance", "mean ms", "reuse", "accuracy",
+                "accuracy delta"});
+  // The sweep spans the CNN-embedding geometry: intra-class ~0.02-0.03,
+  // inter-class >= ~0.065 (tighter under class confusion) up into the
+  // saturated regime where only H-kNN homogeneity protects accuracy.
+  for (const float threshold :
+       {0.01f, 0.02f, 0.04f, 0.06f, 0.10f, 0.20f, 0.50f}) {
+    ScenarioConfig cfg = base;
+    cfg.auto_threshold = false;  // this exhibit sweeps it explicitly
+    cfg.pipeline = make_full_system_config();
+    cfg.pipeline.cache.hknn.max_distance = threshold;
+    const ExperimentMetrics m = run_seeds(cfg);
+    table.row({TextTable::num(threshold, 2),
+               TextTable::num(m.mean_latency_ms()),
+               TextTable::num(m.reuse_ratio(), 3),
+               TextTable::num(m.accuracy(), 4),
+               TextTable::num(m.accuracy() - baseline.accuracy(), 4)});
+  }
+  std::printf("%s", table.render().c_str());
+
+  // The flat accuracy at loose thresholds is H-kNN doing its job; the
+  // plain-kNN contrast shows what it protects against.
+  std::printf("\n--- same sweep endpoints with homogeneity DISABLED "
+              "(plain kNN vote) ---\n");
+  TextTable plain;
+  plain.header({"max_distance", "mean ms", "reuse", "accuracy",
+                "accuracy delta"});
+  for (const float threshold : {0.04f, 0.20f, 0.50f}) {
+    ScenarioConfig cfg = base;
+    cfg.auto_threshold = false;
+    cfg.pipeline = make_full_system_config();
+    cfg.pipeline.cache.hknn.max_distance = threshold;
+    cfg.pipeline.cache.hknn.require_homogeneity = false;
+    const ExperimentMetrics m = run_seeds(cfg);
+    plain.row({TextTable::num(threshold, 2),
+               TextTable::num(m.mean_latency_ms()),
+               TextTable::num(m.reuse_ratio(), 3),
+               TextTable::num(m.accuracy(), 4),
+               TextTable::num(m.accuracy() - baseline.accuracy(), 4)});
+  }
+  std::printf("%s", plain.render().c_str());
+  return 0;
+}

@@ -1,0 +1,85 @@
+// F6 (Figure 6) — robustness of the collaborative layer: radio loss sweep
+// and in/out-of-range churn sweep. Expected shape: graceful degradation —
+// higher loss and faster churn shrink the P2P contribution toward the
+// solo-caching level, but never below it (the system falls back to local
+// reuse + inference, and lost lookups only cost the bounded timeout).
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace apx;
+  using namespace apx::bench;
+
+  banner("F6", "robustness to radio loss and range churn",
+         "degrades toward (never below) the solo-caching level");
+
+  // Collaboration-dependent workload (the F1/F8 photo app): every frame is
+  // a fresh object, so reuse comes from recognition history and the P2P
+  // contribution is large enough that losing it is visible.
+  auto churny = [] {
+    ScenarioConfig cfg = evaluation_scenario();
+    cfg.scene.num_classes = 192;
+    cfg.zipf_s = 1.0;
+    cfg.duration = 120 * kSecond;
+    cfg.video.fps = 0.5;
+    cfg.video.change_rate_stationary = 2.0;
+    cfg.video.change_rate_minor = 2.0;
+    cfg.video.change_rate_major = 2.0;
+    cfg.video.view_pan_sigma = 0.15f;
+    cfg.video.view_zoom_min = 0.95f;
+    cfg.video.view_zoom_max = 1.15f;
+    cfg.model = resnet50_profile();
+    cfg.num_devices = 6;
+    return cfg;
+  };
+
+  {
+    ScenarioConfig solo = churny();
+    solo.pipeline = make_full_system_config();
+    solo.pipeline.enable_p2p = false;
+    const ExperimentMetrics m = run_seeds(solo, 2);
+    std::printf("solo-caching reference: %.2f ms, reuse %.3f\n\n",
+                m.mean_latency_ms(), m.reuse_ratio());
+  }
+
+  std::printf("--- radio loss sweep ---\n");
+  TextTable loss_table;
+  loss_table.header({"loss prob", "mean ms", "reuse", "merged", "timeouts?"});
+  for (const double loss : {0.0, 0.05, 0.15, 0.30, 0.60}) {
+    ScenarioConfig cfg = churny();
+    cfg.medium.loss_prob = loss;
+    cfg.pipeline = make_full_system_config();
+    cfg.seed = 4000;
+    ExperimentRunner runner{cfg};
+    const ExperimentMetrics m = runner.run();
+    const Counter p2p = runner.p2p_counters();
+    // Lookups whose responses were all lost pay the timeout.
+    const std::uint64_t sent = p2p.get("lookup_sent");
+    const std::uint64_t resp = p2p.get("response_recv");
+    loss_table.row({TextTable::num(loss, 2),
+                    TextTable::num(m.mean_latency_ms()),
+                    TextTable::num(m.reuse_ratio(), 3),
+                    std::to_string(p2p.get("merged")),
+                    std::to_string(sent) + " lookups / " +
+                        std::to_string(resp) + " responses"});
+  }
+  std::printf("%s\n", loss_table.render().c_str());
+
+  std::printf("--- range churn sweep ---\n");
+  TextTable churn_table;
+  churn_table.header({"churn period s", "mean ms", "reuse", "merged"});
+  for (const double period : {0.0, 20.0, 8.0, 3.0, 1.0}) {
+    ScenarioConfig cfg = churny();
+    cfg.churn_period = static_cast<SimDuration>(period * kSecond);
+    cfg.pipeline = make_full_system_config();
+    cfg.seed = 4001;
+    ExperimentRunner runner{cfg};
+    const ExperimentMetrics m = runner.run();
+    churn_table.row({period == 0.0 ? "none" : TextTable::num(period, 0),
+                     TextTable::num(m.mean_latency_ms()),
+                     TextTable::num(m.reuse_ratio(), 3),
+                     std::to_string(runner.p2p_counters().get("merged"))});
+  }
+  std::printf("%s", churn_table.render().c_str());
+  return 0;
+}

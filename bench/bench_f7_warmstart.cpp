@@ -1,0 +1,124 @@
+// F7 (Figure 7) — warm-start from a cache snapshot (extension; see
+// cache/snapshot.hpp). A first session's cache is snapshotted; a second
+// session over the same venue starts either cold or restored from the
+// snapshot. Expected shape: the warm start eliminates most of the initial
+// inference burst; the benefit decays over session time as both caches
+// converge.
+
+#include <cstdio>
+
+#include "src/cache/snapshot.hpp"
+#include "src/dnn/oracle.hpp"
+#include "src/dnn/zoo.hpp"
+#include "src/features/extractor.hpp"
+#include "src/sim/runner.hpp"
+#include "src/util/table.hpp"
+#include "src/video/stream.hpp"
+
+namespace {
+
+using namespace apx;
+
+struct SessionResult {
+  std::vector<int> inferences_per_window;  ///< DNN runs per 10 s window
+  double reuse = 0.0;
+};
+
+/// Replays `frames` frames of a venue stream against `cache`, counting DNN
+/// fallbacks per window. Minimal single-device loop (no pipeline extras —
+/// this exhibit isolates the cache-warmth effect).
+SessionResult run_session(ApproxCache& cache, const SceneGenerator& scenes,
+                          std::uint64_t stream_seed, int frames) {
+  const auto extractor = make_cnn_extractor();
+  auto model = make_oracle_model(mobilenet_v2_profile(), scenes.num_classes());
+  Rng rng{stream_seed ^ 0xfeedULL};
+  // Kiosk-style venue: the camera is steady (so views of an object do not
+  // random-walk away from the vantage point) but objects rotate through
+  // the frame quickly — many first encounters, which is where a warm cache
+  // can help at all. Under free movement the per-frame view drift destroys
+  // cross-session view similarity and warm-starting has nothing to offer
+  // (the earlier revisions of this bench measured exactly that).
+  const MobilityModel mobility = MobilityModel::constant(
+      MotionState::kStationary, static_cast<SimDuration>(frames) * kSecond);
+  const ZipfSampler zipf{
+      static_cast<std::size_t>(scenes.num_classes()), 1.0};
+  VideoStreamConfig video;
+  video.change_rate_stationary = 0.8;  // objects rotate through the frame
+  video.view_pan_sigma = 0.12f;        // consistent vantage points
+  video.view_zoom_min = 0.95f;
+  video.view_zoom_max = 1.10f;
+  VideoStreamGenerator stream{scenes, mobility, zipf, video, stream_seed};
+  SessionResult result;
+  int window_inferences = 0;
+  int hits = 0;
+  for (int i = 0; i < frames; ++i) {
+    const Frame frame = stream.next();
+    const FeatureVec key = extractor->extract(frame.image);
+    const auto lookup = cache.lookup(key, frame.t);
+    if (lookup.vote.has_value()) {
+      ++hits;
+    } else {
+      ++window_inferences;
+      const Prediction pred = model->infer(frame.image, frame.true_label, rng);
+      cache.insert(key, pred.label, pred.confidence, frame.t);
+    }
+    if ((i + 1) % 100 == 0) {  // 10 s at 10 fps
+      result.inferences_per_window.push_back(window_inferences);
+      window_inferences = 0;
+    }
+  }
+  result.reuse = static_cast<double>(hits) / static_cast<double>(frames);
+  return result;
+}
+
+ApproxCache make_cache() {
+  ApproxCacheConfig cfg;
+  cfg.capacity = 1024;
+  // CNN-embedding geometry: intra-class distances ~0.02-0.03, inter-class
+  // >= ~0.065 — the threshold must sit between them, or a dense warm cache
+  // pulls wrong-class neighbours into every vote and abstains.
+  cfg.hknn.max_distance = 0.04f;
+  return ApproxCache{64, cfg, make_utility_policy()};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== F7: warm-start from a cache snapshot ===\n");
+  std::printf("expected shape: warm start removes most of the early "
+              "inference burst; benefit fades as the cold cache fills\n\n");
+
+  SceneGenerator::Config world;
+  world.num_classes = 96;
+  world.seed = 31;
+  const SceneGenerator scenes{world};
+  constexpr int kFrames = 600;  // one minute at 10 fps
+
+  // Session 1 builds the snapshot (a longer visit covering the venue).
+  ApproxCache first = make_cache();
+  run_session(first, scenes, /*stream_seed=*/100, 2 * kFrames);
+  const auto snapshot = save_snapshot(first, kFrames * 100 * kMillisecond);
+  std::printf("session 1 left %zu entries (%zu snapshot bytes)\n\n",
+              first.size(), snapshot.size());
+
+  // Session 2, different visitor (different stream), cold vs warm.
+  ApproxCache cold = make_cache();
+  const SessionResult cold_result =
+      run_session(cold, scenes, /*stream_seed=*/200, kFrames);
+  ApproxCache warm = make_cache();
+  load_snapshot(warm, snapshot, 0);
+  const SessionResult warm_result =
+      run_session(warm, scenes, /*stream_seed=*/200, kFrames);
+
+  TextTable table;
+  table.header({"window (10 s)", "cold inferences", "warm inferences"});
+  for (std::size_t w = 0; w < cold_result.inferences_per_window.size(); ++w) {
+    table.row({std::to_string(w + 1),
+               std::to_string(cold_result.inferences_per_window[w]),
+               std::to_string(warm_result.inferences_per_window[w])});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("session reuse: cold %.3f vs warm %.3f\n", cold_result.reuse,
+              warm_result.reuse);
+  return 0;
+}

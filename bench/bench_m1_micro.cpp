@@ -1,0 +1,185 @@
+// M1 — google-benchmark micro suite: wall-clock cost of the primitives the
+// simulation's cost model abstracts (feature extraction, index operations,
+// codec, event loop, scene rendering, cache lookups). These justify the
+// per-operation latency constants used elsewhere and catch performance
+// regressions in the library itself.
+
+#include <benchmark/benchmark.h>
+
+#include "src/ann/adaptive_lsh.hpp"
+#include "src/ann/exact_knn.hpp"
+#include "src/cache/approx_cache.hpp"
+#include "src/features/extractor.hpp"
+#include "src/image/scene.hpp"
+#include "src/imu/motion_estimator.hpp"
+#include "src/net/event_sim.hpp"
+#include "src/net/messages.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace apx;
+
+SceneGenerator& scenes() {
+  static SceneGenerator gen{[] {
+    SceneGenerator::Config cfg;
+    cfg.num_classes = 64;
+    cfg.image_size = 32;
+    return cfg;
+  }()};
+  return gen;
+}
+
+Image test_image() { return scenes().render(7, ViewParams{}); }
+
+FeatureVec random_unit(Rng& rng, std::size_t dim) {
+  FeatureVec v(dim);
+  for (float& x : v) x = static_cast<float>(rng.normal());
+  normalize(v);
+  return v;
+}
+
+void BM_SceneRender(benchmark::State& state) {
+  ViewParams view;
+  view.noise_sigma = 0.02f;
+  int cls = 0;
+  for (auto _ : state) {
+    view.noise_seed = static_cast<std::uint64_t>(state.iterations());
+    benchmark::DoNotOptimize(scenes().render(cls++ % 64, view));
+  }
+}
+BENCHMARK(BM_SceneRender);
+
+void BM_ExtractDownsample(benchmark::State& state) {
+  const auto extractor = make_downsample_extractor();
+  const Image img = test_image();
+  for (auto _ : state) benchmark::DoNotOptimize(extractor->extract(img));
+}
+BENCHMARK(BM_ExtractDownsample);
+
+void BM_ExtractHistogram(benchmark::State& state) {
+  const auto extractor = make_histogram_extractor();
+  const Image img = test_image();
+  for (auto _ : state) benchmark::DoNotOptimize(extractor->extract(img));
+}
+BENCHMARK(BM_ExtractHistogram);
+
+void BM_ExtractHog(benchmark::State& state) {
+  const auto extractor = make_hog_extractor();
+  const Image img = test_image();
+  for (auto _ : state) benchmark::DoNotOptimize(extractor->extract(img));
+}
+BENCHMARK(BM_ExtractHog);
+
+void BM_ExtractCnn(benchmark::State& state) {
+  const auto extractor = make_cnn_extractor();
+  const Image img = test_image();
+  for (auto _ : state) benchmark::DoNotOptimize(extractor->extract(img));
+}
+BENCHMARK(BM_ExtractCnn);
+
+void BM_LshInsert(benchmark::State& state) {
+  LshParams params;
+  PStableLshIndex index{64, params};
+  Rng rng{1};
+  VecId id = 0;
+  for (auto _ : state) {
+    index.insert(id++, random_unit(rng, 64));
+  }
+}
+BENCHMARK(BM_LshInsert);
+
+void BM_LshQuery(benchmark::State& state) {
+  LshParams params;
+  PStableLshIndex index{64, params};
+  Rng rng{1};
+  for (VecId id = 0; id < static_cast<VecId>(state.range(0)); ++id) {
+    index.insert(id, random_unit(rng, 64));
+  }
+  const FeatureVec q = random_unit(rng, 64);
+  for (auto _ : state) benchmark::DoNotOptimize(index.query(q, 4));
+}
+BENCHMARK(BM_LshQuery)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_ExactKnnQuery(benchmark::State& state) {
+  ExactKnnIndex index{64};
+  Rng rng{1};
+  for (VecId id = 0; id < static_cast<VecId>(state.range(0)); ++id) {
+    index.insert(id, random_unit(rng, 64));
+  }
+  const FeatureVec q = random_unit(rng, 64);
+  for (auto _ : state) benchmark::DoNotOptimize(index.query(q, 4));
+}
+BENCHMARK(BM_ExactKnnQuery)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_CacheLookup(benchmark::State& state) {
+  ApproxCacheConfig cfg;
+  cfg.capacity = 4096;
+  ApproxCache cache{64, cfg, make_utility_policy()};
+  Rng rng{1};
+  for (int i = 0; i < 2048; ++i) {
+    cache.insert(random_unit(rng, 64), i % 64, 0.9f, i);
+  }
+  const FeatureVec q = random_unit(rng, 64);
+  SimTime now = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.lookup(q, now++));
+  }
+}
+BENCHMARK(BM_CacheLookup);
+
+void BM_CodecEncodeAdvert(benchmark::State& state) {
+  EntryAdvertMsg msg;
+  Rng rng{1};
+  for (int i = 0; i < 16; ++i) {
+    WireEntry e;
+    e.feature = random_unit(rng, 64);
+    e.label = i;
+    msg.entries.push_back(std::move(e));
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(encode(msg));
+}
+BENCHMARK(BM_CodecEncodeAdvert);
+
+void BM_CodecDecodeAdvert(benchmark::State& state) {
+  EntryAdvertMsg msg;
+  Rng rng{1};
+  for (int i = 0; i < 16; ++i) {
+    WireEntry e;
+    e.feature = random_unit(rng, 64);
+    e.label = i;
+    msg.entries.push_back(std::move(e));
+  }
+  const auto bytes = encode(msg);
+  for (auto _ : state) benchmark::DoNotOptimize(decode_entry_advert(bytes));
+}
+BENCHMARK(BM_CodecDecodeAdvert);
+
+void BM_EventSimThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    EventSimulator sim;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule_at(i, [&fired] { ++fired; });
+    }
+    sim.run_all();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventSimThroughput);
+
+void BM_MotionEstimate(benchmark::State& state) {
+  MotionEstimator est;
+  ImuSample sample;
+  sample.accel = {0.1f, 0.0f, 9.8f};
+  for (auto _ : state) {
+    est.add(sample);
+    benchmark::DoNotOptimize(est.estimate());
+  }
+}
+BENCHMARK(BM_MotionEstimate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

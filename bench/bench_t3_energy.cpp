@@ -1,0 +1,39 @@
+// T3 (Table 3) — energy per recognized frame per configuration: on-device
+// compute energy plus radio energy for the P2P traffic. Expected shape:
+// reuse saves far more compute energy than the radio costs, so total
+// energy falls down the ladder even for the P2P configuration.
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace apx;
+  using namespace apx::bench;
+
+  banner("T3", "energy per frame per configuration",
+         "compute energy falls with reuse; radio adds little; net saving "
+         "grows down the ladder");
+
+  TextTable table;
+  table.header({"configuration", "compute mJ/frame", "radio mJ/frame",
+                "total mJ/frame", "saving"});
+  double baseline_total = 0.0;
+  for (const auto& [name, pipeline] : configuration_ladder()) {
+    ScenarioConfig cfg = evaluation_scenario();
+    cfg.pipeline = pipeline;
+    const ExperimentMetrics m = run_seeds(cfg);
+    const double compute = m.mean_compute_energy_mj();
+    const double total = m.mean_total_energy_mj();
+    const double radio = total - compute;
+    if (name == "no-cache") baseline_total = total;
+    table.row({name, TextTable::num(compute, 2), TextTable::num(radio, 3),
+               TextTable::num(total, 2),
+               TextTable::num(
+                   baseline_total > 0.0
+                       ? 100.0 * (1.0 - total / baseline_total)
+                       : 0.0,
+                   1) +
+                   "%"});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,69 @@
+#pragma once
+// Shared helpers for the exhibit-regeneration benches (see DESIGN.md §3 for
+// the experiment index and EXPERIMENTS.md for paper-vs-measured results).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/sim/runner.hpp"
+#include "src/util/table.hpp"
+
+namespace apx::bench {
+
+/// The evaluation's canonical workload: a co-located group of four devices
+/// watching a shared 64-class world, mixed mobility, 10 fps video.
+inline ScenarioConfig evaluation_scenario() {
+  ScenarioConfig cfg = default_scenario();
+  cfg.num_devices = 4;
+  cfg.duration = 45 * kSecond;
+  cfg.scene.num_classes = 64;
+  cfg.zipf_s = 0.9;
+  return cfg;
+}
+
+/// High-locality variant behind the abstract's "up to 94%": users mostly
+/// dwelling on objects (kiosk / museum / shelf-scanning behaviour).
+inline ScenarioConfig high_locality_scenario() {
+  ScenarioConfig cfg = evaluation_scenario();
+  cfg.p_stationary = 0.80;
+  cfg.p_minor = 0.17;
+  cfg.p_major = 0.03;
+  cfg.zipf_s = 1.1;
+  return cfg;
+}
+
+/// Runs `cfg` under `seeds` different seeds and pools the metrics.
+inline ExperimentMetrics run_seeds(ScenarioConfig cfg, int seeds = 3) {
+  ExperimentMetrics pooled;
+  for (int s = 0; s < seeds; ++s) {
+    cfg.seed = 1000 + static_cast<std::uint64_t>(s) * 7919;
+    pooled.merge(run_scenario(cfg));
+  }
+  return pooled;
+}
+
+/// The named pipeline configurations every per-configuration exhibit sweeps.
+struct NamedConfig {
+  std::string name;
+  PipelineConfig config;
+};
+
+inline std::vector<NamedConfig> configuration_ladder() {
+  return {
+      {"no-cache", make_nocache_config()},
+      {"exact-cache", make_exactcache_config()},
+      {"approx-local", make_approx_local_config()},
+      {"approx+imu", make_approx_imu_config()},
+      {"approx+imu+video", make_approx_video_config()},
+      {"full-system(+p2p)", make_full_system_config()},
+  };
+}
+
+/// Standard exhibit banner.
+inline void banner(const char* id, const char* title, const char* claim) {
+  std::printf("=== %s: %s ===\n", id, title);
+  std::printf("expected shape: %s\n\n", claim);
+}
+
+}  // namespace apx::bench

@@ -1,0 +1,99 @@
+// Shelf scanner: multi-object recognition with region-level reuse. A fixed
+// camera watches a 2x2 display shelf whose slots are restocked
+// independently; the app recognizes all four products per frame. Shows the
+// vision API (MultiObjectStream, crop_region) and why region granularity
+// is the right unit of caching for multi-object scenes.
+//
+//   $ ./shelf_scanner [minutes]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/cache/approx_cache.hpp"
+#include "src/dnn/oracle.hpp"
+#include "src/dnn/zoo.hpp"
+#include "src/features/extractor.hpp"
+#include "src/util/table.hpp"
+#include "src/vision/multi_object.hpp"
+
+int main(int argc, char** argv) {
+  const double minutes = argc > 1 ? std::atof(argv[1]) : 1.0;
+  if (minutes <= 0) {
+    std::fprintf(stderr, "usage: shelf_scanner [minutes > 0]\n");
+    return 1;
+  }
+  const int frames = static_cast<int>(minutes * 60.0 * 10.0);  // 10 fps
+
+  apx::SceneGenerator::Config world;
+  world.num_classes = 64;
+  world.seed = 77;
+  const apx::SceneGenerator scenes{world};
+  const apx::ZipfSampler popularity{64, 0.9};
+  apx::MultiObjectStream::Config stream_cfg;
+  stream_cfg.slot_change_rate = 0.10;  // a restock every ~10 s per slot
+  apx::MultiObjectStream stream{scenes, popularity, stream_cfg, 5};
+
+  const auto extractor = apx::make_cnn_extractor();
+  const apx::ModelProfile profile = apx::mobilenet_v2_profile();
+  auto model = apx::make_oracle_model(profile, 64);
+  apx::Rng rng{9};
+
+  apx::ApproxCacheConfig cache_cfg;
+  cache_cfg.capacity = 512;
+  cache_cfg.hknn.max_distance = extractor->recommended_max_distance();
+  apx::ApproxCache cache{extractor->dim(), cache_cfg,
+                         apx::make_utility_policy()};
+
+  std::printf("Shelf scanner: %d frames of a 2x2 shelf, restock every ~10 s "
+              "per slot\n\n", frames);
+
+  std::size_t inferences = 0, hits = 0, correct = 0;
+  double busy_us = 0.0;
+  for (int f = 0; f < frames; ++f) {
+    const apx::MultiFrame frame = stream.next();
+    busy_us += static_cast<double>(apx::kRegionDetectLatency);
+    for (int region = 0; region < apx::MultiFrame::kRegions; ++region) {
+      const apx::Label truth =
+          frame.true_labels[static_cast<std::size_t>(region)];
+      const apx::Image crop = apx::crop_region(frame.image, region);
+      busy_us += static_cast<double>(extractor->latency());
+      const apx::FeatureVec key = extractor->extract(crop);
+      const auto lookup = cache.lookup(key, frame.t);
+      busy_us += static_cast<double>(lookup.latency);
+      apx::Label answer;
+      if (lookup.vote.has_value()) {
+        ++hits;
+        answer = lookup.vote->label;
+      } else {
+        ++inferences;
+        busy_us +=
+            static_cast<double>(apx::sample_profile_latency(profile, rng));
+        const apx::Prediction pred = model->infer(crop, truth, rng);
+        answer = pred.label;
+        cache.insert(key, pred.label, pred.confidence, frame.t);
+      }
+      if (answer == truth) ++correct;
+    }
+  }
+
+  const double objects = static_cast<double>(frames) *
+                         apx::MultiFrame::kRegions;
+  apx::TextTable table;
+  table.header({"metric", "value"});
+  table.row({"objects recognized", apx::TextTable::num(objects, 0)});
+  table.row({"DNN inferences", std::to_string(inferences)});
+  table.row({"cache hits",
+             std::to_string(hits) + " (" +
+                 apx::TextTable::num(100.0 * hits / objects, 1) + "%)"});
+  table.row({"accuracy", apx::TextTable::num(correct / objects, 4)});
+  table.row({"mean busy time / frame",
+             apx::TextTable::num(busy_us / 1000.0 / frames, 2) + " ms"});
+  table.row({"vs always-infer",
+             apx::TextTable::num(
+                 4.0 * apx::to_ms(profile.mean_latency), 1) +
+                 " ms/frame"});
+  std::printf("%s", table.render().c_str());
+  std::printf("\nEach restocked slot costs one inference; the other three "
+              "regions keep hitting the cache.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+#include "src/ann/adaptive_lsh.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace apx {
+
+AdaptiveLshIndex::AdaptiveLshIndex(std::size_t dim,
+                                   const AdaptiveLshParams& params)
+    : params_(params), base_(dim, params.lsh) {
+  if (params.width_factor <= 0.0f || params.ema_alpha <= 0.0 ||
+      params.ema_alpha > 1.0 || params.rebuild_tolerance <= 0.0) {
+    throw std::invalid_argument("AdaptiveLshIndex: bad parameters");
+  }
+}
+
+void AdaptiveLshIndex::insert(VecId id, const FeatureVec& v) {
+  base_.insert(id, v);
+}
+
+bool AdaptiveLshIndex::remove(VecId id) { return base_.remove(id); }
+
+std::vector<Neighbor> AdaptiveLshIndex::query(std::span<const float> q,
+                                              std::size_t k) const {
+  auto result = base_.query(q, k);
+  if (!result.empty()) {
+    // Feed the controller with the farthest distance this query actually
+    // needed (the k-th neighbour, or the last one found when fewer exist).
+    const double dk = static_cast<double>(result.back().distance);
+    if (dk > 0.0) {
+      if (has_ema_) {
+        dk_ema_ += params_.ema_alpha * (dk - dk_ema_);
+      } else {
+        dk_ema_ = dk;
+        has_ema_ = true;
+      }
+    }
+  }
+  ++queries_since_rebuild_;
+  maybe_adapt();
+  return result;
+}
+
+void AdaptiveLshIndex::maybe_adapt() const {
+  if (!has_ema_ || base_.size() < params_.min_size_to_adapt ||
+      queries_since_rebuild_ < params_.min_queries_between_rebuilds) {
+    return;
+  }
+  const double target =
+      static_cast<double>(params_.width_factor) * dk_ema_;
+  if (target <= 0.0) return;
+  const double current = static_cast<double>(base_.params().bucket_width);
+  const double drift = std::abs(current - target) / current;
+  if (drift > params_.rebuild_tolerance) {
+    base_.rebuild_with_width(static_cast<float>(target));
+    ++rebuilds_;
+    queries_since_rebuild_ = 0;
+  }
+}
+
+}  // namespace apx

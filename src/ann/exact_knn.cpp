@@ -1,0 +1,38 @@
+#include "src/ann/exact_knn.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace apx {
+
+ExactKnnIndex::ExactKnnIndex(std::size_t dim) : dim_(dim) {
+  assert(dim > 0);
+}
+
+void ExactKnnIndex::insert(VecId id, const FeatureVec& v) {
+  assert(v.size() == dim_);
+  [[maybe_unused]] const auto [_, inserted] = vectors_.emplace(id, v);
+  assert(inserted && "duplicate id");
+}
+
+bool ExactKnnIndex::remove(VecId id) { return vectors_.erase(id) > 0; }
+
+std::vector<Neighbor> ExactKnnIndex::query(std::span<const float> q,
+                                           std::size_t k) const {
+  assert(q.size() == dim_);
+  std::vector<Neighbor> all;
+  all.reserve(vectors_.size());
+  for (const auto& [id, v] : vectors_) {
+    all.push_back({id, l2(q, v)});
+  }
+  const std::size_t take = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(take),
+                    all.end(), [](const Neighbor& a, const Neighbor& b) {
+                      return a.distance < b.distance ||
+                             (a.distance == b.distance && a.id < b.id);
+                    });
+  all.resize(take);
+  return all;
+}
+
+}  // namespace apx

@@ -1,0 +1,58 @@
+#include "src/ann/hknn.hpp"
+
+#include <map>
+
+namespace apx {
+namespace {
+
+std::optional<HknnVote> vote_impl(const std::vector<Neighbor>& neighbors,
+                                  const std::function<Label(VecId)>& label_of,
+                                  const HknnParams& params,
+                                  bool require_homogeneity) {
+  if (neighbors.empty()) return std::nullopt;
+  if (neighbors.front().distance > params.max_distance) return std::nullopt;
+
+  // Distance-weighted vote over the in-range prefix (closest first).
+  std::map<Label, float> weights;
+  float total = 0.0f;
+  std::size_t voters = 0;
+  for (const Neighbor& n : neighbors) {
+    if (voters >= params.k) break;
+    if (n.distance > params.max_distance) break;
+    const float w = 1.0f / (n.distance + params.distance_epsilon);
+    weights[label_of(n.id)] += w;
+    total += w;
+    ++voters;
+  }
+  if (voters == 0 || total <= 0.0f) return std::nullopt;
+
+  Label best = kNoLabel;
+  float best_weight = -1.0f;
+  for (const auto& [label, w] : weights) {
+    if (w > best_weight) {
+      best_weight = w;
+      best = label;
+    }
+  }
+  const float homogeneity = best_weight / total;
+  if (require_homogeneity && homogeneity < params.homogeneity_threshold) {
+    return std::nullopt;
+  }
+  return HknnVote{best, homogeneity, neighbors.front().distance, voters};
+}
+
+}  // namespace
+
+std::optional<HknnVote> hknn_vote(const std::vector<Neighbor>& neighbors,
+                                  const std::function<Label(VecId)>& label_of,
+                                  const HknnParams& params) {
+  return vote_impl(neighbors, label_of, params, params.require_homogeneity);
+}
+
+std::optional<HknnVote> plain_knn_vote(
+    const std::vector<Neighbor>& neighbors,
+    const std::function<Label(VecId)>& label_of, const HknnParams& params) {
+  return vote_impl(neighbors, label_of, params, /*require_homogeneity=*/false);
+}
+
+}  // namespace apx

@@ -1,0 +1,52 @@
+#pragma once
+// Homogenized kNN (H-kNN) [lineage: FoggyCache, MobiCom'18]. A plain kNN
+// vote happily returns a majority label even when the neighbourhood is an
+// ambiguous mixture — exactly the situation where reusing a cached result
+// produces a wrong answer. H-kNN only accepts when the distance-weighted
+// vote is sufficiently *homogeneous*; otherwise it abstains and the pipeline
+// falls back to full inference. This is the mechanism behind the poster's
+// "minimal loss of recognition accuracy".
+
+#include <functional>
+#include <optional>
+
+#include "src/ann/index.hpp"
+#include "src/dnn/model.hpp"
+
+namespace apx {
+
+/// H-kNN decision parameters.
+struct HknnParams {
+  std::size_t k = 4;             ///< neighbours consulted
+  float homogeneity_threshold = 0.8f;  ///< min winning-label weight share
+  float max_distance = 0.5f;     ///< nearest neighbour farther -> abstain
+  float distance_epsilon = 1e-3f;///< weight = 1 / (d + eps)
+  /// When false the vote degenerates to plain distance-weighted kNN (no
+  /// homogeneity gate) — the ablation baseline, selectable end to end so
+  /// experiments can show what H-kNN is protecting against.
+  bool require_homogeneity = true;
+};
+
+/// Accepted H-kNN outcome.
+struct HknnVote {
+  Label label = kNoLabel;
+  float homogeneity = 0.0f;   ///< winning share of total weight, in (0, 1]
+  float nearest_distance = 0.0f;
+  std::size_t voters = 0;     ///< neighbours that participated
+};
+
+/// Runs the homogenized vote over `neighbors` (as returned by an NnIndex
+/// query, closest first). `label_of` maps an entry id to its cached label.
+/// Returns nullopt when the vote abstains: no neighbours, nearest too far,
+/// or homogeneity below threshold.
+std::optional<HknnVote> hknn_vote(
+    const std::vector<Neighbor>& neighbors,
+    const std::function<Label(VecId)>& label_of, const HknnParams& params);
+
+/// Plain (non-homogenized) distance-weighted kNN vote — the ablation
+/// baseline. Abstains only when there are no neighbours in range.
+std::optional<HknnVote> plain_knn_vote(
+    const std::vector<Neighbor>& neighbors,
+    const std::function<Label(VecId)>& label_of, const HknnParams& params);
+
+}  // namespace apx

@@ -1,0 +1,49 @@
+#pragma once
+// Nearest-neighbour index abstraction the approximate cache builds on.
+// Implementations: ExactKnnIndex (linear scan baseline), PStableLshIndex,
+// and AdaptiveLshIndex (the A-LSH variant the poster's lineage uses).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/util/vecmath.hpp"
+
+namespace apx {
+
+/// Identifier of an indexed vector (the cache's entry id).
+using VecId = std::uint64_t;
+
+/// One query result: an indexed vector and its exact L2 distance to the query.
+struct Neighbor {
+  VecId id = 0;
+  float distance = 0.0f;
+};
+
+/// Mutable nearest-neighbour index over fixed-dimension float vectors.
+///
+/// All implementations return *exact* distances for the candidates they
+/// surface; approximation only affects which candidates are considered.
+class NnIndex {
+ public:
+  virtual ~NnIndex() = default;
+
+  /// Adds a vector under `id`. Ids must be unique; re-inserting an existing
+  /// id is a precondition violation.
+  virtual void insert(VecId id, const FeatureVec& v) = 0;
+
+  /// Removes `id` if present; returns whether it was.
+  virtual bool remove(VecId id) = 0;
+
+  /// Returns up to `k` nearest stored vectors, closest first.
+  virtual std::vector<Neighbor> query(std::span<const float> q,
+                                      std::size_t k) const = 0;
+
+  /// Number of stored vectors.
+  virtual std::size_t size() const noexcept = 0;
+
+  /// Vector dimensionality the index was built for.
+  virtual std::size_t dim() const noexcept = 0;
+};
+
+}  // namespace apx

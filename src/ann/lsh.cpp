@@ -1,0 +1,182 @@
+#include "src/ann/lsh.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace apx {
+
+PStableLshIndex::PStableLshIndex(std::size_t dim, const LshParams& params)
+    : dim_(dim), params_(params) {
+  if (dim == 0 || params.num_tables == 0 || params.hashes_per_table == 0 ||
+      params.bucket_width <= 0.0f) {
+    throw std::invalid_argument("PStableLshIndex: bad parameters");
+  }
+  Rng rng{params.seed};
+  tables_.resize(params.num_tables);
+  for (auto& table : tables_) {
+    table.projections.resize(params.hashes_per_table);
+    table.offsets.resize(params.hashes_per_table);
+    for (std::size_t h = 0; h < params.hashes_per_table; ++h) {
+      auto& proj = table.projections[h];
+      proj.resize(dim);
+      for (float& x : proj) x = static_cast<float>(rng.normal());
+      table.offsets[h] =
+          static_cast<float>(rng.uniform(0.0, params.bucket_width));
+    }
+  }
+}
+
+namespace {
+
+std::uint64_t hash_coords(std::span<const std::int64_t> coords) {
+  // FNV-1a over the concatenated quantized projections.
+  std::uint64_t key = 0xcbf29ce484222325ULL;
+  for (const std::int64_t q : coords) {
+    const auto uq = static_cast<std::uint64_t>(q);
+    for (int byte = 0; byte < 8; ++byte) {
+      key ^= (uq >> (8 * byte)) & 0xff;
+      key *= 0x100000001b3ULL;
+    }
+  }
+  return key;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> PStableLshIndex::quantized_coords(
+    const Table& table, std::span<const float> v,
+    std::vector<float>* fractions) const {
+  std::vector<std::int64_t> coords(params_.hashes_per_table);
+  if (fractions != nullptr) fractions->resize(params_.hashes_per_table);
+  for (std::size_t h = 0; h < params_.hashes_per_table; ++h) {
+    const float scaled =
+        (dot(table.projections[h], v) + table.offsets[h]) /
+        params_.bucket_width;
+    const float floor_val = std::floor(scaled);
+    coords[h] = static_cast<std::int64_t>(floor_val);
+    if (fractions != nullptr) (*fractions)[h] = scaled - floor_val;
+  }
+  return coords;
+}
+
+std::uint64_t PStableLshIndex::bucket_key(const Table& table,
+                                          std::span<const float> v) const {
+  const auto coords = quantized_coords(table, v, nullptr);
+  return hash_coords(coords);
+}
+
+void PStableLshIndex::insert(VecId id, const FeatureVec& v) {
+  assert(v.size() == dim_);
+  Entry entry{v, {}};
+  entry.keys.reserve(tables_.size());
+  for (auto& table : tables_) {
+    const std::uint64_t key = bucket_key(table, v);
+    table.buckets[key].push_back(id);
+    entry.keys.push_back(key);
+  }
+  [[maybe_unused]] const auto [_, inserted] =
+      entries_.emplace(id, std::move(entry));
+  assert(inserted && "duplicate id");
+}
+
+bool PStableLshIndex::remove(VecId id) {
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    auto& table = tables_[t];
+    const auto bucket_it = table.buckets.find(it->second.keys[t]);
+    if (bucket_it != table.buckets.end()) {
+      auto& ids = bucket_it->second;
+      ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
+      if (ids.empty()) table.buckets.erase(bucket_it);
+    }
+  }
+  entries_.erase(it);
+  return true;
+}
+
+std::vector<Neighbor> PStableLshIndex::query(std::span<const float> q,
+                                             std::size_t k) const {
+  assert(q.size() == dim_);
+  // Union of candidate buckets across tables, deduplicated by sort.
+  std::vector<VecId> candidates;
+  std::vector<float> fractions;
+  for (const auto& table : tables_) {
+    auto coords = quantized_coords(table, q, &fractions);
+    const auto base_it = table.buckets.find(hash_coords(coords));
+    if (base_it != table.buckets.end()) {
+      candidates.insert(candidates.end(), base_it->second.begin(),
+                        base_it->second.end());
+    }
+    if (params_.probes_per_table > 0) {
+      // Query-directed multiprobe: flip the coordinates whose projections
+      // sit closest to a quantization boundary, one at a time, toward that
+      // boundary.
+      std::vector<std::size_t> order(coords.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::sort(order.begin(), order.end(),
+                [&fractions](std::size_t a, std::size_t b) {
+                  const float da = std::min(fractions[a], 1.0f - fractions[a]);
+                  const float db = std::min(fractions[b], 1.0f - fractions[b]);
+                  return da < db;
+                });
+      const std::size_t probes =
+          std::min(params_.probes_per_table, coords.size());
+      for (std::size_t p = 0; p < probes; ++p) {
+        const std::size_t h = order[p];
+        const std::int64_t delta = fractions[h] < 0.5f ? -1 : 1;
+        coords[h] += delta;
+        const auto it = table.buckets.find(hash_coords(coords));
+        if (it != table.buckets.end()) {
+          candidates.insert(candidates.end(), it->second.begin(),
+                            it->second.end());
+        }
+        coords[h] -= delta;  // restore for the next single-flip probe
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  last_candidates_ = candidates.size();
+
+  std::vector<Neighbor> result;
+  result.reserve(candidates.size());
+  for (const VecId id : candidates) {
+    result.push_back({id, l2(q, entries_.at(id).vec)});
+  }
+  const std::size_t take = std::min(k, result.size());
+  std::partial_sort(result.begin(),
+                    result.begin() + static_cast<std::ptrdiff_t>(take),
+                    result.end(), [](const Neighbor& a, const Neighbor& b) {
+                      return a.distance < b.distance ||
+                             (a.distance == b.distance && a.id < b.id);
+                    });
+  result.resize(take);
+  return result;
+}
+
+void PStableLshIndex::rebuild_with_width(float new_width) {
+  if (new_width <= 0.0f) {
+    throw std::invalid_argument("rebuild_with_width: width <= 0");
+  }
+  // Rescale offsets proportionally so they stay uniform in [0, w).
+  const float scale = new_width / params_.bucket_width;
+  params_.bucket_width = new_width;
+  for (auto& table : tables_) {
+    table.buckets.clear();
+    for (float& off : table.offsets) off *= scale;
+  }
+  for (auto& [id, entry] : entries_) {
+    entry.keys.clear();
+    for (auto& table : tables_) {
+      const std::uint64_t key = bucket_key(table, entry.vec);
+      table.buckets[key].push_back(id);
+      entry.keys.push_back(key);
+    }
+  }
+}
+
+}  // namespace apx

@@ -1,0 +1,79 @@
+#pragma once
+// Locality-sensitive hashing with p-stable (Gaussian) projections
+// [Datar et al., SoCG'04]: h(v) = floor((a.v + b) / w). Vectors whose L2
+// distance is small collide with high probability; `w` (bucket width)
+// trades candidate-set size against recall.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ann/index.hpp"
+#include "src/util/rng.hpp"
+
+namespace apx {
+
+/// Tuning parameters for p-stable LSH.
+struct LshParams {
+  std::size_t num_tables = 4;        ///< L: independent hash tables
+  std::size_t hashes_per_table = 8;  ///< k: projections concatenated per table
+  float bucket_width = 0.5f;         ///< w: quantization step
+  std::uint64_t seed = 42;           ///< projection seed
+  /// Multiprobe (Lv et al., VLDB'07, query-directed single-coordinate
+  /// variant): per table, additionally probe this many buckets obtained by
+  /// flipping the hash coordinates whose projections fall closest to a
+  /// quantization boundary. Buys recall without more tables; 0 disables.
+  std::size_t probes_per_table = 0;
+};
+
+/// p-stable LSH index over L2 distance.
+class PStableLshIndex final : public NnIndex {
+ public:
+  PStableLshIndex(std::size_t dim, const LshParams& params);
+
+  void insert(VecId id, const FeatureVec& v) override;
+  bool remove(VecId id) override;
+  std::vector<Neighbor> query(std::span<const float> q,
+                              std::size_t k) const override;
+  std::size_t size() const noexcept override { return entries_.size(); }
+  std::size_t dim() const noexcept override { return dim_; }
+
+  const LshParams& params() const noexcept { return params_; }
+
+  /// Number of stored vectors whose distance was computed on the last
+  /// query — the work an approximate lookup actually did.
+  std::size_t last_candidate_count() const noexcept {
+    return last_candidates_;
+  }
+
+  /// Rebuilds every table with a new bucket width, reusing the projections.
+  /// O(n L k dim); called rarely (adaptation), never per query.
+  void rebuild_with_width(float new_width);
+
+ private:
+  struct Table {
+    std::vector<FeatureVec> projections;  // k vectors of dim floats
+    std::vector<float> offsets;           // k offsets in [0, w)
+    std::unordered_map<std::uint64_t, std::vector<VecId>> buckets;
+  };
+  struct Entry {
+    FeatureVec vec;
+    std::vector<std::uint64_t> keys;  // bucket key per table
+  };
+
+  std::uint64_t bucket_key(const Table& table,
+                           std::span<const float> v) const;
+  /// Quantized per-hash coordinates; optionally also the within-bucket
+  /// fractional positions (for multiprobe boundary-proximity ordering).
+  std::vector<std::int64_t> quantized_coords(
+      const Table& table, std::span<const float> v,
+      std::vector<float>* fractions) const;
+
+  std::size_t dim_;
+  LshParams params_;
+  std::vector<Table> tables_;
+  std::unordered_map<VecId, Entry> entries_;
+  mutable std::size_t last_candidates_ = 0;
+};
+
+}  // namespace apx

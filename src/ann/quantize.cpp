@@ -1,0 +1,61 @@
+#include "src/ann/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace apx {
+
+QuantizedVec quantize(std::span<const float> v) {
+  QuantizedVec q;
+  if (v.empty()) return q;
+  const auto [lo_it, hi_it] = std::minmax_element(v.begin(), v.end());
+  const float lo = *lo_it;
+  const float hi = *hi_it;
+  q.offset = lo;
+  q.scale = (hi > lo) ? (hi - lo) / 255.0f : 0.0f;
+  q.codes.resize(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (q.scale == 0.0f) {
+      q.codes[i] = 0;
+    } else {
+      const float code = std::round((v[i] - q.offset) / q.scale);
+      q.codes[i] = static_cast<std::uint8_t>(
+          std::clamp(code, 0.0f, 255.0f));
+    }
+  }
+  return q;
+}
+
+FeatureVec dequantize(const QuantizedVec& q) {
+  FeatureVec v(q.codes.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = q.offset + q.scale * static_cast<float>(q.codes[i]);
+  }
+  return v;
+}
+
+void write_quantized(Writer& w, const QuantizedVec& q) {
+  w.f32(q.offset);
+  w.f32(q.scale);
+  w.varint(q.codes.size());
+  w.raw(q.codes);
+}
+
+QuantizedVec read_quantized(Reader& r) {
+  QuantizedVec q;
+  q.offset = r.f32();
+  q.scale = r.f32();
+  const std::uint64_t n = r.varint();
+  if (n > r.remaining()) throw CodecError("quantized vector too long");
+  q.codes.resize(n);
+  for (auto& code : q.codes) code = r.u8();
+  return q;
+}
+
+float quantization_error_bound(std::span<const float> v) {
+  if (v.empty()) return 0.0f;
+  const auto [lo_it, hi_it] = std::minmax_element(v.begin(), v.end());
+  return (*hi_it - *lo_it) / 255.0f / 2.0f;
+}
+
+}  // namespace apx

@@ -1,0 +1,38 @@
+#pragma once
+// Lossy 8-bit feature quantization for the wire. A 64-dim float32 feature
+// is 256 bytes; its 8-bit affine quantization is 64 bytes + 8 bytes of
+// scale/offset — a 3.7x cut in P2P payload for a distance distortion well
+// below typical intra-class feature distances. Used by the peer protocol
+// when PeerCacheParams::quantize_wire_features is set.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/util/serialize.hpp"
+#include "src/util/vecmath.hpp"
+
+namespace apx {
+
+/// Affine-quantized feature vector: value[i] ~= offset + scale * code[i].
+struct QuantizedVec {
+  float offset = 0.0f;
+  float scale = 0.0f;  ///< 0 for constant vectors (all values == offset)
+  std::vector<std::uint8_t> codes;
+};
+
+/// Quantizes `v` to 8 bits per dimension (min/max affine grid).
+QuantizedVec quantize(std::span<const float> v);
+
+/// Reconstructs the (lossy) float vector.
+FeatureVec dequantize(const QuantizedVec& q);
+
+/// Wire helpers.
+void write_quantized(Writer& w, const QuantizedVec& q);
+QuantizedVec read_quantized(Reader& r);
+
+/// Worst-case per-dimension reconstruction error of quantizing `v`
+/// (half a quantization step).
+float quantization_error_bound(std::span<const float> v);
+
+}  // namespace apx

@@ -1,0 +1,172 @@
+#include "src/cache/approx_cache.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace apx {
+namespace {
+
+std::unique_ptr<NnIndex> make_index(std::size_t dim,
+                                    const ApproxCacheConfig& config) {
+  switch (config.index) {
+    case IndexKind::kExact:
+      return std::make_unique<ExactKnnIndex>(dim);
+    case IndexKind::kLsh:
+      return std::make_unique<PStableLshIndex>(dim, config.alsh.lsh);
+    case IndexKind::kAdaptiveLsh:
+      return std::make_unique<AdaptiveLshIndex>(dim, config.alsh);
+  }
+  throw std::invalid_argument("ApproxCache: unknown index kind");
+}
+
+}  // namespace
+
+ApproxCache::ApproxCache(std::size_t dim, const ApproxCacheConfig& config,
+                         std::unique_ptr<EvictionPolicy> eviction)
+    : dim_(dim),
+      config_(config),
+      eviction_(std::move(eviction)),
+      index_(make_index(dim, config)) {
+  if (dim == 0 || config.capacity == 0 || eviction_ == nullptr) {
+    throw std::invalid_argument("ApproxCache: bad configuration");
+  }
+}
+
+CacheLookupResult ApproxCache::lookup(std::span<const float> q, SimTime now,
+                                      float threshold_scale) {
+  assert(q.size() == dim_);
+  CacheLookupResult result;
+  const auto neighbors = index_->query(q, config_.hknn.k);
+
+  // Simulated lookup cost: fixed overhead + one distance per candidate.
+  std::size_t candidates = neighbors.size();
+  if (config_.index == IndexKind::kLsh) {
+    candidates =
+        static_cast<PStableLshIndex*>(index_.get())->last_candidate_count();
+  } else if (config_.index == IndexKind::kAdaptiveLsh) {
+    candidates =
+        static_cast<AdaptiveLshIndex*>(index_.get())->last_candidate_count();
+  } else {
+    candidates = index_->size();  // exact scan touches everything
+  }
+  result.candidates = candidates;
+  result.latency = config_.lookup_base_latency +
+                   static_cast<SimDuration>(candidates) *
+                       config_.per_candidate_latency;
+
+  HknnParams params = config_.hknn;
+  params.max_distance *= threshold_scale;
+  result.vote = hknn_vote(
+      neighbors, [this](VecId id) { return entries_.at(id).label; }, params);
+
+  if (result.vote.has_value()) {
+    counters_.inc("hit");
+    // Touch every voter so eviction sees their usefulness.
+    std::size_t touched = 0;
+    for (const Neighbor& n : neighbors) {
+      if (touched >= result.vote->voters) break;
+      auto it = entries_.find(n.id);
+      if (it != entries_.end()) {
+        it->second.last_access = now;
+        ++it->second.access_count;
+      }
+      ++touched;
+    }
+  } else {
+    counters_.inc("miss");
+  }
+  return result;
+}
+
+VecId ApproxCache::insert(FeatureVec feature, Label label, float confidence,
+                          SimTime now, EntryOrigin origin,
+                          std::uint8_t hop_count,
+                          std::uint32_t source_device) {
+  assert(feature.size() == dim_);
+  while (entries_.size() >= config_.capacity) {
+    evict_one(now);
+  }
+  const VecId id = next_id_++;
+  CacheEntry entry;
+  entry.id = id;
+  entry.feature = std::move(feature);
+  entry.label = label;
+  entry.confidence = confidence;
+  entry.insert_time = now;
+  entry.last_access = now;
+  entry.origin = origin;
+  entry.hop_count = hop_count;
+  entry.source_device = source_device;
+  index_->insert(id, entry.feature);
+  entries_.emplace(id, std::move(entry));
+  counters_.inc("insert");
+  return id;
+}
+
+bool ApproxCache::remove(VecId id) {
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  index_->remove(id);
+  entries_.erase(it);
+  return true;
+}
+
+const CacheEntry* ApproxCache::find(VecId id) const {
+  const auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::optional<float> ApproxCache::nearest_distance(
+    std::span<const float> q) const {
+  const auto neighbors = index_->query(q, 1);
+  if (neighbors.empty()) return std::nullopt;
+  return neighbors.front().distance;
+}
+
+std::optional<HknnVote> ApproxCache::peek_vote(std::span<const float> q,
+                                               float threshold_scale) const {
+  const auto neighbors = index_->query(q, config_.hknn.k);
+  HknnParams params = config_.hknn;
+  params.max_distance *= threshold_scale;
+  return hknn_vote(
+      neighbors, [this](VecId id) { return entries_.at(id).label; }, params);
+}
+
+void ApproxCache::for_each(
+    const std::function<void(const CacheEntry&)>& fn) const {
+  for (const auto& [_, entry] : entries_) fn(entry);
+}
+
+std::vector<const CacheEntry*> ApproxCache::entries_since(SimTime since) const {
+  std::vector<const CacheEntry*> out;
+  for (const auto& [_, entry] : entries_) {
+    if (entry.insert_time >= since) out.push_back(&entry);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CacheEntry* a, const CacheEntry* b) {
+              return a->insert_time < b->insert_time ||
+                     (a->insert_time == b->insert_time && a->id < b->id);
+            });
+  return out;
+}
+
+VecId ApproxCache::evict_one(SimTime now) {
+  assert(!entries_.empty());
+  VecId victim = 0;
+  double worst = std::numeric_limits<double>::max();
+  for (const auto& [id, entry] : entries_) {
+    const double s = eviction_->score(entry, now);
+    if (s < worst || (s == worst && id < victim)) {
+      worst = s;
+      victim = id;
+    }
+  }
+  index_->remove(victim);
+  entries_.erase(victim);
+  counters_.inc("evict");
+  return victim;
+}
+
+}  // namespace apx

@@ -1,0 +1,111 @@
+#pragma once
+// The approximate in-memory cache — the data structure at the centre of the
+// poster. Keys are feature vectors; a lookup is an approximate-nearest-
+// neighbour query followed by a homogenized-kNN vote, so "equal enough"
+// inputs reuse previous recognition results.
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ann/adaptive_lsh.hpp"
+#include "src/ann/exact_knn.hpp"
+#include "src/ann/hknn.hpp"
+#include "src/ann/index.hpp"
+#include "src/cache/entry.hpp"
+#include "src/cache/eviction.hpp"
+#include "src/util/stats.hpp"
+
+namespace apx {
+
+/// Which ANN index backs the cache.
+enum class IndexKind { kExact, kLsh, kAdaptiveLsh };
+
+/// Cache configuration.
+struct ApproxCacheConfig {
+  std::size_t capacity = 512;
+  IndexKind index = IndexKind::kAdaptiveLsh;
+  AdaptiveLshParams alsh;       ///< used by kLsh (inner) and kAdaptiveLsh
+  HknnParams hknn;
+  /// Simulated cost model of one lookup on the device: a fixed overhead
+  /// plus a per-candidate distance computation cost.
+  SimDuration lookup_base_latency = 300;     // 0.3 ms
+  SimDuration per_candidate_latency = 2;     // 2 us per distance
+};
+
+/// Outcome of one cache lookup.
+struct CacheLookupResult {
+  std::optional<HknnVote> vote;   ///< accepted result, or abstention
+  SimDuration latency = 0;        ///< simulated device time spent
+  std::size_t candidates = 0;     ///< vectors whose distance was computed
+};
+
+/// Approximate cache mapping feature vectors to recognition labels.
+///
+/// Not thread-safe: each simulated device owns one instance and the
+/// simulation is single-threaded by design (DESIGN.md §5.7).
+class ApproxCache {
+ public:
+  ApproxCache(std::size_t dim, const ApproxCacheConfig& config,
+              std::unique_ptr<EvictionPolicy> eviction);
+
+  /// Looks up `q`. `threshold_scale` scales HknnParams::max_distance for
+  /// this call only — the hook the IMU motion gate uses (stationary devices
+  /// accept slightly farther matches, §5.4). Accessed entries are touched.
+  CacheLookupResult lookup(std::span<const float> q, SimTime now,
+                           float threshold_scale = 1.0f);
+
+  /// Inserts a new entry, evicting first when full. Returns the new id.
+  VecId insert(FeatureVec feature, Label label, float confidence, SimTime now,
+               EntryOrigin origin = EntryOrigin::kLocal,
+               std::uint8_t hop_count = 0, std::uint32_t source_device = 0);
+
+  /// Removes an entry; returns whether it existed.
+  bool remove(VecId id);
+
+  /// Entry access (nullptr when absent). Pointer invalidated by mutation.
+  const CacheEntry* find(VecId id) const;
+
+  /// Distance from `q` to its nearest cached neighbour via the index
+  /// (nullopt when empty) — used by the P2P layer to dedupe merges.
+  std::optional<float> nearest_distance(std::span<const float> q) const;
+
+  /// Hypothetical vote at a scaled threshold, with NO side effects: no
+  /// counter updates, no entry touches. Used by the adaptive threshold
+  /// controller to ask "would the cache have answered, and what?" on
+  /// frames where the DNN ran anyway.
+  std::optional<HknnVote> peek_vote(std::span<const float> q,
+                                    float threshold_scale) const;
+
+  /// Calls `fn` for every entry (unspecified order).
+  void for_each(const std::function<void(const CacheEntry&)>& fn) const;
+
+  /// Entries inserted at or after `since`, newest last — the P2P
+  /// advertisement source.
+  std::vector<const CacheEntry*> entries_since(SimTime since) const;
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  std::size_t capacity() const noexcept { return config_.capacity; }
+  std::size_t dim() const noexcept { return dim_; }
+  const ApproxCacheConfig& config() const noexcept { return config_; }
+  const EvictionPolicy& eviction() const noexcept { return *eviction_; }
+
+  /// Lifetime counters: "hit", "miss", "insert", "evict", "merge_dup".
+  const Counter& counters() const noexcept { return counters_; }
+  Counter& counters() noexcept { return counters_; }
+
+ private:
+  VecId evict_one(SimTime now);
+
+  std::size_t dim_;
+  ApproxCacheConfig config_;
+  std::unique_ptr<EvictionPolicy> eviction_;
+  std::unique_ptr<NnIndex> index_;
+  std::unordered_map<VecId, CacheEntry> entries_;
+  VecId next_id_ = 1;
+  Counter counters_;
+};
+
+}  // namespace apx

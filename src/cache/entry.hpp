@@ -1,0 +1,34 @@
+#pragma once
+// Cache entry: one previously computed recognition result keyed by its
+// feature vector, with the provenance metadata the eviction and P2P layers
+// need (origin, hop count, age, access history).
+
+#include <cstdint>
+
+#include "src/ann/index.hpp"
+#include "src/dnn/model.hpp"
+#include "src/util/clock.hpp"
+
+namespace apx {
+
+/// Where an entry came from.
+enum class EntryOrigin : std::uint8_t {
+  kLocal = 0,  ///< computed by this device's own DNN
+  kPeer = 1,   ///< received from a nearby device
+};
+
+/// One cached (feature -> label) pair.
+struct CacheEntry {
+  VecId id = 0;
+  FeatureVec feature;
+  Label label = kNoLabel;
+  float confidence = 0.0f;
+  SimTime insert_time = 0;
+  SimTime last_access = 0;
+  std::uint32_t access_count = 0;
+  EntryOrigin origin = EntryOrigin::kLocal;
+  std::uint8_t hop_count = 0;      ///< 0 = local, 1 = direct peer, ...
+  std::uint32_t source_device = 0; ///< device that computed the result
+};
+
+}  // namespace apx

@@ -1,0 +1,40 @@
+#pragma once
+// Eviction policies. The cache evicts the entry with the lowest score when
+// full; policies only define the score, so new policies are one function.
+// Victim selection is a linear scan — for the few-thousand-entry caches a
+// phone would hold, a scan on the (rare) eviction path is cheaper and
+// simpler than maintaining an intrusive priority structure on every access.
+
+#include <memory>
+#include <string>
+
+#include "src/cache/entry.hpp"
+
+namespace apx {
+
+/// Scores entries for eviction; the minimum score is evicted first.
+class EvictionPolicy {
+ public:
+  virtual ~EvictionPolicy() = default;
+  virtual const std::string& name() const noexcept = 0;
+  virtual double score(const CacheEntry& entry, SimTime now) const = 0;
+};
+
+/// Least-recently-used: score = last access time.
+std::unique_ptr<EvictionPolicy> make_lru_policy();
+
+/// Least-frequently-used with LRU tie-break encoded in the fraction bits.
+std::unique_ptr<EvictionPolicy> make_lfu_policy();
+
+/// Utility-based policy tuned for collaborative caches: frequency per unit
+/// age, discounted for entries that travelled more hops (staler provenance)
+/// and for low recognition confidence.
+struct UtilityPolicyParams {
+  double hop_discount = 0.8;        ///< multiplied once per hop
+  double confidence_weight = 0.5;   ///< 0 = ignore confidence
+  double age_halflife_s = 60.0;     ///< seconds for recency decay
+};
+std::unique_ptr<EvictionPolicy> make_utility_policy(
+    const UtilityPolicyParams& params = {});
+
+}  // namespace apx

@@ -1,0 +1,62 @@
+#include "src/cache/exact_cache.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace apx {
+
+ExactCache::ExactCache(std::size_t capacity, float quant_steps,
+                       SimDuration lookup_latency)
+    : capacity_(capacity),
+      quant_steps_(quant_steps),
+      lookup_latency_(lookup_latency) {
+  if (capacity == 0 || quant_steps <= 0.0f) {
+    throw std::invalid_argument("ExactCache: bad parameters");
+  }
+}
+
+std::uint64_t ExactCache::key_of(std::span<const float> q) const {
+  std::uint64_t key = 0xcbf29ce484222325ULL;
+  for (float x : q) {
+    const auto step = static_cast<std::int64_t>(
+        std::llround(static_cast<double>(x) *
+                     static_cast<double>(quant_steps_)));
+    const auto us = static_cast<std::uint64_t>(step);
+    for (int byte = 0; byte < 8; ++byte) {
+      key ^= (us >> (8 * byte)) & 0xff;
+      key *= 0x100000001b3ULL;
+    }
+  }
+  return key;
+}
+
+std::optional<Label> ExactCache::lookup(std::span<const float> q) {
+  const auto it = map_.find(key_of(q));
+  if (it == map_.end()) {
+    counters_.inc("miss");
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  counters_.inc("hit");
+  return it->second.label;
+}
+
+void ExactCache::insert(std::span<const float> q, Label label) {
+  const std::uint64_t key = key_of(q);
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second.label = label;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return;
+  }
+  if (map_.size() >= capacity_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+    counters_.inc("evict");
+  }
+  lru_.push_front(key);
+  map_.emplace(key, Slot{label, lru_.begin()});
+  counters_.inc("insert");
+}
+
+}  // namespace apx

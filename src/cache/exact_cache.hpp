@@ -1,0 +1,55 @@
+#pragma once
+// Exact-match cache baseline: features are quantized onto a coarse grid and
+// looked up by hash equality. This is what a conventional memoization cache
+// does for image recognition — and why it barely ever hits on live camera
+// input (sensor noise perturbs every dimension). Kept as the paper-style
+// baseline that motivates *approximate* caching.
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "src/dnn/model.hpp"
+#include "src/util/clock.hpp"
+#include "src/util/stats.hpp"
+#include "src/util/vecmath.hpp"
+
+namespace apx {
+
+/// LRU hash cache over quantized feature vectors.
+class ExactCache {
+ public:
+  /// `quant_steps`: grid resolution per dimension; higher = stricter match.
+  /// The default (256) reflects what float-hash memoization effectively is:
+  /// any visible sensor noise breaks the key.
+  ExactCache(std::size_t capacity, float quant_steps = 256.0f,
+             SimDuration lookup_latency = 100 /* 0.1 ms */);
+
+  /// Returns the cached label on an exact quantized match.
+  std::optional<Label> lookup(std::span<const float> q);
+
+  /// Memoizes `label` under the quantized key of `q` (LRU eviction).
+  void insert(std::span<const float> q, Label label);
+
+  SimDuration lookup_latency() const noexcept { return lookup_latency_; }
+  std::size_t size() const noexcept { return map_.size(); }
+  const Counter& counters() const noexcept { return counters_; }
+
+ private:
+  std::uint64_t key_of(std::span<const float> q) const;
+
+  std::size_t capacity_;
+  float quant_steps_;
+  SimDuration lookup_latency_;
+  // LRU list of keys, most recent at front; map values hold list iterators.
+  std::list<std::uint64_t> lru_;
+  struct Slot {
+    Label label;
+    std::list<std::uint64_t>::iterator lru_it;
+  };
+  std::unordered_map<std::uint64_t, Slot> map_;
+  Counter counters_;
+};
+
+}  // namespace apx

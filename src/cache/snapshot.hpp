@@ -1,0 +1,27 @@
+#pragma once
+// Cache snapshots: serialize a cache's entries to bytes and restore them
+// into a fresh cache. Lets a recognition app warm-start from its previous
+// session (or from a snapshot shipped by a kiosk/venue) instead of paying
+// the cold-start inference burst — an extension the poster's in-memory
+// design naturally invites.
+
+#include <cstdint>
+#include <vector>
+
+#include "src/cache/approx_cache.hpp"
+
+namespace apx {
+
+/// Serializes every entry of `cache`. Timestamps are stored relative to
+/// `now` (as ages), so a snapshot can be restored under any clock.
+std::vector<std::uint8_t> save_snapshot(const ApproxCache& cache, SimTime now);
+
+/// Restores entries from `bytes` into `cache` (which keeps its own
+/// capacity/config; excess entries beyond capacity evict normally).
+/// Entries with mismatching dimensionality cause CodecError. Returns the
+/// number of entries restored. Restored timestamps are back-dated from
+/// `now` by the stored ages.
+std::size_t load_snapshot(ApproxCache& cache,
+                          const std::vector<std::uint8_t>& bytes, SimTime now);
+
+}  // namespace apx

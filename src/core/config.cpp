@@ -1,0 +1,52 @@
+#include "src/core/config.hpp"
+
+namespace apx {
+
+PipelineConfig make_nocache_config() {
+  PipelineConfig cfg;
+  cfg.cache_mode = CacheMode::kNone;
+  cfg.enable_imu_gate = false;
+  cfg.enable_imu_fastpath = false;
+  cfg.enable_temporal = false;
+  cfg.enable_p2p = false;
+  return cfg;
+}
+
+PipelineConfig make_exactcache_config() {
+  PipelineConfig cfg = make_nocache_config();
+  cfg.cache_mode = CacheMode::kExact;
+  return cfg;
+}
+
+PipelineConfig make_approx_local_config() {
+  PipelineConfig cfg = make_nocache_config();
+  cfg.cache_mode = CacheMode::kApprox;
+  return cfg;
+}
+
+PipelineConfig make_approx_imu_config() {
+  PipelineConfig cfg = make_approx_local_config();
+  cfg.enable_imu_gate = true;
+  cfg.enable_imu_fastpath = true;
+  return cfg;
+}
+
+PipelineConfig make_approx_video_config() {
+  PipelineConfig cfg = make_approx_imu_config();
+  cfg.enable_temporal = true;
+  return cfg;
+}
+
+PipelineConfig make_full_system_config() {
+  PipelineConfig cfg = make_approx_video_config();
+  cfg.enable_p2p = true;
+  return cfg;
+}
+
+PipelineConfig make_adaptive_config() {
+  PipelineConfig cfg = make_full_system_config();
+  cfg.enable_adaptive_threshold = true;
+  return cfg;
+}
+
+}  // namespace apx

@@ -1,0 +1,57 @@
+#pragma once
+// Pipeline configuration: which reuse signals are active and their cost
+// constants. The evaluation's named configurations (NoCache, ExactCache,
+// Approx-Local, +IMU, +Video, full system) are all instances of this.
+
+#include "src/cache/approx_cache.hpp"
+#include "src/core/threshold_controller.hpp"
+#include "src/imu/gate.hpp"
+#include "src/imu/motion_estimator.hpp"
+#include "src/p2p/peer_cache.hpp"
+#include "src/video/locality.hpp"
+
+namespace apx {
+
+/// Cache layer backing the pipeline.
+enum class CacheMode {
+  kNone,    ///< every frame runs the DNN (the NoCache baseline)
+  kExact,   ///< quantized exact-match memoization (conventional baseline)
+  kApprox,  ///< the approximate cache (the paper's system)
+};
+
+/// Full pipeline configuration.
+struct PipelineConfig {
+  CacheMode cache_mode = CacheMode::kApprox;
+
+  bool enable_imu_gate = true;      ///< motion-scaled thresholds
+  bool enable_imu_fastpath = true;  ///< stationary -> inherit last result
+  bool enable_temporal = true;      ///< frame-diff keyframe reuse
+  bool enable_p2p = true;           ///< peer lookup before DNN fallback
+  /// Feedback-tune the similarity threshold from DNN-validated frames
+  /// (extension beyond the poster; see threshold_controller.hpp).
+  bool enable_adaptive_threshold = false;
+
+  ApproxCacheConfig cache;
+  MotionEstimatorParams motion;
+  MotionGateParams gate;
+  TemporalReuseParams temporal;
+  ThresholdControllerParams threshold;
+
+  /// Stationary fast path inherits the last result at most this long.
+  SimDuration imu_fastpath_max_age = 2 * kSecond;
+  /// Simulated cost of consulting the motion estimate (sensor hub read).
+  SimDuration imu_check_latency = 100;  // 0.1 ms
+  /// Active-CPU power draw used to convert pipeline latency to energy.
+  double cpu_active_power_mw = 2000.0;
+};
+
+/// The named configurations T1/T2/F4/T3 sweep (DESIGN.md §3).
+PipelineConfig make_nocache_config();
+PipelineConfig make_exactcache_config();
+PipelineConfig make_approx_local_config();   ///< cache only, no IMU/video/P2P
+PipelineConfig make_approx_imu_config();     ///< + IMU gate & fast path
+PipelineConfig make_approx_video_config();   ///< + temporal reuse
+PipelineConfig make_full_system_config();    ///< everything incl. P2P
+PipelineConfig make_adaptive_config();       ///< full + adaptive threshold
+
+}  // namespace apx

@@ -1,0 +1,278 @@
+#include "src/core/pipeline.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace apx {
+
+const char* to_string(ResultSource source) noexcept {
+  switch (source) {
+    case ResultSource::kImuFastPath: return "imu-fastpath";
+    case ResultSource::kTemporalReuse: return "temporal";
+    case ResultSource::kLocalCacheHit: return "local-cache";
+    case ResultSource::kPeerCacheHit: return "peer-cache";
+    case ResultSource::kFullInference: return "inference";
+  }
+  return "?";
+}
+
+ReusePipeline::ReusePipeline(EventSimulator& sim, const PipelineConfig& config,
+                             const FeatureExtractor& extractor,
+                             RecognitionModel& model, ApproxCache* cache,
+                             ExactCache* exact_cache, PeerCacheService* peers,
+                             std::uint64_t seed)
+    : sim_(&sim),
+      config_(config),
+      extractor_(&extractor),
+      model_(&model),
+      cache_(cache),
+      exact_cache_(exact_cache),
+      peers_(peers),
+      rng_(seed),
+      temporal_(config.temporal),
+      gate_(config.gate),
+      threshold_(config.threshold) {
+  if (config.cache_mode == CacheMode::kApprox && cache == nullptr) {
+    throw std::invalid_argument("ReusePipeline: approx mode needs a cache");
+  }
+  if (config.cache_mode == CacheMode::kExact && exact_cache == nullptr) {
+    throw std::invalid_argument("ReusePipeline: exact mode needs a cache");
+  }
+}
+
+bool ReusePipeline::process(const Frame& frame, MotionState motion,
+                            Callback done) {
+  assert(done);
+  if (busy_) {
+    counters_.inc("dropped");
+    return false;
+  }
+  busy_ = true;
+  ++epoch_;
+  inflight_.emplace();
+  inflight_->frame = frame;
+  inflight_->motion = motion;
+  inflight_->done = std::move(done);
+
+  // Rung 0 — IMU: consult the motion estimate, decide gating, and take the
+  // stationary fast path when the last result is still fresh.
+  const std::uint64_t epoch = epoch_;
+  const SimDuration imu_cost =
+      (config_.enable_imu_gate || config_.enable_imu_fastpath)
+          ? config_.imu_check_latency
+          : 0;
+  spend(imu_cost);
+  sim_->schedule_after(imu_cost, [this, epoch] {
+    if (epoch != epoch_ || !busy_) return;
+    GateDecision gate{true, 1.0f};
+    if (config_.enable_imu_gate) gate = gate_.decide(inflight_->motion);
+    if (config_.enable_adaptive_threshold) {
+      // The motion gate and the feedback controller compose: the gate is a
+      // per-frame modulation, the controller a slow per-deployment trim.
+      gate.threshold_scale *= threshold_.scale();
+    }
+    inflight_->gate = gate;
+
+    if (config_.enable_imu_fastpath &&
+        inflight_->motion == MotionState::kStationary &&
+        last_result_.has_value() && last_result_->label != kNoLabel &&
+        sim_->now() - last_result_time_ <= config_.imu_fastpath_max_age) {
+      complete(ResultSource::kImuFastPath, last_result_->label,
+               last_result_->confidence);
+      return;
+    }
+    run_temporal_rung();
+  });
+  return true;
+}
+
+void ReusePipeline::run_temporal_rung() {
+  if (!config_.enable_temporal) {
+    run_cache_rung();
+    return;
+  }
+  if (!inflight_->gate.allow_temporal_reuse) {
+    // Major motion: the previous keyframe no longer describes the scene.
+    temporal_.invalidate();
+    run_cache_rung();
+    return;
+  }
+  const TemporalCheck check = temporal_.check(inflight_->frame.image);
+  spend(check.latency);
+  const std::uint64_t epoch = epoch_;
+  sim_->schedule_after(check.latency, [this, epoch, check] {
+    if (epoch != epoch_ || !busy_) return;
+    if (check.reusable && last_result_.has_value() &&
+        last_result_->label != kNoLabel) {
+      complete(ResultSource::kTemporalReuse, last_result_->label,
+               last_result_->confidence);
+      return;
+    }
+    run_cache_rung();
+  });
+}
+
+void ReusePipeline::run_cache_rung() {
+  switch (config_.cache_mode) {
+    case CacheMode::kNone:
+      run_inference_rung();
+      return;
+    case CacheMode::kExact: {
+      spend(extractor_->latency());
+      const std::uint64_t epoch = epoch_;
+      sim_->schedule_after(extractor_->latency(), [this, epoch] {
+        if (epoch != epoch_ || !busy_) return;
+        inflight_->features = extractor_->extract(inflight_->frame.image);
+        inflight_->features_ready = true;
+        const auto hit = exact_cache_->lookup(inflight_->features);
+        const SimDuration cost = exact_cache_->lookup_latency();
+        spend(cost);
+        const std::uint64_t epoch2 = epoch_;
+        sim_->schedule_after(cost, [this, epoch2, hit] {
+          if (epoch2 != epoch_ || !busy_) return;
+          if (hit.has_value()) {
+            complete(ResultSource::kLocalCacheHit, *hit, 1.0f);
+          } else {
+            run_inference_rung();
+          }
+        });
+      });
+      return;
+    }
+    case CacheMode::kApprox:
+      run_local_cache_rung();
+      return;
+  }
+}
+
+void ReusePipeline::run_local_cache_rung() {
+  spend(extractor_->latency());
+  const std::uint64_t epoch = epoch_;
+  sim_->schedule_after(extractor_->latency(), [this, epoch] {
+    if (epoch != epoch_ || !busy_) return;
+    inflight_->features = extractor_->extract(inflight_->frame.image);
+    inflight_->features_ready = true;
+    const CacheLookupResult res = cache_->lookup(
+        inflight_->features, sim_->now(), inflight_->gate.threshold_scale);
+    spend(res.latency);
+    const std::uint64_t epoch2 = epoch_;
+    sim_->schedule_after(res.latency, [this, epoch2, vote = res.vote] {
+      if (epoch2 != epoch_ || !busy_) return;
+      if (vote.has_value()) {
+        complete(ResultSource::kLocalCacheHit, vote->label,
+                 vote->homogeneity);
+        return;
+      }
+      if (config_.enable_p2p && peers_ != nullptr) {
+        run_p2p_rung();
+      } else {
+        run_inference_rung();
+      }
+    });
+  });
+}
+
+void ReusePipeline::run_p2p_rung() {
+  const std::uint64_t epoch = epoch_;
+  peers_->async_lookup(
+      inflight_->features, [this, epoch](std::vector<WireEntry> entries) {
+        if (epoch != epoch_ || !busy_) return;
+        if (entries.empty()) {
+          run_inference_rung();
+          return;
+        }
+        // Responses were merged into the local cache by the peer service;
+        // re-run the homogenized vote over the enriched neighbourhood.
+        const CacheLookupResult res =
+            cache_->lookup(inflight_->features, sim_->now(),
+                           inflight_->gate.threshold_scale);
+        spend(res.latency);
+        const std::uint64_t epoch2 = epoch_;
+        sim_->schedule_after(res.latency, [this, epoch2, vote = res.vote] {
+          if (epoch2 != epoch_ || !busy_) return;
+          if (vote.has_value()) {
+            complete(ResultSource::kPeerCacheHit, vote->label,
+                     vote->homogeneity);
+          } else {
+            run_inference_rung();
+          }
+        });
+      });
+}
+
+void ReusePipeline::run_inference_rung() {
+  const SimDuration latency = model_->sample_latency(rng_);
+  inflight_->dnn_energy = model_->energy_mj();
+  const std::uint64_t epoch = epoch_;
+  sim_->schedule_after(latency, [this, epoch] {
+    if (epoch != epoch_ || !busy_) return;
+    const Prediction pred = model_->infer(
+        inflight_->frame.image, inflight_->frame.true_label, rng_);
+    if (config_.enable_adaptive_threshold &&
+        config_.cache_mode == CacheMode::kApprox &&
+        inflight_->features_ready) {
+      // Validation event: the DNN ran, so compare it against the cache's
+      // hypothetical vote just past the current threshold edge.
+      const auto vote = cache_->peek_vote(inflight_->features,
+                                          threshold_.observation_scale());
+      if (vote.has_value()) threshold_.observe(vote->label == pred.label);
+    }
+    if (config_.cache_mode == CacheMode::kApprox &&
+        inflight_->features_ready) {
+      cache_->insert(inflight_->features, pred.label, pred.confidence,
+                     sim_->now());
+    } else if (config_.cache_mode == CacheMode::kExact &&
+               inflight_->features_ready) {
+      exact_cache_->insert(inflight_->features, pred.label);
+    }
+    complete(ResultSource::kFullInference, pred.label, pred.confidence);
+  });
+}
+
+double ReusePipeline::compute_energy(ResultSource /*source*/) const {
+  // CPU-active time converts at the configured power draw; DNN runs carry
+  // their own calibrated energy figure on top.
+  const double cpu_mj = to_ms(inflight_->compute_latency) *
+                        config_.cpu_active_power_mw / 1000.0;
+  return cpu_mj + inflight_->dnn_energy;
+}
+
+void ReusePipeline::complete(ResultSource source, Label label,
+                             float confidence) {
+  assert(busy_ && inflight_.has_value());
+  RecognitionResult result;
+  result.frame_time = inflight_->frame.t;
+  result.completion_time = sim_->now();
+  result.latency = result.completion_time - result.frame_time;
+  result.label = label;
+  result.true_label = inflight_->frame.true_label;
+  result.correct = (label == result.true_label);
+  result.source = source;
+  result.compute_energy_mj = compute_energy(source);
+  counters_.inc(to_string(source));
+
+  last_result_ = Prediction{label, confidence};
+  // The fast path must not refresh its own freshness clock: a result is
+  // only "fresh" for imu_fastpath_max_age after something actually looked
+  // at pixels, otherwise one stale label could persist forever while the
+  // device sits still.
+  if (source != ResultSource::kImuFastPath) {
+    last_result_time_ = sim_->now();
+  }
+  // A keyframe is any frame whose result came from actually looking at the
+  // image; temporal reuse chains from it, and the IMU fast path never
+  // refreshes it (it never inspects pixels).
+  if (source == ResultSource::kLocalCacheHit ||
+      source == ResultSource::kPeerCacheHit ||
+      source == ResultSource::kFullInference) {
+    temporal_.set_keyframe(inflight_->frame.image);
+  }
+
+  Callback done = std::move(inflight_->done);
+  inflight_.reset();
+  busy_ = false;
+  done(result);
+}
+
+}  // namespace apx

@@ -1,0 +1,105 @@
+#pragma once
+// ReusePipeline — the poster's contribution. For each frame it tries the
+// reuse ladder cheapest-first and only runs the DNN when every rung fails:
+//
+//   frame -> [IMU fast path] -> [temporal keyframe reuse]
+//         -> [feature extraction -> local approximate cache (A-LSH + H-kNN)]
+//         -> [P2P lookup, merge, re-vote] -> full DNN inference
+//
+// Each rung pays its simulated on-device cost; the P2P rung additionally
+// waits for the network round (event-driven). Results are delivered through
+// a completion callback because the P2P and inference stages are
+// asynchronous in simulated time.
+
+#include <functional>
+#include <optional>
+
+#include "src/cache/exact_cache.hpp"
+#include "src/core/config.hpp"
+#include "src/core/result.hpp"
+#include "src/features/extractor.hpp"
+#include "src/net/event_sim.hpp"
+#include "src/video/stream.hpp"
+
+namespace apx {
+
+/// Per-device recognition pipeline with computation reuse.
+///
+/// Single in-flight frame: process() refuses (returns false) while a frame
+/// is being worked on, modelling a mobile app that drops frames when the
+/// recognizer is busy. All referenced collaborators must outlive the
+/// pipeline; `peers` may be null (single-device deployments).
+class ReusePipeline {
+ public:
+  using Callback = std::function<void(const RecognitionResult&)>;
+
+  ReusePipeline(EventSimulator& sim, const PipelineConfig& config,
+                const FeatureExtractor& extractor, RecognitionModel& model,
+                ApproxCache* cache, ExactCache* exact_cache,
+                PeerCacheService* peers, std::uint64_t seed);
+
+  /// Starts processing `frame`; `done` fires exactly once on completion.
+  /// Returns false (and drops the frame) when still busy with an earlier
+  /// frame. `motion` is the device's current IMU-estimated motion state.
+  bool process(const Frame& frame, MotionState motion, Callback done);
+
+  bool busy() const noexcept { return busy_; }
+
+  /// Lifetime counters: one key per ResultSource name plus "dropped".
+  const Counter& counters() const noexcept { return counters_; }
+
+  const PipelineConfig& config() const noexcept { return config_; }
+
+  /// The adaptive threshold state (meaningful when the feature is enabled).
+  const ThresholdController& threshold_controller() const noexcept {
+    return threshold_;
+  }
+
+ private:
+  struct InFlight {
+    Frame frame;
+    MotionState motion = MotionState::kMajor;
+    Callback done;
+    GateDecision gate;                ///< set by the IMU rung
+    SimDuration compute_latency = 0;  ///< accumulated CPU-active time
+    double dnn_energy = 0.0;          ///< energy of a DNN run, when one ran
+    FeatureVec features;              ///< filled by the cache rung
+    bool features_ready = false;
+  };
+
+  void complete(ResultSource source, Label label, float confidence);
+  /// Adds `d` to the frame's CPU-active time (excludes DNN and radio).
+  void spend(SimDuration d) { inflight_->compute_latency += d; }
+  void run_temporal_rung();
+  void run_cache_rung();
+  void run_local_cache_rung();
+  void run_p2p_rung();
+  void run_inference_rung();
+  double compute_energy(ResultSource source) const;
+
+  EventSimulator* sim_;
+  PipelineConfig config_;
+  const FeatureExtractor* extractor_;
+  RecognitionModel* model_;
+  ApproxCache* cache_;
+  ExactCache* exact_cache_;
+  PeerCacheService* peers_;
+  Rng rng_;
+
+  TemporalReuseDetector temporal_;
+  MotionGate gate_;
+  ThresholdController threshold_;
+
+  bool busy_ = false;
+  std::optional<InFlight> inflight_;
+  std::uint64_t epoch_ = 0;  ///< guards stale async callbacks
+
+  // Last delivered result (feeds the IMU fast path).
+  std::optional<Prediction> last_result_;
+  SimTime last_result_time_ = 0;
+  /// Energy actually attributed to DNN runs is the model's own figure; the
+  /// rest of the pipeline converts busy time via cpu_active_power_mw.
+  Counter counters_;
+};
+
+}  // namespace apx

@@ -1,0 +1,68 @@
+#pragma once
+// Adaptive similarity threshold (Potluck-style feedback tuning). A fixed
+// H-kNN max_distance is a guess: too tight wastes reuse opportunities, too
+// loose reuses wrong answers. This controller closes the loop with the
+// only ground truth a deployed system ever sees — frames where the DNN ran
+// anyway. On each such frame we ask: "would the cache's vote (at a relaxed
+// observation threshold) have agreed with the DNN?" Agreement means the
+// threshold can afford to loosen (additive increase); disagreement means
+// reuse at that distance would have been wrong, so it tightens sharply
+// (multiplicative decrease). AIMD keeps the wrong-reuse exposure bounded
+// while recovering quickly when the scene distribution becomes friendly.
+
+#include <algorithm>
+
+namespace apx {
+
+/// AIMD tuning knobs.
+struct ThresholdControllerParams {
+  float min_scale = 0.5f;     ///< lower clamp on the threshold multiplier
+  float max_scale = 2.0f;     ///< upper clamp
+  float increase_step = 0.02f;///< additive increase per agreement
+  float decrease_factor = 0.85f;  ///< multiplicative decrease per conflict
+  /// Hypothetical votes are evaluated at this multiple of the *current*
+  /// effective threshold, so the controller can see just past its edge.
+  float observe_scale = 1.6f;
+};
+
+/// Feedback controller for the cache similarity threshold.
+class ThresholdController {
+ public:
+  explicit ThresholdController(
+      const ThresholdControllerParams& params = {}) noexcept
+      : params_(params) {}
+
+  /// Multiplier to apply to HknnParams::max_distance for real lookups.
+  float scale() const noexcept { return scale_; }
+
+  /// Scale at which to evaluate the hypothetical (observation) vote.
+  float observation_scale() const noexcept {
+    return scale_ * params_.observe_scale;
+  }
+
+  /// Feeds one validation event: the DNN ran, and the cache's hypothetical
+  /// vote at the observation threshold either agreed with it or not.
+  /// Frames with no hypothetical vote carry no signal and are not fed.
+  void observe(bool vote_agreed_with_dnn) noexcept {
+    if (vote_agreed_with_dnn) {
+      scale_ += params_.increase_step;
+      ++agreements_;
+    } else {
+      scale_ *= params_.decrease_factor;
+      ++conflicts_;
+    }
+    scale_ = std::clamp(scale_, params_.min_scale, params_.max_scale);
+  }
+
+  std::size_t agreements() const noexcept { return agreements_; }
+  std::size_t conflicts() const noexcept { return conflicts_; }
+  const ThresholdControllerParams& params() const noexcept { return params_; }
+
+ private:
+  ThresholdControllerParams params_;
+  float scale_ = 1.0f;
+  std::size_t agreements_ = 0;
+  std::size_t conflicts_ = 0;
+};
+
+}  // namespace apx

@@ -1,0 +1,41 @@
+#include "src/device/battery.hpp"
+
+#include <algorithm>
+
+namespace apx {
+namespace {
+
+// 1 mAh = 3.6 coulombs; energy [mJ] = charge [C] * voltage [V] * 1000.
+double capacity_mj_of(const BatteryParams& params) {
+  return params.capacity_mah * 3.6 * params.voltage_v * 1000.0;
+}
+
+}  // namespace
+
+Battery::Battery(const BatteryParams& params) noexcept
+    : capacity_mj_(capacity_mj_of(params)), remaining_mj_(capacity_mj_) {}
+
+void Battery::drain_mj(double mj) noexcept {
+  remaining_mj_ = std::max(0.0, remaining_mj_ - std::max(0.0, mj));
+}
+
+void Battery::drain_power(double power_mw, SimDuration duration) noexcept {
+  // mW * s = mJ.
+  drain_mj(power_mw * to_seconds(duration));
+}
+
+double Battery::fraction() const noexcept {
+  return capacity_mj_ <= 0.0 ? 0.0 : remaining_mj_ / capacity_mj_;
+}
+
+double continuous_recognition_hours(const BatteryParams& params,
+                                    double energy_per_frame_mj, double fps) {
+  const double baseline_mw = params.idle_power_mw + params.camera_power_mw;
+  const double recognition_mw = energy_per_frame_mj * fps;  // mJ/s = mW
+  const double total_mw = baseline_mw + recognition_mw;
+  if (total_mw <= 0.0) return 0.0;
+  const double seconds = capacity_mj_of(params) / total_mw;
+  return seconds / 3600.0;
+}
+
+}  // namespace apx

@@ -1,0 +1,49 @@
+#pragma once
+// Battery and device power model. Converts the per-frame energy numbers the
+// simulation produces into what a user actually experiences: hours of
+// continuous recognition on one charge. Baseline rails (SoC idle + camera)
+// drain regardless of recognition strategy; the recognition energy is what
+// the cache reduces.
+
+#include "src/util/clock.hpp"
+
+namespace apx {
+
+/// Power envelope of a mid-range phone running a camera app.
+struct BatteryParams {
+  double capacity_mah = 3000.0;
+  double voltage_v = 3.85;
+  /// Always-on draw while the app is foreground: SoC idle + screen.
+  double idle_power_mw = 900.0;
+  /// Camera sensor + ISP while streaming frames.
+  double camera_power_mw = 450.0;
+};
+
+/// Mutable battery state; drains by energy or by power over time.
+class Battery {
+ public:
+  explicit Battery(const BatteryParams& params) noexcept;
+
+  /// Removes `mj` millijoules (clamped at empty).
+  void drain_mj(double mj) noexcept;
+
+  /// Removes `power_mw` drawn for `duration`.
+  void drain_power(double power_mw, SimDuration duration) noexcept;
+
+  double remaining_mj() const noexcept { return remaining_mj_; }
+  /// State of charge in [0, 1].
+  double fraction() const noexcept;
+  bool empty() const noexcept { return remaining_mj_ <= 0.0; }
+
+ private:
+  double capacity_mj_;
+  double remaining_mj_;
+};
+
+/// Hours of continuous recognition a full charge sustains, given the
+/// average per-frame recognition energy and the frame rate, on top of the
+/// baseline idle + camera rails.
+double continuous_recognition_hours(const BatteryParams& params,
+                                    double energy_per_frame_mj, double fps);
+
+}  // namespace apx

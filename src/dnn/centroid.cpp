@@ -1,0 +1,61 @@
+#include "src/dnn/centroid.hpp"
+
+#include <limits>
+
+#include "src/util/vecmath.hpp"
+
+namespace apx {
+
+CentroidClassifier::CentroidClassifier(const SceneGenerator& scenes,
+                                       int samples_per_class,
+                                       const ModelProfile& profile,
+                                       std::uint64_t seed)
+    : profile_(profile), cnn_(64, seed) {
+  Rng rng{seed ^ 0xc1a551f1e5ULL};
+  centroids_.reserve(static_cast<std::size_t>(scenes.num_classes()));
+  for (int c = 0; c < scenes.num_classes(); ++c) {
+    FeatureVec centroid(cnn_.dim(), 0.0f);
+    for (int s = 0; s < samples_per_class; ++s) {
+      ViewParams view;
+      view.dx = static_cast<float>(rng.normal(0.0, 0.3));
+      view.dy = static_cast<float>(rng.normal(0.0, 0.3));
+      view.zoom = static_cast<float>(rng.uniform(0.8, 1.2));
+      view.noise_sigma = 0.02f;
+      view.noise_seed = rng.next_u64();
+      const FeatureVec emb = cnn_.embed(scenes.render(c, view));
+      add_in_place(centroid, emb);
+    }
+    normalize(centroid);
+    centroids_.push_back(std::move(centroid));
+  }
+}
+
+SimDuration CentroidClassifier::sample_latency(Rng& rng) const {
+  return sample_profile_latency(profile_, rng);
+}
+
+Prediction CentroidClassifier::infer(const Image& img, Label /*true_label*/,
+                                     Rng& /*rng*/) {
+  const FeatureVec emb = cnn_.embed(img);
+  Label best = kNoLabel;
+  float best_dist = std::numeric_limits<float>::max();
+  float second_dist = std::numeric_limits<float>::max();
+  for (std::size_t c = 0; c < centroids_.size(); ++c) {
+    const float d = l2_sq(emb, centroids_[c]);
+    if (d < best_dist) {
+      second_dist = best_dist;
+      best_dist = d;
+      best = static_cast<Label>(c);
+    } else if (d < second_dist) {
+      second_dist = d;
+    }
+  }
+  // Margin-based confidence: 1 when the runner-up is far, ~0 when tied.
+  float confidence = 1.0f;
+  if (second_dist < std::numeric_limits<float>::max() && second_dist > 0.0f) {
+    confidence = 1.0f - best_dist / second_dist;
+  }
+  return {best, confidence};
+}
+
+}  // namespace apx

@@ -1,0 +1,46 @@
+#pragma once
+// A real (non-oracle) classifier: nearest class centroid in MiniCnn
+// embedding space, trained on rendered samples. Slower than the oracle but
+// exercises the genuine image -> feature -> decision path end to end; used
+// by the examples and by correctness tests.
+
+#include <memory>
+
+#include "src/dnn/model.hpp"
+#include "src/features/minicnn.hpp"
+#include "src/image/scene.hpp"
+
+namespace apx {
+
+/// Nearest-centroid classifier over CNN embeddings.
+class CentroidClassifier final : public RecognitionModel {
+ public:
+  /// Trains by rendering `samples_per_class` views of every class from
+  /// `scenes` and averaging their embeddings. `profile.top1_accuracy` is
+  /// ignored — accuracy emerges from the classifier itself.
+  CentroidClassifier(const SceneGenerator& scenes, int samples_per_class,
+                     const ModelProfile& profile, std::uint64_t seed = 99);
+
+  const std::string& name() const noexcept override { return profile_.name; }
+  const ModelProfile& profile() const noexcept override { return profile_; }
+  double energy_mj() const noexcept override { return profile_.energy_mj; }
+  SimDuration sample_latency(Rng& rng) const override;
+
+  /// Classifies by nearest centroid; ignores `true_label`.
+  Prediction infer(const Image& img, Label true_label, Rng& rng) override;
+
+  /// Embeds an image with the classifier's own CNN (shared with the cache
+  /// key extractor in the examples).
+  FeatureVec embed(const Image& img) const { return cnn_.embed(img); }
+
+  int num_classes() const noexcept {
+    return static_cast<int>(centroids_.size());
+  }
+
+ private:
+  ModelProfile profile_;
+  MiniCnn cnn_;
+  std::vector<FeatureVec> centroids_;
+};
+
+}  // namespace apx

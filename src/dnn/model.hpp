@@ -1,0 +1,62 @@
+#pragma once
+// The "full DNN" the cache avoids running. In this reproduction the DNN is
+// replaced by (a) a cost profile with published-magnitude mobile inference
+// latency and energy, and (b) either an accuracy oracle (fast, used in large
+// sweeps) or a real nearest-centroid classifier over CNN embeddings (used in
+// examples and correctness tests). See DESIGN.md §4 for why the substitution
+// preserves the paper's claims.
+
+#include <string>
+
+#include "src/image/image.hpp"
+#include "src/util/clock.hpp"
+#include "src/util/rng.hpp"
+
+namespace apx {
+
+/// Class label. Negative values mean "no result".
+using Label = int;
+constexpr Label kNoLabel = -1;
+
+/// One classifier output.
+struct Prediction {
+  Label label = kNoLabel;
+  float confidence = 0.0f;
+};
+
+/// Latency/energy/accuracy envelope of a mobile recognition model.
+struct ModelProfile {
+  std::string name = "mobilenet_v2";
+  SimDuration mean_latency = 60 * kMillisecond;  ///< per full inference
+  SimDuration latency_jitter = 8 * kMillisecond; ///< stddev, truncated at 20%
+  double energy_mj = 120.0;                      ///< per full inference
+  double top1_accuracy = 0.96;                   ///< on the eval workload
+};
+
+/// Interface for the heavyweight recognizer at the bottom of the pipeline.
+class RecognitionModel {
+ public:
+  virtual ~RecognitionModel() = default;
+
+  virtual const std::string& name() const noexcept = 0;
+
+  /// Runs one inference. `true_label` is the frame's ground truth, which a
+  /// simulated model may consult (the oracle does; the centroid classifier
+  /// ignores it). `rng` drives latency jitter and oracle errors.
+  virtual Prediction infer(const Image& img, Label true_label, Rng& rng) = 0;
+
+  /// Samples the latency of one inference.
+  virtual SimDuration sample_latency(Rng& rng) const = 0;
+
+  /// Energy of one inference in millijoules.
+  virtual double energy_mj() const noexcept = 0;
+
+  /// The cost/accuracy envelope this model simulates.
+  virtual const ModelProfile& profile() const noexcept = 0;
+};
+
+/// Samples `profile.mean_latency` with Gaussian jitter, truncated to
+/// [0.8, 1.5] x mean so a pathological draw cannot distort an experiment.
+SimDuration sample_profile_latency(const ModelProfile& profile, Rng& rng);
+
+}  // namespace apx

@@ -1,0 +1,80 @@
+#include "src/dnn/oracle.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace apx {
+
+SimDuration sample_profile_latency(const ModelProfile& profile, Rng& rng) {
+  const double mean = static_cast<double>(profile.mean_latency);
+  const double jitter = static_cast<double>(profile.latency_jitter);
+  double sample = rng.normal(mean, jitter);
+  sample = std::clamp(sample, 0.8 * mean, 1.5 * mean);
+  return static_cast<SimDuration>(sample);
+}
+
+namespace {
+
+class OracleModel final : public RecognitionModel {
+ public:
+  OracleModel(const ModelProfile& profile, int num_classes, int group_size)
+      : profile_(profile), num_classes_(num_classes), group_size_(group_size) {
+    if (num_classes < 1 || group_size < 1) {
+      throw std::invalid_argument("OracleModel: bad parameters");
+    }
+  }
+
+  const std::string& name() const noexcept override { return profile_.name; }
+  const ModelProfile& profile() const noexcept override { return profile_; }
+  double energy_mj() const noexcept override { return profile_.energy_mj; }
+
+  SimDuration sample_latency(Rng& rng) const override {
+    return sample_profile_latency(profile_, rng);
+  }
+
+  Prediction infer(const Image& /*img*/, Label true_label,
+                   Rng& rng) override {
+    if (num_classes_ == 1 || rng.chance(profile_.top1_accuracy)) {
+      return {true_label,
+              static_cast<float>(rng.uniform(0.80, 0.99))};
+    }
+    return {wrong_label(true_label, rng),
+            static_cast<float>(rng.uniform(0.40, 0.80))};
+  }
+
+ private:
+  Label wrong_label(Label truth, Rng& rng) const {
+    if (group_size_ > 1) {
+      // Prefer an error within the truth's confusion group when it has one.
+      const Label group_base = (truth / group_size_) * group_size_;
+      const Label group_end =
+          std::min(group_base + group_size_, num_classes_);
+      const Label group_span = group_end - group_base;
+      if (group_span > 1) {
+        Label pick = group_base + static_cast<Label>(rng.uniform_u64(
+                                      static_cast<std::uint64_t>(group_span)));
+        if (pick == truth) pick = group_base + (pick - group_base + 1) % group_span;
+        if (pick != truth) return pick;
+      }
+    }
+    Label pick = static_cast<Label>(
+        rng.uniform_u64(static_cast<std::uint64_t>(num_classes_)));
+    if (pick == truth) pick = (pick + 1) % num_classes_;
+    return pick;
+  }
+
+  ModelProfile profile_;
+  int num_classes_;
+  int group_size_;
+};
+
+}  // namespace
+
+std::unique_ptr<RecognitionModel> make_oracle_model(const ModelProfile& profile,
+                                                    int num_classes,
+                                                    int confusion_group_size) {
+  return std::make_unique<OracleModel>(profile, num_classes,
+                                       confusion_group_size);
+}
+
+}  // namespace apx

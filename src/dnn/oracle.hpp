@@ -1,0 +1,22 @@
+#pragma once
+// Accuracy-oracle model: returns the ground-truth label with probability
+// `top1_accuracy`, otherwise a deliberately wrong label. Used by the large
+// simulation sweeps where running even the mini-CNN per frame would dominate
+// experiment wall time without changing any conclusion (the DNN's output
+// distribution, not its arithmetic, is what the cache interacts with).
+
+#include <memory>
+
+#include "src/dnn/model.hpp"
+
+namespace apx {
+
+/// Creates an oracle with the given profile over `num_classes` labels.
+/// Wrong answers are drawn uniformly from the other labels within
+/// `confusion_group_size`-sized groups when that is > 1 (mimicking DNNs
+/// confusing similar classes), otherwise uniformly over all other labels.
+std::unique_ptr<RecognitionModel> make_oracle_model(
+    const ModelProfile& profile, int num_classes,
+    int confusion_group_size = 1);
+
+}  // namespace apx

@@ -1,0 +1,39 @@
+#include "src/dnn/zoo.hpp"
+
+namespace apx {
+
+ModelProfile mobilenet_v2_profile() {
+  ModelProfile p;
+  p.name = "mobilenet_v2";
+  p.mean_latency = 60 * kMillisecond;
+  p.latency_jitter = 8 * kMillisecond;
+  p.energy_mj = 120.0;
+  p.top1_accuracy = 0.96;
+  return p;
+}
+
+ModelProfile resnet50_profile() {
+  ModelProfile p;
+  p.name = "resnet50";
+  p.mean_latency = 250 * kMillisecond;
+  p.latency_jitter = 30 * kMillisecond;
+  p.energy_mj = 480.0;
+  p.top1_accuracy = 0.97;
+  return p;
+}
+
+ModelProfile inception_v3_profile() {
+  ModelProfile p;
+  p.name = "inception_v3";
+  p.mean_latency = 400 * kMillisecond;
+  p.latency_jitter = 45 * kMillisecond;
+  p.energy_mj = 760.0;
+  p.top1_accuracy = 0.975;
+  return p;
+}
+
+std::vector<ModelProfile> model_zoo() {
+  return {mobilenet_v2_profile(), resnet50_profile(), inception_v3_profile()};
+}
+
+}  // namespace apx

@@ -1,0 +1,25 @@
+#pragma once
+// Published-magnitude cost profiles for mobile recognition models. Values
+// are in the range reported for mid-range smartphones circa 2020-2021
+// (TFLite CPU, single image): the absolute numbers only need to keep the
+// hit-path (few ms) vs miss-path (tens to hundreds of ms) ratio realistic.
+
+#include <vector>
+
+#include "src/dnn/model.hpp"
+
+namespace apx {
+
+/// MobileNetV2-class profile (the poster's "standard mobile" model).
+ModelProfile mobilenet_v2_profile();
+
+/// ResNet50-class profile (heavier; larger reuse payoff).
+ModelProfile resnet50_profile();
+
+/// InceptionV3-class profile (heaviest in the zoo).
+ModelProfile inception_v3_profile();
+
+/// All profiles, lightest first.
+std::vector<ModelProfile> model_zoo();
+
+}  // namespace apx

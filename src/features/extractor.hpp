@@ -1,0 +1,63 @@
+#pragma once
+// Feature extraction turns a frame into the fixed-dimension float vector
+// that keys the approximate cache. Extractors also carry the simulated
+// on-device latency of running them, so the pipeline can account for the
+// hit-path cost honestly (a cache hit still pays for feature extraction).
+
+#include <memory>
+#include <string>
+
+#include "src/image/image.hpp"
+#include "src/util/clock.hpp"
+#include "src/util/vecmath.hpp"
+
+namespace apx {
+
+/// Interface for image -> feature-vector transforms.
+///
+/// Implementations must be deterministic: the same image always maps to the
+/// same vector (cache correctness depends on it).
+class FeatureExtractor {
+ public:
+  virtual ~FeatureExtractor() = default;
+
+  /// Human-readable identifier ("downsample", "cnn-embed", ...).
+  virtual const std::string& name() const noexcept = 0;
+
+  /// Output dimensionality; constant over the extractor's lifetime.
+  virtual std::size_t dim() const noexcept = 0;
+
+  /// Extracts the (L2-normalized) feature vector for `img`.
+  virtual FeatureVec extract(const Image& img) const = 0;
+
+  /// Simulated on-device latency of one extraction.
+  virtual SimDuration latency() const noexcept = 0;
+
+  /// Recommended H-kNN max_distance for this extractor's metric geometry:
+  /// above the typical intra-class distance of nearby views, below the
+  /// minimum inter-class distance (values measured on the synthetic world;
+  /// a real deployment would calibrate the same way on its own data).
+  virtual float recommended_max_distance() const noexcept = 0;
+};
+
+/// Factory helpers (definitions in the respective .cpp files).
+
+/// Grayscale `side`x`side` downsample, flattened and L2-normalized.
+std::unique_ptr<FeatureExtractor> make_downsample_extractor(
+    int side = 8, SimDuration latency = 1 * kMillisecond);
+
+/// Per-channel intensity histogram with `bins` bins per channel.
+std::unique_ptr<FeatureExtractor> make_histogram_extractor(
+    int bins = 16, SimDuration latency = 2 * kMillisecond);
+
+/// HOG-style gradient-orientation histogram over a `cells`x`cells` grid.
+std::unique_ptr<FeatureExtractor> make_hog_extractor(
+    int cells = 4, int orientations = 8,
+    SimDuration latency = 4 * kMillisecond);
+
+/// Fixed-random-weight convolutional embedding network (see minicnn.hpp).
+std::unique_ptr<FeatureExtractor> make_cnn_extractor(
+    std::size_t dim = 64, std::uint64_t seed = 7,
+    SimDuration latency = 8 * kMillisecond);
+
+}  // namespace apx

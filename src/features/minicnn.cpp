@@ -1,0 +1,191 @@
+#include "src/features/minicnn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/features/extractor.hpp"
+#include "src/util/rng.hpp"
+
+namespace apx {
+namespace {
+
+constexpr int kInputSide = 32;
+
+void init_conv(Rng& rng, int in_ch, int out_ch, MiniCnn* /*unused*/,
+               std::vector<float>& weights, std::vector<float>& bias) {
+  // He-style initialization keeps activations in a sane range through depth.
+  const double stddev = std::sqrt(2.0 / (9.0 * in_ch));
+  weights.resize(static_cast<std::size_t>(out_ch) * in_ch * 9);
+  for (float& w : weights) w = static_cast<float>(rng.normal(0.0, stddev));
+  bias.assign(static_cast<std::size_t>(out_ch), 0.0f);
+}
+
+}  // namespace
+
+MiniCnn::MiniCnn(std::size_t dim, std::uint64_t seed) : dim_(dim) {
+  if (dim == 0) throw std::invalid_argument("MiniCnn: dim == 0");
+  Rng rng{seed};
+  conv1_.in_channels = 3;
+  conv1_.out_channels = 8;
+  init_conv(rng, 3, 8, this, conv1_.weights, conv1_.bias);
+  conv2_.in_channels = 8;
+  conv2_.out_channels = 16;
+  init_conv(rng, 8, 16, this, conv2_.weights, conv2_.bias);
+  conv3_.in_channels = 16;
+  conv3_.out_channels = 32;
+  init_conv(rng, 16, 32, this, conv3_.weights, conv3_.bias);
+
+  const double fc_stddev = std::sqrt(2.0 / 32.0);
+  fc_weights_.resize(dim * 32);
+  for (float& w : fc_weights_) {
+    w = static_cast<float>(rng.normal(0.0, fc_stddev));
+  }
+  fc_bias_.assign(dim, 0.0f);
+}
+
+std::size_t MiniCnn::parameter_count() const noexcept {
+  return conv1_.weights.size() + conv1_.bias.size() + conv2_.weights.size() +
+         conv2_.bias.size() + conv3_.weights.size() + conv3_.bias.size() +
+         fc_weights_.size() + fc_bias_.size();
+}
+
+MiniCnn::Tensor MiniCnn::conv3x3_relu(const Tensor& in, int width, int height,
+                                      const ConvLayer& layer) {
+  const int in_ch = layer.in_channels;
+  const int out_ch = layer.out_channels;
+  Tensor out(static_cast<std::size_t>(width) * height * out_ch, 0.0f);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      for (int oc = 0; oc < out_ch; ++oc) {
+        float acc = layer.bias[static_cast<std::size_t>(oc)];
+        for (int ky = -1; ky <= 1; ++ky) {
+          const int sy = std::clamp(y + ky, 0, height - 1);
+          for (int kx = -1; kx <= 1; ++kx) {
+            const int sx = std::clamp(x + kx, 0, width - 1);
+            const std::size_t in_base =
+                (static_cast<std::size_t>(sy) * width + sx) * in_ch;
+            const std::size_t w_base =
+                ((static_cast<std::size_t>(oc) * in_ch) * 9) +
+                static_cast<std::size_t>((ky + 1) * 3 + (kx + 1));
+            for (int ic = 0; ic < in_ch; ++ic) {
+              acc += in[in_base + static_cast<std::size_t>(ic)] *
+                     layer.weights[w_base + static_cast<std::size_t>(ic) * 9];
+            }
+          }
+        }
+        out[(static_cast<std::size_t>(y) * width + x) * out_ch +
+            static_cast<std::size_t>(oc)] = std::max(acc, 0.0f);
+      }
+    }
+  }
+  return out;
+}
+
+MiniCnn::Tensor MiniCnn::maxpool2(const Tensor& in, int width, int height,
+                                  int channels) {
+  const int ow = width / 2;
+  const int oh = height / 2;
+  Tensor out(static_cast<std::size_t>(ow) * oh * channels, 0.0f);
+  for (int y = 0; y < oh; ++y) {
+    for (int x = 0; x < ow; ++x) {
+      for (int c = 0; c < channels; ++c) {
+        float m = -1e30f;
+        for (int dy = 0; dy < 2; ++dy) {
+          for (int dx = 0; dx < 2; ++dx) {
+            const std::size_t idx =
+                (static_cast<std::size_t>(y * 2 + dy) * width + (x * 2 + dx)) *
+                    channels +
+                static_cast<std::size_t>(c);
+            m = std::max(m, in[idx]);
+          }
+        }
+        out[(static_cast<std::size_t>(y) * ow + x) * channels +
+            static_cast<std::size_t>(c)] = m;
+      }
+    }
+  }
+  return out;
+}
+
+FeatureVec MiniCnn::embed(const Image& img) const {
+  Image input = img;
+  if (input.width() != kInputSide || input.height() != kInputSide) {
+    input = input.resized(kInputSide, kInputSide);
+  }
+  // Expand grayscale to 3 channels.
+  Tensor t(static_cast<std::size_t>(kInputSide) * kInputSide * 3, 0.0f);
+  for (int y = 0; y < kInputSide; ++y) {
+    for (int x = 0; x < kInputSide; ++x) {
+      for (int c = 0; c < 3; ++c) {
+        t[(static_cast<std::size_t>(y) * kInputSide + x) * 3 +
+          static_cast<std::size_t>(c)] =
+            input.at(x, y, std::min(c, input.channels() - 1));
+      }
+    }
+  }
+
+  int w = kInputSide, h = kInputSide;
+  t = conv3x3_relu(t, w, h, conv1_);
+  t = maxpool2(t, w, h, conv1_.out_channels);
+  w /= 2;
+  h /= 2;
+  t = conv3x3_relu(t, w, h, conv2_);
+  t = maxpool2(t, w, h, conv2_.out_channels);
+  w /= 2;
+  h /= 2;
+  t = conv3x3_relu(t, w, h, conv3_);
+
+  // Global average pool.
+  std::vector<float> pooled(32, 0.0f);
+  const int pixels = w * h;
+  for (int p = 0; p < pixels; ++p) {
+    for (int c = 0; c < 32; ++c) {
+      pooled[static_cast<std::size_t>(c)] +=
+          t[static_cast<std::size_t>(p) * 32 + static_cast<std::size_t>(c)];
+    }
+  }
+  for (float& v : pooled) v /= static_cast<float>(pixels);
+
+  FeatureVec out(dim_, 0.0f);
+  for (std::size_t d = 0; d < dim_; ++d) {
+    float acc = fc_bias_[d];
+    for (std::size_t c = 0; c < 32; ++c) {
+      acc += fc_weights_[d * 32 + c] * pooled[c];
+    }
+    out[d] = acc;
+  }
+  normalize(out);
+  return out;
+}
+
+namespace {
+
+class CnnExtractor final : public FeatureExtractor {
+ public:
+  CnnExtractor(std::size_t dim, std::uint64_t seed, SimDuration latency)
+      : cnn_(dim, seed), latency_(latency), name_("cnn-embed") {}
+
+  const std::string& name() const noexcept override { return name_; }
+  std::size_t dim() const noexcept override { return cnn_.dim(); }
+  SimDuration latency() const noexcept override { return latency_; }
+  float recommended_max_distance() const noexcept override { return 0.045f; }
+  FeatureVec extract(const Image& img) const override {
+    return cnn_.embed(img);
+  }
+
+ private:
+  MiniCnn cnn_;
+  SimDuration latency_;
+  std::string name_;
+};
+
+}  // namespace
+
+std::unique_ptr<FeatureExtractor> make_cnn_extractor(std::size_t dim,
+                                                     std::uint64_t seed,
+                                                     SimDuration latency) {
+  return std::make_unique<CnnExtractor>(dim, seed, latency);
+}
+
+}  // namespace apx

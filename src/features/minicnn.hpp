@@ -1,0 +1,60 @@
+#pragma once
+// From-scratch convolutional embedding network with fixed random weights.
+//
+// This plays the role of the "feature layer of a mobile DNN" that
+// FoggyCache-style systems tap for cache keys. Random convolutional
+// features are a well-studied stand-in (random-weight CNNs preserve
+// metric structure well enough for retrieval), and fixed seeded weights
+// keep the whole reproduction deterministic with no model files.
+//
+// Architecture (input resized to 32x32x3):
+//   conv3x3(3 -> 8) + ReLU + maxpool2      -> 16x16x8
+//   conv3x3(8 -> 16) + ReLU + maxpool2     -> 8x8x16
+//   conv3x3(16 -> 32) + ReLU               -> 8x8x32
+//   global average pool                    -> 32
+//   fully connected (32 -> dim), L2 norm   -> dim
+
+#include <cstdint>
+#include <vector>
+
+#include "src/image/image.hpp"
+#include "src/util/vecmath.hpp"
+
+namespace apx {
+
+/// Deterministic random-weight CNN used as an embedding function.
+class MiniCnn {
+ public:
+  /// `dim` is the embedding size; `seed` fixes the weights.
+  explicit MiniCnn(std::size_t dim = 64, std::uint64_t seed = 7);
+
+  /// Embeds `img` (any size; resized internally) into a unit-norm vector.
+  FeatureVec embed(const Image& img) const;
+
+  std::size_t dim() const noexcept { return dim_; }
+
+  /// Number of scalar weights (for reporting / sanity tests).
+  std::size_t parameter_count() const noexcept;
+
+ private:
+  struct ConvLayer {
+    int in_channels = 0;
+    int out_channels = 0;
+    std::vector<float> weights;  // [out][in][3][3]
+    std::vector<float> bias;     // [out]
+  };
+
+  using Tensor = std::vector<float>;  // HWC layout
+
+  static Tensor conv3x3_relu(const Tensor& in, int width, int height,
+                             const ConvLayer& layer);
+  static Tensor maxpool2(const Tensor& in, int width, int height,
+                         int channels);
+
+  std::size_t dim_;
+  ConvLayer conv1_, conv2_, conv3_;
+  std::vector<float> fc_weights_;  // [dim][32]
+  std::vector<float> fc_bias_;     // [dim]
+};
+
+}  // namespace apx

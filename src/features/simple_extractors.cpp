@@ -1,0 +1,150 @@
+// Downsample, histogram, and HOG extractors. All outputs are L2-normalized
+// so Euclidean and cosine similarity agree up to a monotone transform.
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "src/features/extractor.hpp"
+
+namespace apx {
+namespace {
+
+class DownsampleExtractor final : public FeatureExtractor {
+ public:
+  DownsampleExtractor(int side, SimDuration latency)
+      : side_(side), latency_(latency), name_("downsample") {
+    if (side <= 0) throw std::invalid_argument("downsample: side <= 0");
+  }
+
+  const std::string& name() const noexcept override { return name_; }
+  std::size_t dim() const noexcept override {
+    return static_cast<std::size_t>(side_) * static_cast<std::size_t>(side_);
+  }
+  SimDuration latency() const noexcept override { return latency_; }
+  float recommended_max_distance() const noexcept override { return 0.45f; }
+
+  FeatureVec extract(const Image& img) const override {
+    const Image small = img.to_gray().resized(side_, side_);
+    FeatureVec v(small.data().begin(), small.data().end());
+    normalize(v);
+    return v;
+  }
+
+ private:
+  int side_;
+  SimDuration latency_;
+  std::string name_;
+};
+
+class HistogramExtractor final : public FeatureExtractor {
+ public:
+  HistogramExtractor(int bins, SimDuration latency)
+      : bins_(bins), latency_(latency), name_("histogram") {
+    if (bins <= 0) throw std::invalid_argument("histogram: bins <= 0");
+  }
+
+  const std::string& name() const noexcept override { return name_; }
+  std::size_t dim() const noexcept override {
+    return static_cast<std::size_t>(bins_) * 3;
+  }
+  SimDuration latency() const noexcept override { return latency_; }
+  float recommended_max_distance() const noexcept override { return 0.25f; }
+
+  FeatureVec extract(const Image& img) const override {
+    FeatureVec v(dim(), 0.0f);
+    const int chans = img.channels();
+    for (int y = 0; y < img.height(); ++y) {
+      for (int x = 0; x < img.width(); ++x) {
+        for (int c = 0; c < 3; ++c) {
+          const float value = img.at(x, y, std::min(c, chans - 1));
+          int bin = static_cast<int>(value * static_cast<float>(bins_));
+          bin = std::clamp(bin, 0, bins_ - 1);
+          v[static_cast<std::size_t>(c * bins_ + bin)] += 1.0f;
+        }
+      }
+    }
+    normalize(v);
+    return v;
+  }
+
+ private:
+  int bins_;
+  SimDuration latency_;
+  std::string name_;
+};
+
+class HogExtractor final : public FeatureExtractor {
+ public:
+  HogExtractor(int cells, int orientations, SimDuration latency)
+      : cells_(cells),
+        orientations_(orientations),
+        latency_(latency),
+        name_("hog") {
+    if (cells <= 0 || orientations <= 0) {
+      throw std::invalid_argument("hog: bad parameters");
+    }
+  }
+
+  const std::string& name() const noexcept override { return name_; }
+  std::size_t dim() const noexcept override {
+    return static_cast<std::size_t>(cells_) * static_cast<std::size_t>(cells_) *
+           static_cast<std::size_t>(orientations_);
+  }
+  SimDuration latency() const noexcept override { return latency_; }
+  float recommended_max_distance() const noexcept override { return 0.65f; }
+
+  FeatureVec extract(const Image& img) const override {
+    const Image gray = img.to_gray();
+    FeatureVec v(dim(), 0.0f);
+    const int w = gray.width();
+    const int h = gray.height();
+    for (int y = 1; y + 1 < h; ++y) {
+      for (int x = 1; x + 1 < w; ++x) {
+        const float gx = gray.at(x + 1, y, 0) - gray.at(x - 1, y, 0);
+        const float gy = gray.at(x, y + 1, 0) - gray.at(x, y - 1, 0);
+        const float mag = std::sqrt(gx * gx + gy * gy);
+        if (mag <= 1e-8f) continue;
+        // Unsigned orientation in [0, pi).
+        float angle = std::atan2(gy, gx);
+        if (angle < 0.0f) angle += std::numbers::pi_v<float>;
+        int bin = static_cast<int>(angle / std::numbers::pi_v<float> *
+                                   static_cast<float>(orientations_));
+        bin = std::clamp(bin, 0, orientations_ - 1);
+        const int cx = std::min(x * cells_ / w, cells_ - 1);
+        const int cy = std::min(y * cells_ / h, cells_ - 1);
+        v[static_cast<std::size_t>((cy * cells_ + cx) * orientations_ + bin)] +=
+            mag;
+      }
+    }
+    normalize(v);
+    return v;
+  }
+
+ private:
+  int cells_;
+  int orientations_;
+  SimDuration latency_;
+  std::string name_;
+};
+
+}  // namespace
+
+std::unique_ptr<FeatureExtractor> make_downsample_extractor(
+    int side, SimDuration latency) {
+  return std::make_unique<DownsampleExtractor>(side, latency);
+}
+
+std::unique_ptr<FeatureExtractor> make_histogram_extractor(
+    int bins, SimDuration latency) {
+  return std::make_unique<HistogramExtractor>(bins, latency);
+}
+
+std::unique_ptr<FeatureExtractor> make_hog_extractor(int cells,
+                                                     int orientations,
+                                                     SimDuration latency) {
+  return std::make_unique<HogExtractor>(cells, orientations, latency);
+}
+
+}  // namespace apx

@@ -1,0 +1,17 @@
+#include "src/imu/gate.hpp"
+
+namespace apx {
+
+GateDecision MotionGate::decide(MotionState state) const noexcept {
+  switch (state) {
+    case MotionState::kStationary:
+      return {true, params_.stationary_scale};
+    case MotionState::kMinor:
+      return {true, params_.minor_scale};
+    case MotionState::kMajor:
+      return {false, params_.major_scale};
+  }
+  return {true, 1.0f};
+}
+
+}  // namespace apx

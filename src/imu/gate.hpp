@@ -1,0 +1,40 @@
+#pragma once
+// Motion-gated reuse policy (DESIGN.md §5.4). The motion state modulates,
+// never replaces, the approximate lookup:
+//   stationary -> the scene cannot have changed: temporal fast-path allowed
+//                 and the similarity threshold is relaxed;
+//   minor      -> normal operation;
+//   major      -> temporal reuse disabled (the previous frame's result is
+//                 stale) and the similarity threshold tightened, because
+//                 motion blur degrades features.
+
+#include "src/imu/mobility.hpp"
+
+namespace apx {
+
+/// Per-frame reuse directives derived from the motion state.
+struct GateDecision {
+  bool allow_temporal_reuse = true;  ///< may inherit the last frame's result
+  float threshold_scale = 1.0f;      ///< multiplies HknnParams::max_distance
+};
+
+/// Scales applied per state.
+struct MotionGateParams {
+  float stationary_scale = 1.25f;
+  float minor_scale = 1.0f;
+  float major_scale = 0.8f;
+};
+
+/// Maps a motion state to its reuse directives.
+class MotionGate {
+ public:
+  explicit MotionGate(const MotionGateParams& params = {}) noexcept
+      : params_(params) {}
+
+  GateDecision decide(MotionState state) const noexcept;
+
+ private:
+  MotionGateParams params_;
+};
+
+}  // namespace apx

@@ -1,0 +1,95 @@
+#include "src/imu/mobility.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace apx {
+
+const char* to_string(MotionState s) noexcept {
+  switch (s) {
+    case MotionState::kStationary: return "stationary";
+    case MotionState::kMinor: return "minor";
+    case MotionState::kMajor: return "major";
+  }
+  return "?";
+}
+
+MobilityModel::MobilityModel(std::vector<MobilitySegment> segments)
+    : segments_(std::move(segments)) {
+  if (segments_.empty()) {
+    throw std::invalid_argument("MobilityModel: no segments");
+  }
+  ends_.reserve(segments_.size());
+  for (const auto& seg : segments_) {
+    if (seg.duration <= 0) {
+      throw std::invalid_argument("MobilityModel: non-positive duration");
+    }
+    total_ += seg.duration;
+    ends_.push_back(total_);
+  }
+}
+
+MobilityModel MobilityModel::random(Rng& rng, SimDuration total,
+                                    SimDuration mean_segment,
+                                    double p_stationary, double p_minor,
+                                    double p_major) {
+  if (total <= 0 || mean_segment <= 0) {
+    throw std::invalid_argument("MobilityModel::random: bad durations");
+  }
+  const double weight_sum = p_stationary + p_minor + p_major;
+  if (weight_sum <= 0.0) {
+    throw std::invalid_argument("MobilityModel::random: bad weights");
+  }
+  std::vector<MobilitySegment> segments;
+  SimDuration elapsed = 0;
+  MotionState prev = MotionState::kStationary;
+  bool first = true;
+  while (elapsed < total) {
+    MotionState state;
+    do {
+      const double u = rng.uniform() * weight_sum;
+      state = u < p_stationary ? MotionState::kStationary
+              : u < p_stationary + p_minor ? MotionState::kMinor
+                                           : MotionState::kMajor;
+    } while (!first && state == prev && rng.chance(0.7));  // bias alternation
+    first = false;
+    prev = state;
+    auto duration = static_cast<SimDuration>(
+        rng.exponential(1.0 / static_cast<double>(mean_segment)));
+    duration = std::clamp<SimDuration>(duration, mean_segment / 4,
+                                       mean_segment * 4);
+    duration = std::min(duration, total - elapsed);
+    if (duration <= 0) break;
+    segments.push_back({state, duration});
+    elapsed += duration;
+  }
+  if (segments.empty()) segments.push_back({MotionState::kStationary, total});
+  return MobilityModel{std::move(segments)};
+}
+
+MobilityModel MobilityModel::constant(MotionState state, SimDuration total) {
+  return MobilityModel{{MobilitySegment{state, total}}};
+}
+
+MotionState MobilityModel::state_at(SimTime t) const noexcept {
+  if (t < 0) return segments_.front().state;
+  const auto it = std::upper_bound(ends_.begin(), ends_.end(), t);
+  const std::size_t idx = std::min(
+      static_cast<std::size_t>(it - ends_.begin()), segments_.size() - 1);
+  return segments_[idx].state;
+}
+
+double MobilityModel::intensity_of(MotionState s) noexcept {
+  switch (s) {
+    case MotionState::kStationary: return 0.02;
+    case MotionState::kMinor: return 0.30;
+    case MotionState::kMajor: return 1.00;
+  }
+  return 0.0;
+}
+
+double MobilityModel::intensity_at(SimTime t) const noexcept {
+  return intensity_of(state_at(t));
+}
+
+}  // namespace apx

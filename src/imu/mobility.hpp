@@ -1,0 +1,68 @@
+#pragma once
+// Device mobility model. Both the IMU trace generator and the video stream
+// generator consume the SAME mobility timeline, so inertial readings and
+// scene change share a common cause — the physical fact the poster's IMU
+// heuristic exploits (DESIGN.md §4).
+
+#include <vector>
+
+#include "src/util/clock.hpp"
+#include "src/util/rng.hpp"
+
+namespace apx {
+
+/// Coarse device motion regimes (what the motion estimator classifies into).
+enum class MotionState { kStationary = 0, kMinor = 1, kMajor = 2 };
+
+/// Printable name ("stationary" / "minor" / "major").
+const char* to_string(MotionState s) noexcept;
+
+/// One homogeneous stretch of the mobility timeline.
+struct MobilitySegment {
+  MotionState state = MotionState::kStationary;
+  SimDuration duration = kSecond;
+};
+
+/// Piecewise-constant motion timeline with a per-state intensity level.
+///
+/// Intensity is the knob everything else keys off: view jitter magnitude in
+/// the video generator and accel/gyro variance in the IMU generator are both
+/// monotone in it.
+class MobilityModel {
+ public:
+  /// Requires at least one segment with positive duration.
+  explicit MobilityModel(std::vector<MobilitySegment> segments);
+
+  /// Random alternating schedule of roughly `total` length. `p_state` are
+  /// relative weights of (stationary, minor, major); segment lengths are
+  /// exponential with mean `mean_segment`.
+  static MobilityModel random(Rng& rng, SimDuration total,
+                              SimDuration mean_segment,
+                              double p_stationary = 0.4, double p_minor = 0.4,
+                              double p_major = 0.2);
+
+  /// Constant-state convenience model.
+  static MobilityModel constant(MotionState state, SimDuration total);
+
+  /// State at time `t` (clamped to the final segment past the end).
+  MotionState state_at(SimTime t) const noexcept;
+
+  /// Motion intensity in [0, 1] at time `t`: 0.02 / 0.30 / 1.00 for
+  /// stationary / minor / major.
+  double intensity_at(SimTime t) const noexcept;
+
+  /// Intensity level a state maps to (same scale as intensity_at).
+  static double intensity_of(MotionState s) noexcept;
+
+  SimDuration total_duration() const noexcept { return total_; }
+  const std::vector<MobilitySegment>& segments() const noexcept {
+    return segments_;
+  }
+
+ private:
+  std::vector<MobilitySegment> segments_;
+  std::vector<SimTime> ends_;  // cumulative segment end times
+  SimDuration total_ = 0;
+};
+
+}  // namespace apx

@@ -1,0 +1,59 @@
+#include "src/imu/motion_estimator.hpp"
+
+#include <cmath>
+
+namespace apx {
+namespace {
+
+constexpr float kGravity = 9.81f;
+
+float rms(const RingBuffer<float>& window) {
+  if (window.empty()) return 0.0f;
+  float sum_sq = 0.0f;
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    sum_sq += window[i] * window[i];
+  }
+  return std::sqrt(sum_sq / static_cast<float>(window.size()));
+}
+
+}  // namespace
+
+MotionEstimator::MotionEstimator(const MotionEstimatorParams& params)
+    : params_(params),
+      accel_dev_(params.window == 0 ? 1 : params.window),
+      gyro_mag_(params.window == 0 ? 1 : params.window) {}
+
+void MotionEstimator::add(const ImuSample& sample) {
+  const float accel_mag =
+      std::sqrt(sample.accel[0] * sample.accel[0] +
+                sample.accel[1] * sample.accel[1] +
+                sample.accel[2] * sample.accel[2]);
+  accel_dev_.push(std::abs(accel_mag - kGravity));
+  gyro_mag_.push(std::sqrt(sample.gyro[0] * sample.gyro[0] +
+                           sample.gyro[1] * sample.gyro[1] +
+                           sample.gyro[2] * sample.gyro[2]));
+}
+
+void MotionEstimator::add_all(const std::vector<ImuSample>& samples) {
+  for (const auto& s : samples) add(s);
+}
+
+float MotionEstimator::accel_rms() const { return rms(accel_dev_); }
+float MotionEstimator::gyro_rms() const { return rms(gyro_mag_); }
+
+MotionState MotionEstimator::estimate() const {
+  if (accel_dev_.empty()) return MotionState::kMajor;
+  const float a = accel_rms();
+  const float g = gyro_rms();
+  if (a >= params_.accel_major_threshold ||
+      g >= params_.gyro_major_threshold) {
+    return MotionState::kMajor;
+  }
+  if (a >= params_.accel_minor_threshold ||
+      g >= params_.gyro_minor_threshold) {
+    return MotionState::kMinor;
+  }
+  return MotionState::kStationary;
+}
+
+}  // namespace apx

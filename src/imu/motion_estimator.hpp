@@ -1,0 +1,52 @@
+#pragma once
+// On-device motion-state estimation from raw IMU samples: a sliding-window
+// classifier over linear-acceleration and rotation-rate energy. This is the
+// component a real deployment would run on the sensor hub; its output gates
+// the cache reuse policy.
+
+#include "src/imu/trace.hpp"
+#include "src/util/ring_buffer.hpp"
+
+namespace apx {
+
+/// Estimator thresholds. Defaults separate the generator's regimes with a
+/// wide margin and match smartphone heuristics (stationary detection below
+/// ~0.15 m/s^2 RMS deviation from gravity).
+struct MotionEstimatorParams {
+  std::size_t window = 32;            ///< samples in the sliding window
+  float accel_minor_threshold = 0.20f;///< m/s^2 RMS: stationary -> minor
+  float accel_major_threshold = 1.50f;///< m/s^2 RMS: minor -> major
+  float gyro_minor_threshold = 0.05f; ///< rad/s RMS
+  float gyro_major_threshold = 0.60f; ///< rad/s RMS
+};
+
+/// Sliding-window IMU motion classifier.
+class MotionEstimator {
+ public:
+  explicit MotionEstimator(const MotionEstimatorParams& params = {});
+
+  /// Feeds one sample.
+  void add(const ImuSample& sample);
+
+  /// Feeds a batch in order.
+  void add_all(const std::vector<ImuSample>& samples);
+
+  /// Current classification. With an empty window returns kMajor (the
+  /// conservative answer: no evidence of stillness means don't relax reuse).
+  MotionState estimate() const;
+
+  /// RMS deviation of |accel| from gravity over the window (m/s^2).
+  float accel_rms() const;
+
+  /// RMS rotation rate over the window (rad/s).
+  float gyro_rms() const;
+
+  std::size_t window_fill() const noexcept { return accel_dev_.size(); }
+
+ private:
+  MotionEstimatorParams params_;
+  RingBuffer<float> accel_dev_;  ///< | |a| - g | per sample
+  RingBuffer<float> gyro_mag_;   ///< |w| per sample
+};
+
+}  // namespace apx

@@ -1,0 +1,62 @@
+#include "src/imu/trace.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace apx {
+namespace {
+
+constexpr float kGravity = 9.81f;
+
+struct NoiseLevels {
+  float accel_sigma;
+  float gyro_sigma;
+};
+
+NoiseLevels levels_for(MotionState s) noexcept {
+  switch (s) {
+    case MotionState::kStationary: return {0.05f, 0.01f};
+    case MotionState::kMinor: return {0.60f, 0.25f};
+    case MotionState::kMajor: return {2.80f, 1.20f};
+  }
+  return {0.0f, 0.0f};
+}
+
+}  // namespace
+
+ImuTraceGenerator::ImuTraceGenerator(const MobilityModel& mobility,
+                                     double rate_hz, std::uint64_t seed)
+    : mobility_(&mobility), rng_(seed) {
+  if (rate_hz <= 0.0) {
+    throw std::invalid_argument("ImuTraceGenerator: rate_hz <= 0");
+  }
+  period_ = static_cast<SimDuration>(static_cast<double>(kSecond) / rate_hz);
+  if (period_ <= 0) period_ = 1;
+}
+
+ImuSample ImuTraceGenerator::sample_at(SimTime t) {
+  const NoiseLevels levels = levels_for(mobility_->state_at(t));
+  ImuSample s;
+  s.t = t;
+  s.accel[0] = static_cast<float>(rng_.normal(0.0, levels.accel_sigma));
+  s.accel[1] = static_cast<float>(rng_.normal(0.0, levels.accel_sigma));
+  s.accel[2] =
+      kGravity + static_cast<float>(rng_.normal(0.0, levels.accel_sigma));
+  for (auto& g : s.gyro) {
+    g = static_cast<float>(rng_.normal(0.0, levels.gyro_sigma));
+  }
+  return s;
+}
+
+std::vector<ImuSample> ImuTraceGenerator::samples_between(SimTime from,
+                                                          SimTime to) {
+  std::vector<ImuSample> out;
+  if (next_t_ < from) next_t_ = from;
+  while (next_t_ < to) {
+    out.push_back(sample_at(next_t_));
+    next_t_ += period_;
+  }
+  return out;
+}
+
+}  // namespace apx

@@ -1,0 +1,65 @@
+#include "src/net/discovery.hpp"
+
+#include <stdexcept>
+
+namespace apx {
+
+DiscoveryService::DiscoveryService(EventSimulator& sim, NodeId self,
+                                   const DiscoveryParams& params,
+                                   BroadcastFn broadcast_fn,
+                                   CacheSizeFn cache_size_fn)
+    : sim_(&sim),
+      self_(self),
+      params_(params),
+      broadcast_fn_(std::move(broadcast_fn)),
+      cache_size_fn_(std::move(cache_size_fn)) {
+  if (!broadcast_fn_ || !cache_size_fn_) {
+    throw std::invalid_argument("DiscoveryService: null callback");
+  }
+  if (params.beacon_interval <= 0 || params.neighbor_expiry <= 0) {
+    throw std::invalid_argument("DiscoveryService: bad intervals");
+  }
+}
+
+void DiscoveryService::start() {
+  if (running_) return;
+  running_ = true;
+  beacon();
+}
+
+void DiscoveryService::beacon() {
+  if (!running_) return;
+  HelloMsg msg;
+  msg.sender = self_;
+  msg.cache_size = cache_size_fn_();
+  broadcast_fn_(encode(msg));
+  sim_->schedule_after(params_.beacon_interval, [this] { beacon(); });
+}
+
+bool DiscoveryService::on_hello(const HelloMsg& msg) {
+  if (msg.sender == self_) return false;
+  const auto it = peers_.find(msg.sender);
+  const bool is_new =
+      it == peers_.end() ||
+      it->second.last_seen < sim_->now() - params_.neighbor_expiry;
+  peers_[msg.sender] = PeerInfo{sim_->now(), msg.cache_size};
+  return is_new;
+}
+
+std::vector<NodeId> DiscoveryService::neighbors() const {
+  std::vector<NodeId> out;
+  const SimTime cutoff = sim_->now() - params_.neighbor_expiry;
+  for (const auto& [id, info] : peers_) {
+    if (info.last_seen >= cutoff) out.push_back(id);
+  }
+  return out;
+}
+
+std::uint32_t DiscoveryService::peer_cache_size(NodeId peer) const {
+  const auto it = peers_.find(peer);
+  if (it == peers_.end()) return 0;
+  if (it->second.last_seen < sim_->now() - params_.neighbor_expiry) return 0;
+  return it->second.cache_size;
+}
+
+}  // namespace apx

@@ -1,0 +1,74 @@
+#pragma once
+// Infrastructure-less peer discovery: periodic HELLO beacons over the
+// broadcast medium plus a soft-state neighbour table with expiry. No
+// coordinator, no registration — exactly the "infrastructure-less" regime
+// the poster targets.
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "src/net/event_sim.hpp"
+#include "src/net/messages.hpp"
+
+namespace apx {
+
+/// Discovery timing knobs.
+struct DiscoveryParams {
+  SimDuration beacon_interval = 500 * kMillisecond;
+  /// Neighbour forgotten if silent this long (> 2 beacon intervals, so one
+  /// lost beacon does not flap the table).
+  SimDuration neighbor_expiry = 1600 * kMillisecond;
+};
+
+/// Beaconing + neighbour table for one node. The owner wires `broadcast_fn`
+/// to the medium and routes incoming kHello payloads to on_hello().
+class DiscoveryService {
+ public:
+  using BroadcastFn = std::function<void(std::vector<std::uint8_t>)>;
+  /// Supplies the advertised cache size for outgoing beacons.
+  using CacheSizeFn = std::function<std::uint32_t()>;
+
+  DiscoveryService(EventSimulator& sim, NodeId self,
+                   const DiscoveryParams& params, BroadcastFn broadcast_fn,
+                   CacheSizeFn cache_size_fn);
+
+  /// Begins periodic beaconing (first beacon fires immediately).
+  void start();
+
+  /// Stops future beacons (already-scheduled ones become no-ops).
+  void stop() noexcept { running_ = false; }
+
+  /// Feeds a received HELLO. Returns true when the sender was not already
+  /// a live neighbour (first contact, or re-appearance after expiry) — the
+  /// trigger for join-time protocol actions like hot-set pushes.
+  bool on_hello(const HelloMsg& msg);
+
+  /// Live (non-expired) neighbours, ascending id.
+  std::vector<NodeId> neighbors() const;
+
+  std::size_t neighbor_count() const { return neighbors().size(); }
+
+  /// Advertised cache size of `peer`, or 0 if unknown/expired.
+  std::uint32_t peer_cache_size(NodeId peer) const;
+
+  const DiscoveryParams& params() const noexcept { return params_; }
+
+ private:
+  void beacon();
+
+  struct PeerInfo {
+    SimTime last_seen = 0;
+    std::uint32_t cache_size = 0;
+  };
+
+  EventSimulator* sim_;
+  NodeId self_;
+  DiscoveryParams params_;
+  BroadcastFn broadcast_fn_;
+  CacheSizeFn cache_size_fn_;
+  std::map<NodeId, PeerInfo> peers_;
+  bool running_ = false;
+};
+
+}  // namespace apx

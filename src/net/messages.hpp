@@ -1,0 +1,82 @@
+#pragma once
+// Wire messages of the collaborative-caching protocol. Every message is a
+// type byte followed by the body encoded with the util/serialize codec.
+// Decoders throw CodecError on malformed input; a node drops such messages.
+
+#include <cstdint>
+#include <vector>
+
+#include "src/dnn/model.hpp"
+#include "src/net/medium.hpp"
+#include "src/util/serialize.hpp"
+#include "src/util/vecmath.hpp"
+
+namespace apx {
+
+/// Protocol message kinds.
+enum class MsgType : std::uint8_t {
+  kHello = 1,           ///< periodic discovery beacon
+  kLookupRequest = 2,   ///< "does anyone recognize this feature vector?"
+  kLookupResponse = 3,  ///< neighbours' matching entries
+  kEntryAdvert = 4,     ///< push of freshly computed entries
+};
+
+/// Reads the leading type byte (throws CodecError on empty payloads).
+MsgType peek_type(const std::vector<std::uint8_t>& payload);
+
+/// Discovery beacon.
+struct HelloMsg {
+  NodeId sender = 0;
+  std::uint32_t cache_size = 0;  ///< advertised entry count
+};
+
+/// One cache entry in wire form. `age` (rather than an absolute timestamp)
+/// crosses the wire so receivers need no clock agreement with senders.
+struct WireEntry {
+  FeatureVec feature;
+  Label label = kNoLabel;
+  float confidence = 0.0f;
+  std::uint8_t hop_count = 0;
+  std::uint32_t source_device = 0;
+  SimDuration age = 0;
+  /// Sender-side only (not itself serialized): encode `feature` as 8-bit
+  /// affine-quantized instead of float32 (~3.7x smaller payload; see
+  /// ann/quantize.hpp). Receivers get the dequantized floats either way.
+  bool quantize_on_wire = false;
+};
+
+/// Remote cache lookup.
+struct LookupRequestMsg {
+  std::uint64_t request_id = 0;
+  NodeId sender = 0;
+  FeatureVec query;
+  std::uint32_t k = 4;
+};
+
+/// Answer to a LookupRequest; empty `entries` means "no match".
+struct LookupResponseMsg {
+  std::uint64_t request_id = 0;
+  NodeId sender = 0;
+  std::vector<WireEntry> entries;
+};
+
+/// Unsolicited advertisement of new results (gossip).
+struct EntryAdvertMsg {
+  NodeId sender = 0;
+  std::vector<WireEntry> entries;
+};
+
+std::vector<std::uint8_t> encode(const HelloMsg& msg);
+std::vector<std::uint8_t> encode(const LookupRequestMsg& msg);
+std::vector<std::uint8_t> encode(const LookupResponseMsg& msg);
+std::vector<std::uint8_t> encode(const EntryAdvertMsg& msg);
+
+/// Decoders; the payload must carry the matching type byte.
+HelloMsg decode_hello(const std::vector<std::uint8_t>& payload);
+LookupRequestMsg decode_lookup_request(
+    const std::vector<std::uint8_t>& payload);
+LookupResponseMsg decode_lookup_response(
+    const std::vector<std::uint8_t>& payload);
+EntryAdvertMsg decode_entry_advert(const std::vector<std::uint8_t>& payload);
+
+}  // namespace apx

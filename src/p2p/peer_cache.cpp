@@ -1,0 +1,256 @@
+#include "src/p2p/peer_cache.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace apx {
+
+PeerCacheService::PeerCacheService(EventSimulator& sim, WirelessMedium& medium,
+                                   ApproxCache& cache,
+                                   const PeerCacheParams& params, int cell)
+    : sim_(&sim),
+      medium_(&medium),
+      cache_(&cache),
+      params_(params),
+      self_(medium.add_node(
+          [this](NodeId from, const std::vector<std::uint8_t>& payload) {
+            on_message(from, payload);
+          },
+          cell)),
+      discovery_(
+          sim, self_, params.discovery,
+          [this](std::vector<std::uint8_t> payload) {
+            medium_->broadcast(self_, std::move(payload));
+          },
+          [this] { return static_cast<std::uint32_t>(cache_->size()); }) {}
+
+void PeerCacheService::start() {
+  if (running_) return;
+  running_ = true;
+  last_advert_scan_ = sim_->now();
+  discovery_.start();
+  if (params_.advert_enabled) {
+    sim_->schedule_after(params_.advert_interval, [this] { advert_tick(); });
+  }
+}
+
+void PeerCacheService::on_message(NodeId from,
+                                  const std::vector<std::uint8_t>& payload) {
+  try {
+    switch (peek_type(payload)) {
+      case MsgType::kHello: {
+        const HelloMsg hello = decode_hello(payload);
+        const bool is_new = discovery_.on_hello(hello);
+        if (is_new && params_.hotset_push_max > 0) {
+          push_hotset(hello.sender);
+        }
+        break;
+      }
+      case MsgType::kLookupRequest:
+        handle_lookup_request(decode_lookup_request(payload));
+        break;
+      case MsgType::kLookupResponse:
+        handle_lookup_response(decode_lookup_response(payload));
+        break;
+      case MsgType::kEntryAdvert:
+        handle_advert(decode_entry_advert(payload));
+        break;
+      default:
+        counters_.inc("bad_message");
+        break;
+    }
+  } catch (const CodecError&) {
+    counters_.inc("bad_message");
+  }
+  (void)from;
+}
+
+void PeerCacheService::async_lookup(const FeatureVec& query,
+                                    LookupCallback cb) {
+  const auto neighbors = discovery_.neighbors();
+  const std::uint64_t request_id = next_request_id_++;
+  if (neighbors.empty()) {
+    // Complete through the event loop so callers see uniform asynchrony.
+    sim_->schedule_after(0, [cb = std::move(cb)] { cb({}); });
+    return;
+  }
+  PendingLookup pending;
+  pending.cb = std::move(cb);
+  pending.expected = neighbors.size();
+  pending_.emplace(request_id, std::move(pending));
+
+  LookupRequestMsg msg;
+  msg.request_id = request_id;
+  msg.sender = self_;
+  msg.query = query;
+  msg.k = params_.lookup_k;
+  medium_->broadcast(self_, encode(msg));
+  counters_.inc("lookup_sent");
+
+  sim_->schedule_after(params_.lookup_timeout,
+                       [this, request_id] { complete_lookup(request_id); });
+}
+
+void PeerCacheService::complete_lookup(std::uint64_t request_id) {
+  const auto it = pending_.find(request_id);
+  if (it == pending_.end()) return;  // already completed
+  // Move out before erase: the callback may start another lookup.
+  PendingLookup pending = std::move(it->second);
+  pending_.erase(it);
+  pending.cb(std::move(pending.collected));
+}
+
+void PeerCacheService::push_hotset(NodeId newcomer) {
+  // The most-accessed local entries are the best predictors of what the
+  // newcomer will ask about; ship them proactively so it starts warm.
+  std::vector<const CacheEntry*> hot;
+  cache_->for_each([&hot](const CacheEntry& entry) {
+    if (entry.origin == EntryOrigin::kLocal) hot.push_back(&entry);
+  });
+  if (hot.empty()) return;
+  std::sort(hot.begin(), hot.end(),
+            [](const CacheEntry* a, const CacheEntry* b) {
+              return a->access_count > b->access_count ||
+                     (a->access_count == b->access_count && a->id < b->id);
+            });
+  if (hot.size() > params_.hotset_push_max) {
+    hot.resize(params_.hotset_push_max);
+  }
+  EntryAdvertMsg msg;
+  msg.sender = self_;
+  for (const CacheEntry* entry : hot) {
+    WireEntry wire;
+    wire.feature = entry->feature;
+    wire.label = entry->label;
+    wire.confidence = entry->confidence;
+    wire.hop_count = entry->hop_count;
+    wire.source_device = entry->source_device;
+    wire.age = std::max<SimDuration>(0, sim_->now() - entry->insert_time);
+    wire.quantize_on_wire = params_.quantize_wire_features;
+    msg.entries.push_back(std::move(wire));
+  }
+  medium_->unicast(self_, newcomer, encode(msg));
+  counters_.inc("hotset_push");
+  counters_.inc("hotset_entries", msg.entries.size());
+}
+
+void PeerCacheService::handle_lookup_request(const LookupRequestMsg& msg) {
+  LookupResponseMsg resp;
+  resp.request_id = msg.request_id;
+  resp.sender = self_;
+  if (!msg.query.empty() && msg.query.size() == cache_->dim()) {
+    // Answer from the raw entry set: share the neighbours themselves and
+    // let the requester run its own H-kNN over the merged pool.
+    std::vector<std::pair<float, const CacheEntry*>> close;
+    cache_->for_each([&](const CacheEntry& entry) {
+      const float d = l2(msg.query, entry.feature);
+      if (d <= params_.response_max_distance) close.emplace_back(d, &entry);
+    });
+    std::sort(close.begin(), close.end(),
+              [](const auto& a, const auto& b) {
+                return a.first < b.first ||
+                       (a.first == b.first && a.second->id < b.second->id);
+              });
+    const std::size_t take =
+        std::min<std::size_t>(msg.k, close.size());
+    for (std::size_t i = 0; i < take; ++i) {
+      const CacheEntry& entry = *close[i].second;
+      WireEntry wire;
+      wire.feature = entry.feature;
+      wire.label = entry.label;
+      wire.confidence = entry.confidence;
+      wire.hop_count = entry.hop_count;
+      wire.source_device = entry.source_device;
+      wire.age = std::max<SimDuration>(0, sim_->now() - entry.insert_time);
+      wire.quantize_on_wire = params_.quantize_wire_features;
+      resp.entries.push_back(std::move(wire));
+    }
+  }
+  medium_->unicast(self_, msg.sender, encode(resp));
+  counters_.inc("response_sent");
+}
+
+void PeerCacheService::handle_lookup_response(const LookupResponseMsg& msg) {
+  counters_.inc("response_recv");
+  const auto it = pending_.find(msg.request_id);
+  if (it == pending_.end()) return;  // late response after timeout
+  auto& pending = it->second;
+  for (const auto& entry : msg.entries) {
+    pending.collected.push_back(entry);
+    merge_entry(entry);
+  }
+  ++pending.received;
+  if (pending.received >= pending.expected) {
+    complete_lookup(msg.request_id);
+  }
+}
+
+void PeerCacheService::handle_advert(const EntryAdvertMsg& msg) {
+  for (const auto& entry : msg.entries) merge_entry(entry);
+}
+
+bool PeerCacheService::merge_entry(const WireEntry& entry) {
+  if (entry.feature.size() != cache_->dim() || entry.label == kNoLabel) {
+    counters_.inc("bad_message");
+    return false;
+  }
+  if (entry.hop_count >= params_.max_hops) {
+    counters_.inc("merge_hops");
+    return false;
+  }
+  const auto nearest = cache_->nearest_distance(entry.feature);
+  if (nearest.has_value() && *nearest <= params_.dedup_radius) {
+    counters_.inc("merge_dup");
+    return false;
+  }
+  const auto hops = static_cast<std::uint8_t>(entry.hop_count + 1);
+  const auto confidence = static_cast<float>(
+      entry.confidence *
+      std::pow(params_.merge_confidence_decay, static_cast<double>(hops)));
+  const SimTime insert_time =
+      std::max<SimTime>(0, sim_->now() - std::max<SimDuration>(0, entry.age));
+  // Insert with provenance; back-date last_access via insert_time so stale
+  // remote entries do not outlive fresh local ones under utility eviction.
+  cache_->insert(entry.feature, entry.label, confidence, insert_time,
+                 EntryOrigin::kPeer, hops, entry.source_device);
+  counters_.inc("merged");
+  return true;
+}
+
+void PeerCacheService::advert_tick() {
+  if (!running_) return;
+  const SimTime since = last_advert_scan_;
+  last_advert_scan_ = sim_->now();
+  // Gossip only locally computed results; re-advertising merged entries
+  // would amplify traffic quadratically (hop limits bound it regardless).
+  std::vector<const CacheEntry*> fresh;
+  for (const CacheEntry* entry : cache_->entries_since(since)) {
+    if (entry->origin == EntryOrigin::kLocal) fresh.push_back(entry);
+  }
+  if (!fresh.empty() && !discovery_.neighbors().empty()) {
+    EntryAdvertMsg msg;
+    msg.sender = self_;
+    const std::size_t start =
+        fresh.size() > params_.advert_batch_max
+            ? fresh.size() - params_.advert_batch_max
+            : 0;
+    for (std::size_t i = start; i < fresh.size(); ++i) {
+      const CacheEntry& entry = *fresh[i];
+      WireEntry wire;
+      wire.feature = entry.feature;
+      wire.label = entry.label;
+      wire.confidence = entry.confidence;
+      wire.hop_count = entry.hop_count;
+      wire.source_device = entry.source_device;
+      wire.age = std::max<SimDuration>(0, sim_->now() - entry.insert_time);
+      wire.quantize_on_wire = params_.quantize_wire_features;
+      msg.entries.push_back(std::move(wire));
+    }
+    medium_->broadcast(self_, encode(msg));
+    counters_.inc("advert_sent");
+    counters_.inc("advert_entries", msg.entries.size());
+  }
+  sim_->schedule_after(params_.advert_interval, [this] { advert_tick(); });
+}
+
+}  // namespace apx

@@ -1,0 +1,109 @@
+#pragma once
+// Collaborative cache sharing over the broadcast medium — the poster's
+// "information from nearby, peer-to-peer devices". One PeerCacheService per
+// device wires its ApproxCache to the network:
+//
+//   * discovery: periodic HELLO beacons maintain a neighbour table;
+//   * pull: async_lookup() broadcasts a feature vector and collects
+//     neighbours' matching entries (completes early once every live
+//     neighbour answered, or at the timeout);
+//   * push: freshly computed local results are gossiped in batched
+//     EntryAdvert messages;
+//   * merge: received entries join the local cache with hop count + age
+//     provenance, unless a near-duplicate is already cached or the entry
+//     travelled too many hops.
+
+#include <functional>
+#include <unordered_map>
+
+#include "src/cache/approx_cache.hpp"
+#include "src/net/discovery.hpp"
+#include "src/net/medium.hpp"
+
+namespace apx {
+
+/// Protocol parameters.
+struct PeerCacheParams {
+  DiscoveryParams discovery;
+  /// Upper bound on the wait for neighbour answers; ~2x the medium's RTT.
+  /// Lookups complete early once every live neighbour responded, so this
+  /// binds only when a response is lost.
+  SimDuration lookup_timeout = 15 * kMillisecond;
+  std::uint32_t lookup_k = 4;
+  /// A node answers a remote lookup only with entries this close to the
+  /// query (no point shipping far-away vectors).
+  float response_max_distance = 0.6f;
+  std::uint8_t max_hops = 2;         ///< drop entries that travelled further
+  float dedup_radius = 0.05f;        ///< skip merge when this close to cached
+  double merge_confidence_decay = 0.95;  ///< per-hop confidence discount
+  bool advert_enabled = true;
+  SimDuration advert_interval = 1 * kSecond;
+  std::size_t advert_batch_max = 16; ///< newest-first cap per advert
+  /// Ship features 8-bit quantized (~3.7x smaller payloads, slight lossy
+  /// distortion; see ann/quantize.hpp).
+  bool quantize_wire_features = false;
+  /// When a peer is first discovered (or re-appears after expiry), push it
+  /// the `hotset_push_max` most-accessed local entries so it starts warm —
+  /// valuable under range churn. 0 disables.
+  std::size_t hotset_push_max = 0;
+};
+
+/// P2P collaboration endpoint for one device.
+class PeerCacheService {
+ public:
+  using LookupCallback = std::function<void(std::vector<WireEntry>)>;
+
+  /// Registers a node on `medium` in `cell`; `cache` must outlive this.
+  PeerCacheService(EventSimulator& sim, WirelessMedium& medium,
+                   ApproxCache& cache, const PeerCacheParams& params,
+                   int cell = 0);
+
+  /// Starts beaconing and (if enabled) the advertisement timer.
+  void start();
+
+  /// Broadcasts a lookup for `query`; `cb` fires exactly once, with every
+  /// entry collected by completion (possibly none). With no live
+  /// neighbours, `cb` fires via the event loop immediately.
+  void async_lookup(const FeatureVec& query, LookupCallback cb);
+
+  NodeId id() const noexcept { return self_; }
+  DiscoveryService& discovery() noexcept { return discovery_; }
+  const PeerCacheParams& params() const noexcept { return params_; }
+
+  /// Counters: "lookup_sent", "response_sent", "response_recv", "merged",
+  /// "merge_dup", "merge_hops", "advert_sent", "advert_entries",
+  /// "bad_message".
+  const Counter& counters() const noexcept { return counters_; }
+
+ private:
+  void on_message(NodeId from, const std::vector<std::uint8_t>& payload);
+  void push_hotset(NodeId newcomer);
+  void handle_lookup_request(const LookupRequestMsg& msg);
+  void handle_lookup_response(const LookupResponseMsg& msg);
+  void handle_advert(const EntryAdvertMsg& msg);
+  /// Merges one wire entry into the local cache; returns whether it joined.
+  bool merge_entry(const WireEntry& entry);
+  void advert_tick();
+  void complete_lookup(std::uint64_t request_id);
+
+  struct PendingLookup {
+    LookupCallback cb;
+    std::vector<WireEntry> collected;
+    std::size_t expected = 0;
+    std::size_t received = 0;
+  };
+
+  EventSimulator* sim_;
+  WirelessMedium* medium_;
+  ApproxCache* cache_;
+  PeerCacheParams params_;
+  NodeId self_;
+  DiscoveryService discovery_;
+  std::unordered_map<std::uint64_t, PendingLookup> pending_;
+  std::uint64_t next_request_id_ = 1;
+  SimTime last_advert_scan_ = 0;
+  bool running_ = false;
+  Counter counters_;
+};
+
+}  // namespace apx

@@ -1,0 +1,84 @@
+#include "src/sim/metrics.hpp"
+
+namespace apx {
+
+void ExperimentMetrics::record(const RecognitionResult& result) {
+  ++frames_;
+  if (result.correct) {
+    ++correct_;
+    correct_by_source_.inc(to_string(result.source));
+  }
+  latency_ms_.add(to_ms(result.latency));
+  sources_.inc(to_string(result.source));
+  compute_energy_mj_ += result.compute_energy_mj;
+}
+
+double ExperimentMetrics::accuracy_by_source(
+    ResultSource source) const noexcept {
+  const std::uint64_t answered = sources_.get(to_string(source));
+  if (answered == 0) return 0.0;
+  return static_cast<double>(correct_by_source_.get(to_string(source))) /
+         static_cast<double>(answered);
+}
+
+void ExperimentMetrics::record_dropped() { ++dropped_; }
+
+double ExperimentMetrics::accuracy() const noexcept {
+  if (frames_ == 0) return 0.0;
+  return static_cast<double>(correct_) / static_cast<double>(frames_);
+}
+
+double ExperimentMetrics::reuse_ratio() const noexcept {
+  if (frames_ == 0) return 0.0;
+  const auto inferences =
+      sources_.get(to_string(ResultSource::kFullInference));
+  return 1.0 - static_cast<double>(inferences) / static_cast<double>(frames_);
+}
+
+double ExperimentMetrics::source_fraction(ResultSource source) const noexcept {
+  if (frames_ == 0) return 0.0;
+  return static_cast<double>(sources_.get(to_string(source))) /
+         static_cast<double>(frames_);
+}
+
+double ExperimentMetrics::mean_latency_ms() const noexcept {
+  return latency_ms_.mean();
+}
+
+double ExperimentMetrics::latency_quantile_ms(double q) const {
+  return latency_ms_.quantile(q);
+}
+
+double ExperimentMetrics::mean_compute_energy_mj() const noexcept {
+  if (frames_ == 0) return 0.0;
+  return compute_energy_mj_ / static_cast<double>(frames_);
+}
+
+double ExperimentMetrics::mean_total_energy_mj() const noexcept {
+  if (frames_ == 0) return 0.0;
+  return (compute_energy_mj_ + radio_energy_mj_) /
+         static_cast<double>(frames_);
+}
+
+double ExperimentMetrics::reduction_vs_percent(
+    double baseline_mean_ms) const noexcept {
+  if (baseline_mean_ms <= 0.0) return 0.0;
+  return 100.0 * (1.0 - mean_latency_ms() / baseline_mean_ms);
+}
+
+void ExperimentMetrics::merge(const ExperimentMetrics& other) {
+  for (double v : other.latency_ms_.sorted()) latency_ms_.add(v);
+  for (const auto& [key, count] : other.sources_.items()) {
+    sources_.inc(key, count);
+  }
+  for (const auto& [key, count] : other.correct_by_source_.items()) {
+    correct_by_source_.inc(key, count);
+  }
+  frames_ += other.frames_;
+  correct_ += other.correct_;
+  dropped_ += other.dropped_;
+  compute_energy_mj_ += other.compute_energy_mj_;
+  radio_energy_mj_ += other.radio_energy_mj_;
+}
+
+}  // namespace apx

@@ -1,0 +1,71 @@
+#pragma once
+// Metrics collected by experiment runs: the quantities every reproduced
+// table/figure reports (latency distribution, accuracy, hit-source
+// breakdown, energy).
+
+#include "src/core/result.hpp"
+#include "src/util/stats.hpp"
+
+namespace apx {
+
+/// Aggregate over one experiment (all devices pooled).
+class ExperimentMetrics {
+ public:
+  /// Records one completed frame.
+  void record(const RecognitionResult& result);
+
+  /// Records a frame dropped because the pipeline was busy.
+  void record_dropped();
+
+  /// Adds device-external energy (radio) to the total.
+  void add_radio_energy_mj(double mj) { radio_energy_mj_ += mj; }
+
+  std::size_t frames() const noexcept { return frames_; }
+  std::size_t dropped() const noexcept { return dropped_; }
+
+  /// Top-1 accuracy over processed frames.
+  double accuracy() const noexcept;
+
+  /// Fraction of frames answered without running the DNN.
+  double reuse_ratio() const noexcept;
+
+  /// Fraction of frames answered by `source`.
+  double source_fraction(ResultSource source) const noexcept;
+
+  /// Top-1 accuracy restricted to frames answered by `source` (0 when that
+  /// source answered nothing). Attributes accuracy loss to reuse paths.
+  double accuracy_by_source(ResultSource source) const noexcept;
+
+  double mean_latency_ms() const noexcept;
+  double latency_quantile_ms(double q) const;
+
+  /// Mean per-frame on-device compute energy (mJ).
+  double mean_compute_energy_mj() const noexcept;
+
+  /// Total radio energy across devices (mJ).
+  double radio_energy_mj() const noexcept { return radio_energy_mj_; }
+
+  /// Mean total (compute + amortized radio) energy per frame (mJ).
+  double mean_total_energy_mj() const noexcept;
+
+  /// Latency reduction vs a baseline mean, in percent.
+  double reduction_vs_percent(double baseline_mean_ms) const noexcept;
+
+  const Samples& latencies_ms() const noexcept { return latency_ms_; }
+  const Counter& sources() const noexcept { return sources_; }
+
+  /// Pools another run's metrics into this one (multi-seed aggregation).
+  void merge(const ExperimentMetrics& other);
+
+ private:
+  Samples latency_ms_;
+  Counter sources_;
+  Counter correct_by_source_;
+  std::size_t frames_ = 0;
+  std::size_t correct_ = 0;
+  std::size_t dropped_ = 0;
+  double compute_energy_mj_ = 0.0;
+  double radio_energy_mj_ = 0.0;
+};
+
+}  // namespace apx

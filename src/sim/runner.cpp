@@ -1,0 +1,275 @@
+#include "src/sim/runner.hpp"
+
+#include <stdexcept>
+
+#include "src/core/pipeline.hpp"
+#include "src/dnn/centroid.hpp"
+#include "src/dnn/oracle.hpp"
+#include "src/imu/trace.hpp"
+#include "src/net/event_sim.hpp"
+
+namespace apx {
+
+ScenarioConfig default_scenario() {
+  ScenarioConfig cfg;
+  cfg.scene.num_classes = 64;
+  cfg.scene.image_size = 32;
+  cfg.num_devices = 4;
+  cfg.duration = 60 * kSecond;
+  cfg.pipeline = make_full_system_config();
+  return cfg;
+}
+
+std::unique_ptr<FeatureExtractor> make_extractor(ExtractorKind kind) {
+  switch (kind) {
+    case ExtractorKind::kDownsample: return make_downsample_extractor();
+    case ExtractorKind::kHistogram: return make_histogram_extractor();
+    case ExtractorKind::kHog: return make_hog_extractor();
+    case ExtractorKind::kCnn: return make_cnn_extractor();
+  }
+  throw std::invalid_argument("make_extractor: unknown kind");
+}
+
+std::unique_ptr<EvictionPolicy> make_eviction(EvictionKind kind) {
+  switch (kind) {
+    case EvictionKind::kLru: return make_lru_policy();
+    case EvictionKind::kLfu: return make_lfu_policy();
+    case EvictionKind::kUtility: return make_utility_policy();
+  }
+  throw std::invalid_argument("make_eviction: unknown kind");
+}
+
+namespace {
+
+/// Everything one simulated device owns.
+struct Device {
+  std::unique_ptr<MobilityModel> mobility;
+  std::unique_ptr<VideoStreamGenerator> stream;
+  std::unique_ptr<ImuTraceGenerator> imu;
+  std::unique_ptr<MotionEstimator> motion;
+  std::unique_ptr<RecognitionModel> model;
+  std::unique_ptr<ApproxCache> cache;
+  std::unique_ptr<ExactCache> exact_cache;
+  std::unique_ptr<PeerCacheService> peers;
+  std::unique_ptr<ReusePipeline> pipeline;
+  SimTime last_imu_pull = 0;
+  ExperimentMetrics metrics;
+  Rng churn_rng{0};
+};
+
+}  // namespace
+
+struct ExperimentRunner::Impl {
+  ScenarioConfig config;
+  EventSimulator sim;
+  std::unique_ptr<SceneGenerator> scenes;
+  std::unique_ptr<ZipfSampler> popularity;
+  std::unique_ptr<WirelessMedium> medium;
+  std::unique_ptr<FeatureExtractor> extractor;
+  std::unique_ptr<ApproxCache> edge_cache;
+  std::unique_ptr<PeerCacheService> edge_service;
+  std::vector<std::unique_ptr<Device>> devices;
+  std::vector<ExperimentMetrics> device_metrics;
+  TraceRecorder trace;
+  bool ran = false;
+
+  explicit Impl(const ScenarioConfig& scenario) : config(scenario) {
+    if (config.num_devices < 1) {
+      throw std::invalid_argument("ScenarioConfig: num_devices < 1");
+    }
+    Rng master{config.seed};
+    scenes = std::make_unique<SceneGenerator>(config.scene);
+    popularity = std::make_unique<ZipfSampler>(
+        static_cast<std::size_t>(config.scene.num_classes), config.zipf_s);
+    medium = std::make_unique<WirelessMedium>(sim, config.medium,
+                                              master.next_u64());
+    extractor = make_extractor(config.extractor);
+    if (config.auto_threshold) {
+      config.pipeline.cache.hknn.max_distance =
+          extractor->recommended_max_distance();
+    }
+
+    if (config.edge_server && config.pipeline.enable_p2p &&
+        config.pipeline.cache_mode == CacheMode::kApprox) {
+      // The edge server is a device-less super-peer: same protocol, large
+      // cache, no camera. Devices discover and query it like any peer.
+      ApproxCacheConfig edge_cfg = config.pipeline.cache;
+      edge_cfg.capacity = config.edge_capacity;
+      edge_cache = std::make_unique<ApproxCache>(extractor->dim(), edge_cfg,
+                                                 make_utility_policy());
+      PeerCacheParams edge_peer = config.peer;
+      edge_peer.advert_enabled = false;  // the edge answers, it doesn't gossip
+      edge_service = std::make_unique<PeerCacheService>(
+          sim, *medium, *edge_cache, edge_peer, /*cell=*/0);
+    }
+
+    for (int d = 0; d < config.num_devices; ++d) {
+      auto device = std::make_unique<Device>();
+      Rng rng = master.fork();
+      device->mobility = std::make_unique<MobilityModel>(MobilityModel::random(
+          rng, config.duration + kSecond, config.mean_segment, config.p_stationary,
+          config.p_minor, config.p_major));
+      device->stream = std::make_unique<VideoStreamGenerator>(
+          *scenes, *device->mobility, *popularity, config.video, rng.next_u64());
+      device->imu = std::make_unique<ImuTraceGenerator>(
+          *device->mobility, config.imu_rate_hz, rng.next_u64());
+      device->motion =
+          std::make_unique<MotionEstimator>(config.pipeline.motion);
+
+      const int oracle_groups =
+          config.scene.class_confusion > 0.0f ? config.scene.group_size : 1;
+      if (config.use_real_classifier) {
+        device->model = std::make_unique<CentroidClassifier>(
+            *scenes, /*samples_per_class=*/8, config.model, config.seed + 1000);
+      } else {
+        device->model = make_oracle_model(config.model, config.scene.num_classes,
+                                          oracle_groups);
+      }
+
+      if (config.pipeline.cache_mode == CacheMode::kApprox) {
+        device->cache = std::make_unique<ApproxCache>(
+            extractor->dim(), config.pipeline.cache,
+            make_eviction(config.eviction));
+      } else if (config.pipeline.cache_mode == CacheMode::kExact) {
+        device->exact_cache =
+            std::make_unique<ExactCache>(config.pipeline.cache.capacity);
+      }
+
+      const int cell = config.co_located ? 0 : d;
+      if (config.pipeline.enable_p2p && device->cache != nullptr) {
+        device->peers = std::make_unique<PeerCacheService>(
+            sim, *medium, *device->cache, config.peer, cell);
+      }
+
+      device->pipeline = std::make_unique<ReusePipeline>(
+          sim, config.pipeline, *extractor, *device->model, device->cache.get(),
+          device->exact_cache.get(), device->peers.get(), rng.next_u64());
+      device->churn_rng = rng.fork();
+      devices.push_back(std::move(device));
+    }
+  }
+
+  /// Radio-range churn: toggles the device between the shared cell (0) and
+  /// a private cell. `present` is the state being entered now.
+  void schedule_churn(std::size_t index, bool present) {
+    Device& device = *devices[index];
+    if (!device.peers) return;
+    const double f = std::clamp(config.churn_away_fraction, 0.01, 0.99);
+    const double mean = static_cast<double>(config.churn_period) *
+                        (present ? (1.0 - f) : f);
+    const auto stay = static_cast<SimDuration>(
+        device.churn_rng.exponential(1.0 / std::max(mean, 1.0)));
+    sim.schedule_after(stay, [this, index, present] {
+      Device& d = *devices[index];
+      const NodeId node = d.peers->id();
+      medium->set_cell(node, present ? 1000 + static_cast<int>(index) : 0);
+      schedule_churn(index, !present);
+    });
+  }
+
+  void schedule_device_frames(std::size_t index) {
+    Device& device = *devices[index];
+    const SimTime frame_time = device.stream->next_frame_time();
+    if (frame_time >= config.duration) return;
+    sim.schedule_at(frame_time, [this, index] { device_tick(index); });
+  }
+
+  void device_tick(std::size_t index) {
+    Device& device = *devices[index];
+    // Sensor hub: feed the motion estimator with all IMU samples since the
+    // previous frame, then classify.
+    const SimTime now = sim.now();
+    device.motion->add_all(device.imu->samples_between(device.last_imu_pull,
+                                                       now));
+    device.last_imu_pull = now;
+
+    const Frame frame = device.stream->next();
+    const MotionState motion = device.motion->estimate();
+    const bool accepted = device.pipeline->process(
+        frame, motion,
+        [this, &device, index](const RecognitionResult& result) {
+          device.metrics.record(result);
+          if (config.record_trace) {
+            trace.record(static_cast<std::uint32_t>(index), result);
+          }
+        });
+    if (!accepted) device.metrics.record_dropped();
+    schedule_device_frames(index);
+  }
+
+  ExperimentMetrics run() {
+    if (ran) throw std::logic_error("ExperimentRunner::run: already ran");
+    ran = true;
+    if (edge_service) edge_service->start();
+    for (std::size_t d = 0; d < devices.size(); ++d) {
+      if (devices[d]->peers) devices[d]->peers->start();
+      if (config.churn_period > 0 && config.co_located) {
+        schedule_churn(d, /*present=*/true);
+      }
+      schedule_device_frames(d);
+    }
+    sim.run_until(config.duration + 5 * kSecond);  // drain in-flight frames
+
+    ExperimentMetrics pooled;
+    device_metrics.clear();
+    for (std::size_t d = 0; d < devices.size(); ++d) {
+      Device& device = *devices[d];
+      if (device.peers) {
+        device.metrics.add_radio_energy_mj(
+            medium->energy_mj(device.peers->id()));
+      }
+      pooled.merge(device.metrics);
+      device_metrics.push_back(device.metrics);
+    }
+    return pooled;
+  }
+};
+
+ExperimentRunner::ExperimentRunner(const ScenarioConfig& config)
+    : impl_(std::make_unique<Impl>(config)) {}
+
+ExperimentRunner::~ExperimentRunner() = default;
+
+ExperimentMetrics ExperimentRunner::run() { return impl_->run(); }
+
+const std::vector<ExperimentMetrics>& ExperimentRunner::device_metrics()
+    const noexcept {
+  return impl_->device_metrics;
+}
+
+Counter ExperimentRunner::cache_counters() const {
+  Counter pooled;
+  for (const auto& device : impl_->devices) {
+    if (device->cache) {
+      for (const auto& [key, count] : device->cache->counters().items()) {
+        pooled.inc(key, count);
+      }
+    }
+  }
+  return pooled;
+}
+
+Counter ExperimentRunner::p2p_counters() const {
+  Counter pooled;
+  for (const auto& device : impl_->devices) {
+    if (device->peers) {
+      for (const auto& [key, count] : device->peers->counters().items()) {
+        pooled.inc(key, count);
+      }
+    }
+  }
+  return pooled;
+}
+
+std::size_t ExperimentRunner::edge_cache_size() const {
+  return impl_->edge_cache ? impl_->edge_cache->size() : 0;
+}
+
+const TraceRecorder& ExperimentRunner::trace() const { return impl_->trace; }
+
+ExperimentMetrics run_scenario(const ScenarioConfig& config) {
+  ExperimentRunner runner{config};
+  return runner.run();
+}
+
+}  // namespace apx

@@ -1,0 +1,59 @@
+#pragma once
+// Experiment runner: assembles the full per-device stack (camera stream,
+// IMU, motion estimator, caches, peer service, pipeline) for every device
+// in a scenario, drives the event simulation for the configured duration,
+// and returns pooled metrics.
+
+#include <memory>
+
+#include "src/features/extractor.hpp"
+#include "src/sim/metrics.hpp"
+#include "src/sim/scenario.hpp"
+#include "src/sim/trace.hpp"
+
+namespace apx {
+
+/// Runs one scenario to completion.
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(const ScenarioConfig& config);
+  ~ExperimentRunner();
+
+  ExperimentRunner(const ExperimentRunner&) = delete;
+  ExperimentRunner& operator=(const ExperimentRunner&) = delete;
+
+  /// Executes the scenario and returns pooled metrics. Callable once.
+  ExperimentMetrics run();
+
+  /// Per-device metrics, valid after run().
+  const std::vector<ExperimentMetrics>& device_metrics() const noexcept;
+
+  /// Pooled cache counters across devices ("hit"/"miss"/"insert"/"evict"),
+  /// valid after run().
+  Counter cache_counters() const;
+
+  /// Pooled P2P counters across devices, valid after run().
+  Counter p2p_counters() const;
+
+  /// Entries held by the edge cache server (0 when not configured).
+  std::size_t edge_cache_size() const;
+
+  /// Recorded per-frame trace (empty unless ScenarioConfig::record_trace).
+  const TraceRecorder& trace() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Convenience: build, run, return pooled metrics.
+ExperimentMetrics run_scenario(const ScenarioConfig& config);
+
+/// Builds the scenario's feature extractor (the runner's choice exposed for
+/// benches that need extractor parity with a scenario).
+std::unique_ptr<FeatureExtractor> make_extractor(ExtractorKind kind);
+
+/// Builds an eviction policy by kind.
+std::unique_ptr<EvictionPolicy> make_eviction(EvictionKind kind);
+
+}  // namespace apx

@@ -1,0 +1,49 @@
+#pragma once
+// Experiment traces: a compact binary log of every per-frame recognition
+// outcome in a run. Traces decouple measurement from analysis — a sweep
+// can be recorded once and re-analyzed offline (new metrics, per-device
+// slicing, debugging a regression) without re-simulating, and traces are
+// byte-comparable across runs for reproducibility checks.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/result.hpp"
+#include "src/sim/metrics.hpp"
+
+namespace apx {
+
+/// One trace record: which device produced which per-frame outcome.
+struct TraceEvent {
+  std::uint32_t device = 0;
+  RecognitionResult result;
+};
+
+/// Accumulates events and serializes them (versioned, length-prefixed).
+class TraceRecorder {
+ public:
+  void record(std::uint32_t device, const RecognitionResult& result);
+
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  std::size_t size() const noexcept { return events_.size(); }
+
+  /// Serializes all events (deterministic byte stream).
+  std::vector<std::uint8_t> serialize() const;
+
+  /// Parses a serialized trace; throws CodecError on malformed input.
+  static std::vector<TraceEvent> parse(std::span<const std::uint8_t> bytes);
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// Re-derives pooled metrics from a trace (equals the live metrics of the
+/// run that produced it, minus drop counts, which traces do not carry).
+ExperimentMetrics analyze_trace(const std::vector<TraceEvent>& events);
+
+/// Metrics for one device only.
+ExperimentMetrics analyze_trace_device(const std::vector<TraceEvent>& events,
+                                       std::uint32_t device);
+
+}  // namespace apx

@@ -1,0 +1,34 @@
+#pragma once
+// Minimal leveled logging. Off by default so simulation output stays clean;
+// examples and debugging turn it up explicitly.
+
+#include <cstdio>
+#include <string>
+
+namespace apx {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level emitted (default kOff).
+void set_log_level(LogLevel level) noexcept;
+
+/// Current global level.
+LogLevel log_level() noexcept;
+
+/// Writes one formatted line to stderr if `level` passes the global filter.
+void log_line(LogLevel level, const std::string& msg);
+
+}  // namespace apx
+
+#define APX_LOG(level, msg)                                 \
+  do {                                                      \
+    if (static_cast<int>(level) >=                          \
+        static_cast<int>(::apx::log_level())) {             \
+      ::apx::log_line(level, (msg));                        \
+    }                                                       \
+  } while (0)
+
+#define APX_DEBUG(msg) APX_LOG(::apx::LogLevel::kDebug, msg)
+#define APX_INFO(msg) APX_LOG(::apx::LogLevel::kInfo, msg)
+#define APX_WARN(msg) APX_LOG(::apx::LogLevel::kWarn, msg)
+#define APX_ERROR(msg) APX_LOG(::apx::LogLevel::kError, msg)

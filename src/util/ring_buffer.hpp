@@ -1,0 +1,55 @@
+#pragma once
+// Fixed-capacity ring buffer used for IMU windows and frame-history state.
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace apx {
+
+/// Fixed-capacity FIFO that overwrites the oldest element when full.
+///
+/// Indexing is oldest-first: operator[](0) is the oldest retained element,
+/// operator[](size()-1) the newest.
+template <typename T>
+class RingBuffer {
+ public:
+  /// Requires capacity >= 1.
+  explicit RingBuffer(std::size_t capacity) : buf_(capacity) {
+    assert(capacity >= 1);
+  }
+
+  void push(T value) {
+    buf_[(head_ + size_) % buf_.size()] = std::move(value);
+    if (size_ < buf_.size()) {
+      ++size_;
+    } else {
+      head_ = (head_ + 1) % buf_.size();
+    }
+  }
+
+  const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return buf_[(head_ + i) % buf_.size()];
+  }
+
+  const T& front() const { return (*this)[0]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  std::size_t size() const noexcept { return size_; }
+  std::size_t capacity() const noexcept { return buf_.size(); }
+  bool empty() const noexcept { return size_ == 0; }
+  bool full() const noexcept { return size_ == buf_.size(); }
+
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace apx

@@ -1,0 +1,103 @@
+#include "src/util/serialize.hpp"
+
+#include <bit>
+#include <limits>
+
+namespace apx {
+namespace {
+
+template <typename T>
+void append_le(std::vector<std::uint8_t>& buf, T v) {
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+}  // namespace
+
+void Writer::u8(std::uint8_t v) { buf_.push_back(v); }
+void Writer::u16(std::uint16_t v) { append_le(buf_, v); }
+void Writer::u32(std::uint32_t v) { append_le(buf_, v); }
+void Writer::u64(std::uint64_t v) { append_le(buf_, v); }
+void Writer::i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+void Writer::f32(float v) { u32(std::bit_cast<std::uint32_t>(v)); }
+void Writer::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void Writer::varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void Writer::str(std::string_view v) {
+  varint(v.size());
+  buf_.insert(buf_.end(), v.begin(), v.end());
+}
+
+void Writer::f32_vec(std::span<const float> v) {
+  varint(v.size());
+  for (float x : v) f32(x);
+}
+
+void Writer::raw(std::span<const std::uint8_t> bytes) {
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+void Reader::need(std::size_t n) const {
+  if (remaining() < n) throw CodecError("buffer underflow");
+}
+
+template <typename T>
+T Reader::fixed() {
+  need(sizeof(T));
+  T v = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    v |= static_cast<T>(static_cast<T>(data_[pos_ + i]) << (8 * i));
+  }
+  pos_ += sizeof(T);
+  return v;
+}
+
+std::uint8_t Reader::u8() { return fixed<std::uint8_t>(); }
+std::uint16_t Reader::u16() { return fixed<std::uint16_t>(); }
+std::uint32_t Reader::u32() { return fixed<std::uint32_t>(); }
+std::uint64_t Reader::u64() { return fixed<std::uint64_t>(); }
+std::int64_t Reader::i64() { return static_cast<std::int64_t>(u64()); }
+float Reader::f32() { return std::bit_cast<float>(u32()); }
+double Reader::f64() { return std::bit_cast<double>(u64()); }
+
+std::uint64_t Reader::varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    need(1);
+    const std::uint8_t byte = data_[pos_++];
+    if (shift == 63 && (byte & 0x7e) != 0) throw CodecError("varint overflow");
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+    if (shift > 63) throw CodecError("varint too long");
+  }
+  return v;
+}
+
+std::string Reader::str() {
+  const std::uint64_t n = varint();
+  need(n);
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+std::vector<float> Reader::f32_vec() {
+  const std::uint64_t n = varint();
+  if (n > remaining() / sizeof(float)) throw CodecError("vector too long");
+  std::vector<float> v;
+  v.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) v.push_back(f32());
+  return v;
+}
+
+}  // namespace apx

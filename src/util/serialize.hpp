@@ -1,0 +1,80 @@
+#pragma once
+// Compact little-endian binary codec used for all peer-to-peer messages.
+//
+// The wire format is deliberately simple: fixed-width integers are written
+// little-endian, unsigned varints use LEB128, floats are bit-cast to their
+// IEEE-754 representation. Readers are bounds-checked and never read past
+// the buffer; a malformed message surfaces as CodecError rather than UB.
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace apx {
+
+/// Thrown by Reader on truncated or malformed input.
+class CodecError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Appends primitive values to an internal byte buffer.
+class Writer {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  void f32(float v);
+  void f64(double v);
+  /// LEB128 unsigned varint (1-10 bytes).
+  void varint(std::uint64_t v);
+  /// Length-prefixed (varint) byte string.
+  void str(std::string_view v);
+  /// Length-prefixed (varint) float vector.
+  void f32_vec(std::span<const float> v);
+  /// Raw bytes with no length prefix.
+  void raw(std::span<const std::uint8_t> bytes);
+
+  const std::vector<std::uint8_t>& bytes() const noexcept { return buf_; }
+  std::vector<std::uint8_t> take() noexcept { return std::move(buf_); }
+  std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Reads primitive values from a byte span; throws CodecError on underflow.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) noexcept : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64();
+  float f32();
+  double f64();
+  std::uint64_t varint();
+  std::string str();
+  std::vector<float> f32_vec();
+
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  bool done() const noexcept { return pos_ == data_.size(); }
+
+ private:
+  void need(std::size_t n) const;
+  template <typename T>
+  T fixed();
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace apx

@@ -1,0 +1,107 @@
+#include "src/util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace apx {
+
+void OnlineStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void OnlineStats::merge(const OnlineStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Samples::add(double x) {
+  values_.push_back(x);
+  dirty_ = true;
+}
+
+double Samples::mean() const noexcept {
+  if (values_.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values_) s += v;
+  return s / static_cast<double>(values_.size());
+}
+
+void Samples::ensure_sorted() const {
+  if (!dirty_) return;
+  sorted_ = values_;
+  std::sort(sorted_.begin(), sorted_.end());
+  dirty_ = false;
+}
+
+double Samples::quantile(double q) const {
+  if (values_.empty()) return 0.0;
+  ensure_sorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+double Samples::min() const { return quantile(0.0); }
+double Samples::max() const { return quantile(1.0); }
+
+std::vector<double> Samples::sorted() const {
+  ensure_sorted();
+  return sorted_;
+}
+
+void Counter::inc(const std::string& key, std::uint64_t by) {
+  counts_[key] += by;
+}
+
+std::uint64_t Counter::get(const std::string& key) const noexcept {
+  const auto it = counts_.find(key);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::uint64_t Counter::total() const noexcept {
+  std::uint64_t t = 0;
+  for (const auto& [_, v] : counts_) t += v;
+  return t;
+}
+
+double Counter::fraction(const std::string& key) const noexcept {
+  const std::uint64_t t = total();
+  if (t == 0) return 0.0;
+  return static_cast<double>(get(key)) / static_cast<double>(t);
+}
+
+}  // namespace apx

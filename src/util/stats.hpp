@@ -1,0 +1,86 @@
+#pragma once
+// Streaming and batch statistics used by the metrics layer and benchmarks.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace apx {
+
+/// Numerically stable streaming mean/variance (Welford), plus min/max.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+  /// Merges another accumulator into this one (parallel Welford merge).
+  void merge(const OnlineStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Retains every sample to answer exact quantile queries.
+///
+/// Our experiments collect at most a few million scalar samples, so exact
+/// storage is cheaper than the complexity of a sketch. Quantiles use linear
+/// interpolation between closest ranks (same convention as numpy's default).
+class Samples {
+ public:
+  void add(double x);
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  std::size_t count() const noexcept { return values_.size(); }
+  double mean() const noexcept;
+  /// q in [0, 1]; returns 0 when empty.
+  double quantile(double q) const;
+  double min() const;
+  double max() const;
+
+  /// Sorted copy of the samples (for CDF output).
+  std::vector<double> sorted() const;
+
+  void clear() noexcept { values_.clear(); dirty_ = true; }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool dirty_ = true;
+};
+
+/// Counter keyed by a small set of string labels (hit sources, outcome
+/// classes, ...). Deterministic iteration order (std::map).
+class Counter {
+ public:
+  void inc(const std::string& key, std::uint64_t by = 1);
+  std::uint64_t get(const std::string& key) const noexcept;
+  std::uint64_t total() const noexcept;
+  /// Fraction of the total attributed to `key`; 0 when total is 0.
+  double fraction(const std::string& key) const noexcept;
+
+  const std::map<std::string, std::uint64_t>& items() const noexcept {
+    return counts_;
+  }
+
+ private:
+  std::map<std::string, std::uint64_t> counts_;
+};
+
+}  // namespace apx

@@ -1,0 +1,30 @@
+#pragma once
+// Aligned-column text tables for benchmark and experiment output.
+
+#include <string>
+#include <vector>
+
+namespace apx {
+
+/// Accumulates rows of strings and renders an aligned plain-text table,
+/// matching the row/column layout the reproduced exhibits report.
+class TextTable {
+ public:
+  /// Sets the header row; resets nothing else.
+  void header(std::vector<std::string> cells);
+
+  /// Appends a data row. Rows may have fewer cells than the header.
+  void row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  /// Renders with two-space column gaps and a dashed rule under the header.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace apx

@@ -1,0 +1,56 @@
+#include "src/util/vecmath.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace apx {
+
+float dot(std::span<const float> a, std::span<const float> b) noexcept {
+  assert(a.size() == b.size());
+  float s = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+float l2_sq(std::span<const float> a, std::span<const float> b) noexcept {
+  assert(a.size() == b.size());
+  float s = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const float d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+float l2(std::span<const float> a, std::span<const float> b) noexcept {
+  return std::sqrt(l2_sq(a, b));
+}
+
+float norm(std::span<const float> a) noexcept {
+  return std::sqrt(dot(a, a));
+}
+
+float cosine_distance(std::span<const float> a,
+                      std::span<const float> b) noexcept {
+  const float na = norm(a);
+  const float nb = norm(b);
+  if (na == 0.0f || nb == 0.0f) return 1.0f;
+  return 1.0f - dot(a, b) / (na * nb);
+}
+
+void normalize(std::span<float> v) noexcept {
+  const float n = norm(v);
+  if (n == 0.0f) return;
+  scale_in_place(v, 1.0f / n);
+}
+
+void add_in_place(std::span<float> a, std::span<const float> b) noexcept {
+  assert(a.size() == b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+}
+
+void scale_in_place(std::span<float> a, float s) noexcept {
+  for (float& x : a) x *= s;
+}
+
+}  // namespace apx

@@ -1,0 +1,38 @@
+#pragma once
+// Dense float-vector math shared by feature extraction and ANN search.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace apx {
+
+/// Dense feature vector. Plain alias: features are data, not behaviour.
+using FeatureVec = std::vector<float>;
+
+/// Inner product; spans must be the same length.
+float dot(std::span<const float> a, std::span<const float> b) noexcept;
+
+/// Squared Euclidean distance; spans must be the same length.
+float l2_sq(std::span<const float> a, std::span<const float> b) noexcept;
+
+/// Euclidean distance; spans must be the same length.
+float l2(std::span<const float> a, std::span<const float> b) noexcept;
+
+/// Euclidean norm.
+float norm(std::span<const float> a) noexcept;
+
+/// Cosine distance in [0, 2]: 1 - cos(a, b). Zero vectors compare at 1.
+float cosine_distance(std::span<const float> a,
+                      std::span<const float> b) noexcept;
+
+/// Scales `v` in place to unit L2 norm; leaves zero vectors untouched.
+void normalize(std::span<float> v) noexcept;
+
+/// Element-wise a += b; spans must be the same length.
+void add_in_place(std::span<float> a, std::span<const float> b) noexcept;
+
+/// Element-wise a *= s.
+void scale_in_place(std::span<float> a, float s) noexcept;
+
+}  // namespace apx

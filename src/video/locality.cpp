@@ -1,0 +1,43 @@
+#include "src/video/locality.hpp"
+
+#include <stdexcept>
+
+namespace apx {
+
+TemporalReuseDetector::TemporalReuseDetector(const TemporalReuseParams& params)
+    : params_(params) {
+  if (params.diff_threshold < 0.0f || params.max_chain < 0 ||
+      params.downsample_side <= 0) {
+    throw std::invalid_argument("TemporalReuseDetector: bad parameters");
+  }
+}
+
+Image TemporalReuseDetector::downsample(const Image& frame) const {
+  return frame.to_gray().resized(params_.downsample_side,
+                                 params_.downsample_side);
+}
+
+TemporalCheck TemporalReuseDetector::check(const Image& frame) {
+  TemporalCheck result;
+  result.latency = params_.check_latency;
+  if (!keyframe_.has_value()) return result;
+  const Image small = downsample(frame);
+  result.diff = small.mean_abs_diff(*keyframe_);
+  if (result.diff <= params_.diff_threshold && chain_ < params_.max_chain) {
+    result.reusable = true;
+    ++chain_;
+  }
+  return result;
+}
+
+void TemporalReuseDetector::set_keyframe(const Image& frame) {
+  keyframe_ = downsample(frame);
+  chain_ = 0;
+}
+
+void TemporalReuseDetector::invalidate() noexcept {
+  keyframe_.reset();
+  chain_ = 0;
+}
+
+}  // namespace apx

@@ -1,0 +1,59 @@
+#pragma once
+// Temporal-locality reuse (DESIGN.md §5.5): when a frame is nearly identical
+// to the last *keyframe*, the pipeline inherits the keyframe's recognition
+// result without extracting features at all. Comparing against the keyframe
+// (not the previous frame) prevents unbounded drift; a maximum chain length
+// bounds staleness even when frames stay similar.
+
+#include <optional>
+
+#include "src/image/image.hpp"
+#include "src/util/clock.hpp"
+
+namespace apx {
+
+/// Temporal reuse knobs.
+struct TemporalReuseParams {
+  float diff_threshold = 0.045f;  ///< mean-abs-diff accepting reuse
+  int max_chain = 30;             ///< reuses before a forced refresh
+  int downsample_side = 16;       ///< comparison resolution
+  SimDuration check_latency = 400;///< simulated cost of one diff (0.4 ms)
+};
+
+/// Result of a temporal-locality check.
+struct TemporalCheck {
+  bool reusable = false;
+  float diff = 0.0f;          ///< mean abs diff vs the keyframe
+  SimDuration latency = 0;    ///< simulated cost paid for the check
+};
+
+/// Keyframe-based frame-difference detector.
+class TemporalReuseDetector {
+ public:
+  explicit TemporalReuseDetector(const TemporalReuseParams& params = {});
+
+  /// Tests `frame` against the current keyframe. Reuse is refused when
+  /// there is no keyframe, the difference exceeds the threshold, or the
+  /// chain has reached max_chain. A successful check extends the chain.
+  TemporalCheck check(const Image& frame);
+
+  /// Installs `frame` as the new keyframe and resets the chain. Called by
+  /// the pipeline after it computed (or fetched) a fresh result.
+  void set_keyframe(const Image& frame);
+
+  /// Drops the keyframe (e.g. after major motion invalidates it).
+  void invalidate() noexcept;
+
+  int chain_length() const noexcept { return chain_; }
+  bool has_keyframe() const noexcept { return keyframe_.has_value(); }
+  const TemporalReuseParams& params() const noexcept { return params_; }
+
+ private:
+  Image downsample(const Image& frame) const;
+
+  TemporalReuseParams params_;
+  std::optional<Image> keyframe_;  ///< downsampled grayscale
+  int chain_ = 0;
+};
+
+}  // namespace apx

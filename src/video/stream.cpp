@@ -1,0 +1,74 @@
+#include "src/video/stream.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace apx {
+
+VideoStreamGenerator::VideoStreamGenerator(const SceneGenerator& scenes,
+                                           const MobilityModel& mobility,
+                                           const ZipfSampler& popularity,
+                                           const VideoStreamConfig& config,
+                                           std::uint64_t seed)
+    : scenes_(&scenes),
+      mobility_(&mobility),
+      popularity_(&popularity),
+      config_(config),
+      rng_(seed) {
+  if (config.fps <= 0.0) {
+    throw std::invalid_argument("VideoStreamGenerator: fps <= 0");
+  }
+  period_ =
+      static_cast<SimDuration>(static_cast<double>(kSecond) / config.fps);
+  if (period_ <= 0) period_ = 1;
+  change_object();
+}
+
+void VideoStreamGenerator::change_object() {
+  current_label_ = static_cast<Label>(popularity_->sample(rng_));
+  view_ = ViewParams{};
+  view_.dx = static_cast<float>(
+      rng_.normal(0.0, static_cast<double>(config_.view_pan_sigma)));
+  view_.dy = static_cast<float>(
+      rng_.normal(0.0, static_cast<double>(config_.view_pan_sigma)));
+  view_.zoom = static_cast<float>(
+      rng_.uniform(static_cast<double>(config_.view_zoom_min),
+                   static_cast<double>(config_.view_zoom_max)));
+  view_.brightness = static_cast<float>(rng_.normal(0.0, 0.05));
+  view_.contrast = static_cast<float>(rng_.uniform(0.9, 1.1));
+  view_.noise_sigma = config_.sensor_noise;
+  view_.noise_seed = rng_.next_u64();
+}
+
+Frame VideoStreamGenerator::next() {
+  const SimTime t = next_t_;
+  next_t_ += period_;
+
+  const MotionState state = mobility_->state_at(t);
+  const double rate = state == MotionState::kStationary
+                          ? config_.change_rate_stationary
+                      : state == MotionState::kMinor
+                          ? config_.change_rate_minor
+                          : config_.change_rate_major;
+  const double p_change = 1.0 - std::exp(-rate * to_seconds(period_));
+
+  Frame frame;
+  frame.t = t;
+  frame.true_motion = state;
+  if (rng_.chance(p_change)) {
+    change_object();
+    frame.object_changed = true;
+  } else {
+    // View drifts proportionally to motion intensity; noise seed refreshes
+    // every frame (sensor noise is i.i.d. across frames).
+    const auto magnitude = static_cast<float>(
+        config_.jitter_scale * mobility_->intensity_of(state));
+    view_ = view_.jittered(rng_, magnitude);
+    view_.noise_sigma = config_.sensor_noise;
+  }
+  frame.true_label = current_label_;
+  frame.image = scenes_->render(current_label_, view_);
+  return frame;
+}
+
+}  // namespace apx

@@ -1,0 +1,73 @@
+#pragma once
+// Live-video stream generator: renders a frame sequence whose temporal
+// locality is driven by the device's MobilityModel (the same timeline that
+// drives the IMU generator). Object changes are a Poisson process whose
+// rate depends on the motion state — a stationary phone keeps looking at
+// the same thing; a fast pan finds new objects.
+
+#include "src/dnn/model.hpp"
+#include "src/image/scene.hpp"
+#include "src/imu/mobility.hpp"
+#include "src/util/rng.hpp"
+
+namespace apx {
+
+/// One camera frame with its simulation ground truth attached.
+struct Frame {
+  SimTime t = 0;
+  Label true_label = kNoLabel;   ///< object actually in view
+  Image image;
+  MotionState true_motion = MotionState::kStationary;  ///< for diagnostics
+  bool object_changed = false;   ///< first frame of a new object
+};
+
+/// Stream shape knobs.
+struct VideoStreamConfig {
+  double fps = 10.0;
+  /// Poisson object-change rates (events/second) per motion state.
+  double change_rate_stationary = 0.005;
+  double change_rate_minor = 0.08;
+  double change_rate_major = 0.80;
+  float sensor_noise = 0.02f;    ///< per-frame Gaussian pixel noise sigma
+  float jitter_scale = 0.45f;    ///< view drift per unit motion intensity
+  /// Vantage-point spread when a new object comes into view. Small values
+  /// model venues where everyone sees objects from similar positions
+  /// (kiosks, exhibits behind a rail); large values model free movement.
+  float view_pan_sigma = 0.4f;
+  float view_zoom_min = 0.75f;
+  float view_zoom_max = 1.3f;
+};
+
+/// Deterministic frame source. Each call to next() advances simulated time
+/// by one frame period.
+class VideoStreamGenerator {
+ public:
+  VideoStreamGenerator(const SceneGenerator& scenes,
+                       const MobilityModel& mobility,
+                       const ZipfSampler& popularity,
+                       const VideoStreamConfig& config, std::uint64_t seed);
+
+  /// Renders the next frame.
+  Frame next();
+
+  /// Time the next frame will carry.
+  SimTime next_frame_time() const noexcept { return next_t_; }
+
+  SimDuration frame_period() const noexcept { return period_; }
+  Label current_label() const noexcept { return current_label_; }
+
+ private:
+  void change_object();
+
+  const SceneGenerator* scenes_;
+  const MobilityModel* mobility_;
+  const ZipfSampler* popularity_;
+  VideoStreamConfig config_;
+  Rng rng_;
+  SimDuration period_;
+  SimTime next_t_ = 0;
+  Label current_label_ = kNoLabel;
+  ViewParams view_;
+};
+
+}  // namespace apx

@@ -1,0 +1,97 @@
+#include "src/vision/multi_object.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace apx {
+
+Image compose_grid(const SceneGenerator& scenes,
+                   const std::array<Label, MultiFrame::kRegions>& labels,
+                   const std::array<ViewParams, MultiFrame::kRegions>& views) {
+  constexpr int kSide = MultiFrame::kGridSide;
+  const int cell = scenes.config().image_size;
+  const int channels = scenes.config().channels;
+  Image frame(cell * kSide, cell * kSide, channels);
+  for (int region = 0; region < MultiFrame::kRegions; ++region) {
+    const Image tile = scenes.render(labels[static_cast<std::size_t>(region)],
+                                     views[static_cast<std::size_t>(region)]);
+    const int ox = (region % kSide) * cell;
+    const int oy = (region / kSide) * cell;
+    for (int y = 0; y < cell; ++y) {
+      for (int x = 0; x < cell; ++x) {
+        for (int c = 0; c < channels; ++c) {
+          frame.at(ox + x, oy + y, c) = tile.at(x, y, c);
+        }
+      }
+    }
+  }
+  return frame;
+}
+
+Image crop_region(const Image& frame, int index) {
+  constexpr int kSide = MultiFrame::kGridSide;
+  if (index < 0 || index >= MultiFrame::kRegions) {
+    throw std::out_of_range("crop_region: bad index");
+  }
+  const int cell_w = frame.width() / kSide;
+  const int cell_h = frame.height() / kSide;
+  const int ox = (index % kSide) * cell_w;
+  const int oy = (index / kSide) * cell_h;
+  Image out(cell_w, cell_h, frame.channels());
+  for (int y = 0; y < cell_h; ++y) {
+    for (int x = 0; x < cell_w; ++x) {
+      for (int c = 0; c < frame.channels(); ++c) {
+        out.at(x, y, c) = frame.at(ox + x, oy + y, c);
+      }
+    }
+  }
+  return out;
+}
+
+MultiObjectStream::MultiObjectStream(const SceneGenerator& scenes,
+                                     const ZipfSampler& popularity,
+                                     const Config& config, std::uint64_t seed)
+    : scenes_(&scenes), popularity_(&popularity), config_(config), rng_(seed) {
+  if (config.fps <= 0.0) {
+    throw std::invalid_argument("MultiObjectStream: fps <= 0");
+  }
+  period_ =
+      static_cast<SimDuration>(static_cast<double>(kSecond) / config.fps);
+  if (period_ <= 0) period_ = 1;
+  for (int slot = 0; slot < MultiFrame::kRegions; ++slot) change_slot(slot);
+}
+
+void MultiObjectStream::change_slot(int slot) {
+  const auto i = static_cast<std::size_t>(slot);
+  labels_[i] = static_cast<Label>(popularity_->sample(rng_));
+  views_[i] = ViewParams{};
+  views_[i].dx = static_cast<float>(rng_.normal(0.0, 0.15));
+  views_[i].dy = static_cast<float>(rng_.normal(0.0, 0.15));
+  views_[i].zoom = static_cast<float>(rng_.uniform(0.95, 1.1));
+  views_[i].noise_sigma = config_.sensor_noise;
+  views_[i].noise_seed = rng_.next_u64();
+}
+
+MultiFrame MultiObjectStream::next() {
+  MultiFrame frame;
+  frame.t = next_t_;
+  next_t_ += period_;
+
+  const double p_change =
+      1.0 - std::exp(-config_.slot_change_rate * to_seconds(period_));
+  for (int slot = 0; slot < MultiFrame::kRegions; ++slot) {
+    const auto i = static_cast<std::size_t>(slot);
+    if (rng_.chance(p_change)) {
+      change_slot(slot);
+      frame.changed[i] = true;
+    } else {
+      views_[i] = views_[i].jittered(rng_, config_.jitter);
+      views_[i].noise_sigma = config_.sensor_noise;
+    }
+    frame.true_labels[i] = labels_[i];
+  }
+  frame.image = compose_grid(*scenes_, labels_, views_);
+  return frame;
+}
+
+}  // namespace apx

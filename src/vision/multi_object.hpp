@@ -1,0 +1,78 @@
+#pragma once
+// Multi-object frames and region-level reuse. Real camera frames rarely
+// contain exactly one object; recognition apps run detection + per-region
+// classification. For caching this matters structurally: a whole-frame
+// feature changes whenever ANY object in view changes, while per-region
+// features keep matching for the regions that did not change — region
+// granularity is what makes approximate caching effective on multi-object
+// scenes (the DeepCache-lineage observation, exhibited in
+// bench_f10_regions).
+//
+// The region detector here is a fixed grid — the stand-in for a real
+// region-proposal stage, with its own simulated latency (detection is much
+// cheaper than classification on phones).
+
+#include <array>
+#include <vector>
+
+#include "src/image/scene.hpp"
+#include "src/video/stream.hpp"
+
+namespace apx {
+
+/// A frame showing `kGridSide` x `kGridSide` objects in a grid.
+struct MultiFrame {
+  static constexpr int kGridSide = 2;
+  static constexpr int kRegions = kGridSide * kGridSide;
+
+  SimTime t = 0;
+  std::array<Label, kRegions> true_labels{};
+  std::array<bool, kRegions> changed{};  ///< region got a new object now
+  Image image;
+};
+
+/// Stream of multi-object frames: each grid slot runs its own Poisson
+/// object-change process (per-slot rate), all slots share the camera's
+/// photometric state. Views are gently jittered frame to frame.
+class MultiObjectStream {
+ public:
+  struct Config {
+    double fps = 10.0;
+    double slot_change_rate = 0.15;  ///< object changes per second per slot
+    float sensor_noise = 0.02f;
+    float jitter = 0.02f;            ///< per-frame view drift magnitude
+  };
+
+  MultiObjectStream(const SceneGenerator& scenes, const ZipfSampler& popularity,
+                    const Config& config, std::uint64_t seed);
+
+  /// Renders the next frame (each region one object).
+  MultiFrame next();
+
+  SimDuration frame_period() const noexcept { return period_; }
+
+ private:
+  void change_slot(int slot);
+
+  const SceneGenerator* scenes_;
+  const ZipfSampler* popularity_;
+  Config config_;
+  Rng rng_;
+  SimDuration period_;
+  SimTime next_t_ = 0;
+  std::array<Label, MultiFrame::kRegions> labels_{};
+  std::array<ViewParams, MultiFrame::kRegions> views_{};
+};
+
+/// Composes per-region renderings into one frame image.
+Image compose_grid(const SceneGenerator& scenes,
+                   const std::array<Label, MultiFrame::kRegions>& labels,
+                   const std::array<ViewParams, MultiFrame::kRegions>& views);
+
+/// Crops region `index` (row-major) out of a grid frame.
+Image crop_region(const Image& frame, int index);
+
+/// Simulated cost of the region-proposal stage for one frame.
+constexpr SimDuration kRegionDetectLatency = 3 * kMillisecond;
+
+}  // namespace apx

@@ -1,0 +1,357 @@
+// Unit tests for the approximate cache, eviction policies, and the
+// exact-match baseline cache.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/cache/approx_cache.hpp"
+#include "src/cache/exact_cache.hpp"
+#include "src/util/rng.hpp"
+
+namespace apx {
+namespace {
+
+constexpr std::size_t kDim = 8;
+
+FeatureVec unit_at(float angle) {
+  FeatureVec v(kDim, 0.0f);
+  v[0] = std::cos(angle);
+  v[1] = std::sin(angle);
+  return v;
+}
+
+ApproxCacheConfig small_config(IndexKind index = IndexKind::kExact) {
+  ApproxCacheConfig cfg;
+  cfg.capacity = 8;
+  cfg.index = index;
+  cfg.hknn.k = 3;
+  cfg.hknn.max_distance = 0.3f;
+  cfg.hknn.homogeneity_threshold = 0.7f;
+  return cfg;
+}
+
+ApproxCache make_cache(IndexKind index = IndexKind::kExact,
+                       std::size_t capacity = 8) {
+  auto cfg = small_config(index);
+  cfg.capacity = capacity;
+  return ApproxCache{kDim, cfg, make_lru_policy()};
+}
+
+// ------------------------------------------------------------ ApproxCache
+
+TEST(ApproxCache, BadConfigThrows) {
+  EXPECT_THROW(ApproxCache(0, small_config(), make_lru_policy()),
+               std::invalid_argument);
+  auto cfg = small_config();
+  cfg.capacity = 0;
+  EXPECT_THROW(ApproxCache(kDim, cfg, make_lru_policy()),
+               std::invalid_argument);
+  EXPECT_THROW(ApproxCache(kDim, small_config(), nullptr),
+               std::invalid_argument);
+}
+
+TEST(ApproxCache, EmptyLookupMisses) {
+  auto cache = make_cache();
+  const auto result = cache.lookup(unit_at(0.0f), 0);
+  EXPECT_FALSE(result.vote.has_value());
+  EXPECT_EQ(cache.counters().get("miss"), 1u);
+}
+
+TEST(ApproxCache, NearbyFeatureHits) {
+  auto cache = make_cache();
+  cache.insert(unit_at(0.0f), 5, 0.9f, 0);
+  const auto result = cache.lookup(unit_at(0.05f), 1);
+  ASSERT_TRUE(result.vote.has_value());
+  EXPECT_EQ(result.vote->label, 5);
+  EXPECT_EQ(cache.counters().get("hit"), 1u);
+}
+
+TEST(ApproxCache, FarFeatureMisses) {
+  auto cache = make_cache();
+  cache.insert(unit_at(0.0f), 5, 0.9f, 0);
+  const auto result = cache.lookup(unit_at(1.5f), 1);
+  EXPECT_FALSE(result.vote.has_value());
+}
+
+TEST(ApproxCache, ThresholdScaleRelaxesMatch) {
+  auto cache = make_cache();
+  cache.insert(unit_at(0.0f), 5, 0.9f, 0);
+  // 0.35 rad apart: just beyond max_distance 0.3 (chord ~0.35).
+  EXPECT_FALSE(cache.lookup(unit_at(0.35f), 1, 1.0f).vote.has_value());
+  EXPECT_TRUE(cache.lookup(unit_at(0.35f), 2, 1.5f).vote.has_value());
+}
+
+TEST(ApproxCache, ThresholdScaleTightensMatch) {
+  auto cache = make_cache();
+  cache.insert(unit_at(0.0f), 5, 0.9f, 0);
+  EXPECT_TRUE(cache.lookup(unit_at(0.25f), 1, 1.0f).vote.has_value());
+  EXPECT_FALSE(cache.lookup(unit_at(0.25f), 2, 0.5f).vote.has_value());
+}
+
+TEST(ApproxCache, MixedLabelsAbstain) {
+  // The query sits equidistant between two conflicting labels, so neither
+  // side can reach the homogeneity threshold.
+  auto cache = make_cache();
+  cache.insert(unit_at(0.00f), 1, 0.9f, 0);
+  cache.insert(unit_at(0.04f), 2, 0.9f, 0);
+  const auto result = cache.lookup(unit_at(0.02f), 1);
+  EXPECT_FALSE(result.vote.has_value());
+}
+
+TEST(ApproxCache, PlainVoteModeAnswersWhereHknnAbstains) {
+  auto cfg = small_config();
+  cfg.hknn.require_homogeneity = false;
+  ApproxCache cache{kDim, cfg, make_lru_policy()};
+  cache.insert(unit_at(0.00f), 1, 0.9f, 0);
+  cache.insert(unit_at(0.04f), 2, 0.9f, 0);
+  // Equidistant conflicting labels: H-kNN abstains (see MixedLabelsAbstain)
+  // but the plain vote must answer.
+  EXPECT_TRUE(cache.lookup(unit_at(0.02f), 1).vote.has_value());
+}
+
+TEST(ApproxCache, ExactMatchDominatesMixedNeighborhood) {
+  // An exact-distance match outweighs conflicting far neighbours in the
+  // distance-weighted vote (weight ~ 1/eps).
+  auto cache = make_cache();
+  cache.insert(unit_at(0.00f), 1, 0.9f, 0);
+  cache.insert(unit_at(0.02f), 2, 0.9f, 0);
+  cache.insert(unit_at(0.04f), 3, 0.9f, 0);
+  const auto result = cache.lookup(unit_at(0.02f), 1);
+  ASSERT_TRUE(result.vote.has_value());
+  EXPECT_EQ(result.vote->label, 2);
+}
+
+TEST(ApproxCache, CapacityEnforced) {
+  auto cache = make_cache(IndexKind::kExact, 4);
+  for (int i = 0; i < 10; ++i) {
+    cache.insert(unit_at(static_cast<float>(i)), i, 0.9f, i);
+  }
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.counters().get("evict"), 6u);
+}
+
+TEST(ApproxCache, LruEvictsOldest) {
+  auto cache = make_cache(IndexKind::kExact, 2);
+  const VecId a = cache.insert(unit_at(0.0f), 1, 0.9f, 0);
+  const VecId b = cache.insert(unit_at(1.0f), 2, 0.9f, 1);
+  // Touch a via lookup so b becomes the LRU victim.
+  ASSERT_TRUE(cache.lookup(unit_at(0.0f), 10).vote.has_value());
+  cache.insert(unit_at(2.0f), 3, 0.9f, 11);
+  EXPECT_NE(cache.find(a), nullptr);
+  EXPECT_EQ(cache.find(b), nullptr);
+}
+
+TEST(ApproxCache, RemoveErasesEntry) {
+  auto cache = make_cache();
+  const VecId id = cache.insert(unit_at(0.0f), 1, 0.9f, 0);
+  EXPECT_TRUE(cache.remove(id));
+  EXPECT_FALSE(cache.remove(id));
+  EXPECT_EQ(cache.find(id), nullptr);
+  EXPECT_FALSE(cache.lookup(unit_at(0.0f), 1).vote.has_value());
+}
+
+TEST(ApproxCache, FindReturnsMetadata) {
+  auto cache = make_cache();
+  const VecId id =
+      cache.insert(unit_at(0.0f), 7, 0.8f, 42, EntryOrigin::kPeer, 2, 9);
+  const CacheEntry* entry = cache.find(id);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->label, 7);
+  EXPECT_FLOAT_EQ(entry->confidence, 0.8f);
+  EXPECT_EQ(entry->insert_time, 42);
+  EXPECT_EQ(entry->origin, EntryOrigin::kPeer);
+  EXPECT_EQ(entry->hop_count, 2);
+  EXPECT_EQ(entry->source_device, 9u);
+}
+
+TEST(ApproxCache, HitTouchesVoters) {
+  auto cache = make_cache();
+  const VecId id = cache.insert(unit_at(0.0f), 1, 0.9f, 0);
+  ASSERT_TRUE(cache.lookup(unit_at(0.01f), 100).vote.has_value());
+  const CacheEntry* entry = cache.find(id);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->access_count, 1u);
+  EXPECT_EQ(entry->last_access, 100);
+}
+
+TEST(ApproxCache, NearestDistanceEmptyIsNullopt) {
+  auto cache = make_cache();
+  EXPECT_FALSE(cache.nearest_distance(unit_at(0.0f)).has_value());
+}
+
+TEST(ApproxCache, NearestDistanceFindsClosest) {
+  auto cache = make_cache();
+  cache.insert(unit_at(0.0f), 1, 0.9f, 0);
+  const auto d = cache.nearest_distance(unit_at(0.0f));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_NEAR(*d, 0.0f, 1e-6f);
+}
+
+TEST(ApproxCache, EntriesSinceFiltersAndSorts) {
+  auto cache = make_cache();
+  cache.insert(unit_at(0.0f), 1, 0.9f, 10);
+  cache.insert(unit_at(1.0f), 2, 0.9f, 30);
+  cache.insert(unit_at(2.0f), 3, 0.9f, 20);
+  const auto since = cache.entries_since(15);
+  ASSERT_EQ(since.size(), 2u);
+  EXPECT_EQ(since[0]->insert_time, 20);
+  EXPECT_EQ(since[1]->insert_time, 30);
+}
+
+TEST(ApproxCache, ForEachVisitsAll) {
+  auto cache = make_cache();
+  cache.insert(unit_at(0.0f), 1, 0.9f, 0);
+  cache.insert(unit_at(1.0f), 2, 0.9f, 0);
+  int visits = 0;
+  cache.for_each([&](const CacheEntry&) { ++visits; });
+  EXPECT_EQ(visits, 2);
+}
+
+TEST(ApproxCache, LatencyGrowsWithCandidates) {
+  auto cfg = small_config(IndexKind::kExact);
+  cfg.capacity = 100;
+  cfg.lookup_base_latency = 100;
+  cfg.per_candidate_latency = 10;
+  ApproxCache cache{kDim, cfg, make_lru_policy()};
+  const auto empty = cache.lookup(unit_at(0.0f), 0);
+  EXPECT_EQ(empty.latency, 100);
+  for (int i = 0; i < 10; ++i) {
+    cache.insert(unit_at(static_cast<float>(i)), i, 0.9f, 0);
+  }
+  const auto full = cache.lookup(unit_at(0.0f), 1);
+  EXPECT_EQ(full.latency, 100 + 10 * 10);
+  EXPECT_EQ(full.candidates, 10u);
+}
+
+TEST(ApproxCache, WorksWithAllIndexKinds) {
+  for (const IndexKind kind :
+       {IndexKind::kExact, IndexKind::kLsh, IndexKind::kAdaptiveLsh}) {
+    auto cache = make_cache(kind, 32);
+    cache.insert(unit_at(0.0f), 5, 0.9f, 0);
+    const auto result = cache.lookup(unit_at(0.0f), 1);
+    ASSERT_TRUE(result.vote.has_value())
+        << "kind=" << static_cast<int>(kind);
+    EXPECT_EQ(result.vote->label, 5);
+  }
+}
+
+// ------------------------------------------------------------ Eviction
+
+CacheEntry entry_with(SimTime last_access, std::uint32_t access_count,
+                      std::uint8_t hops = 0, float confidence = 1.0f) {
+  CacheEntry e;
+  e.last_access = last_access;
+  e.access_count = access_count;
+  e.hop_count = hops;
+  e.confidence = confidence;
+  return e;
+}
+
+TEST(Eviction, LruScoresByRecency) {
+  const auto policy = make_lru_policy();
+  EXPECT_LT(policy->score(entry_with(10, 5), 100),
+            policy->score(entry_with(20, 0), 100));
+}
+
+TEST(Eviction, LfuScoresByFrequency) {
+  const auto policy = make_lfu_policy();
+  EXPECT_LT(policy->score(entry_with(99, 1), 100),
+            policy->score(entry_with(1, 5), 100));
+}
+
+TEST(Eviction, LfuTieBreaksByRecency) {
+  const auto policy = make_lfu_policy();
+  EXPECT_LT(policy->score(entry_with(10, 3), 100),
+            policy->score(entry_with(90, 3), 100));
+}
+
+TEST(Eviction, UtilityPrefersLocalOverRemote) {
+  const auto policy = make_utility_policy();
+  EXPECT_GT(policy->score(entry_with(50, 2, 0), 100),
+            policy->score(entry_with(50, 2, 2), 100));
+}
+
+TEST(Eviction, UtilityDecaysWithAge) {
+  const auto policy = make_utility_policy();
+  EXPECT_GT(policy->score(entry_with(90 * kSecond, 2), 100 * kSecond),
+            policy->score(entry_with(10 * kSecond, 2), 100 * kSecond));
+}
+
+TEST(Eviction, UtilityDiscountsLowConfidence) {
+  const auto policy = make_utility_policy();
+  EXPECT_GT(policy->score(entry_with(50, 2, 0, 1.0f), 100),
+            policy->score(entry_with(50, 2, 0, 0.2f), 100));
+}
+
+TEST(Eviction, PolicyNames) {
+  EXPECT_EQ(make_lru_policy()->name(), "lru");
+  EXPECT_EQ(make_lfu_policy()->name(), "lfu");
+  EXPECT_EQ(make_utility_policy()->name(), "utility");
+}
+
+// ------------------------------------------------------------ ExactCache
+
+TEST(ExactCache, BadParamsThrow) {
+  EXPECT_THROW(ExactCache(0), std::invalid_argument);
+  EXPECT_THROW(ExactCache(4, 0.0f), std::invalid_argument);
+}
+
+TEST(ExactCache, ExactMatchHits) {
+  ExactCache cache{4};
+  const FeatureVec v = unit_at(0.3f);
+  cache.insert(v, 9);
+  const auto hit = cache.lookup(v);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 9);
+}
+
+TEST(ExactCache, PerturbedFeatureMisses) {
+  ExactCache cache{4, 64.0f};
+  FeatureVec v = unit_at(0.3f);
+  cache.insert(v, 9);
+  v[0] += 0.1f;  // larger than a quantization step
+  EXPECT_FALSE(cache.lookup(v).has_value());
+}
+
+TEST(ExactCache, TinyPerturbationWithinStepStillHits) {
+  ExactCache cache{4, 16.0f};  // coarse grid: step 1/16
+  FeatureVec v = unit_at(0.3f);
+  cache.insert(v, 9);
+  v[0] += 0.001f;
+  EXPECT_TRUE(cache.lookup(v).has_value());
+}
+
+TEST(ExactCache, LruEvictionAtCapacity) {
+  ExactCache cache{2};
+  cache.insert(unit_at(0.0f), 1);
+  cache.insert(unit_at(1.0f), 2);
+  // Touch the first so the second is evicted.
+  ASSERT_TRUE(cache.lookup(unit_at(0.0f)).has_value());
+  cache.insert(unit_at(2.0f), 3);
+  EXPECT_TRUE(cache.lookup(unit_at(0.0f)).has_value());
+  EXPECT_FALSE(cache.lookup(unit_at(1.0f)).has_value());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ExactCache, ReinsertUpdatesLabel) {
+  ExactCache cache{4};
+  const FeatureVec v = unit_at(0.0f);
+  cache.insert(v, 1);
+  cache.insert(v, 2);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(*cache.lookup(v), 2);
+}
+
+TEST(ExactCache, CountersTrackActivity) {
+  ExactCache cache{4};
+  cache.lookup(unit_at(0.0f));
+  cache.insert(unit_at(0.0f), 1);
+  cache.lookup(unit_at(0.0f));
+  EXPECT_EQ(cache.counters().get("miss"), 1u);
+  EXPECT_EQ(cache.counters().get("hit"), 1u);
+  EXPECT_EQ(cache.counters().get("insert"), 1u);
+}
+
+}  // namespace
+}  // namespace apx

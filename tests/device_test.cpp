@@ -1,0 +1,90 @@
+// Unit tests for the device power/battery model.
+
+#include <gtest/gtest.h>
+
+#include "src/device/battery.hpp"
+
+namespace apx {
+namespace {
+
+TEST(Battery, StartsFull) {
+  const Battery battery{BatteryParams{}};
+  EXPECT_DOUBLE_EQ(battery.fraction(), 1.0);
+  EXPECT_FALSE(battery.empty());
+}
+
+TEST(Battery, CapacityMatchesElectrochemistry) {
+  // 3000 mAh at 3.85 V = 3 Ah * 3600 s * 3.85 V = 41.58 kJ = 41.58e6 mJ.
+  BatteryParams params;
+  params.capacity_mah = 3000.0;
+  params.voltage_v = 3.85;
+  const Battery battery{params};
+  EXPECT_NEAR(battery.remaining_mj(), 41.58e6, 1e3);
+}
+
+TEST(Battery, DrainByEnergy) {
+  BatteryParams params;
+  params.capacity_mah = 1000.0;
+  params.voltage_v = 1.0;  // 3.6e6 mJ
+  Battery battery{params};
+  battery.drain_mj(1.8e6);
+  EXPECT_NEAR(battery.fraction(), 0.5, 1e-9);
+}
+
+TEST(Battery, DrainClampsAtEmpty) {
+  BatteryParams params;
+  params.capacity_mah = 1.0;
+  Battery battery{params};
+  battery.drain_mj(1e12);
+  EXPECT_DOUBLE_EQ(battery.remaining_mj(), 0.0);
+  EXPECT_TRUE(battery.empty());
+  battery.drain_mj(1.0);  // draining an empty battery is a no-op
+  EXPECT_TRUE(battery.empty());
+}
+
+TEST(Battery, NegativeDrainIgnored) {
+  Battery battery{BatteryParams{}};
+  battery.drain_mj(-100.0);
+  EXPECT_DOUBLE_EQ(battery.fraction(), 1.0);
+}
+
+TEST(Battery, DrainByPowerOverTime) {
+  BatteryParams params;
+  params.capacity_mah = 1000.0;
+  params.voltage_v = 1.0;  // 3.6e6 mJ
+  Battery battery{params};
+  // 1 W for 1800 s = 1.8e6 mJ = half the charge.
+  battery.drain_power(1000.0, 1800 * kSecond);
+  EXPECT_NEAR(battery.fraction(), 0.5, 1e-9);
+}
+
+TEST(Lifetime, ZeroRecognitionEnergyGivesBaselineCeiling) {
+  BatteryParams params;
+  const double ceiling = continuous_recognition_hours(params, 0.0, 10.0);
+  // capacity / (idle + camera): 41.58e6 mJ / 1350 mW = 30800 s = 8.56 h.
+  EXPECT_NEAR(ceiling, 8.556, 0.01);
+}
+
+TEST(Lifetime, MonotoneInPerFrameEnergy) {
+  const BatteryParams params;
+  const double cheap = continuous_recognition_hours(params, 10.0, 10.0);
+  const double dear = continuous_recognition_hours(params, 120.0, 10.0);
+  EXPECT_GT(cheap, dear);
+  EXPECT_LT(cheap, continuous_recognition_hours(params, 0.0, 10.0));
+}
+
+TEST(Lifetime, MonotoneInFrameRate) {
+  const BatteryParams params;
+  EXPECT_GT(continuous_recognition_hours(params, 60.0, 5.0),
+            continuous_recognition_hours(params, 60.0, 30.0));
+}
+
+TEST(Lifetime, KnownPoint) {
+  // 120 mJ/frame at 10 fps = 1.2 W recognition + 1.35 W rails = 2.55 W;
+  // 41.58 kJ / 2.55 W = 16306 s = 4.53 h.
+  const BatteryParams params;
+  EXPECT_NEAR(continuous_recognition_hours(params, 120.0, 10.0), 4.53, 0.01);
+}
+
+}  // namespace
+}  // namespace apx

@@ -1,0 +1,179 @@
+// Unit tests for the DNN substitute layer: profiles, the accuracy oracle,
+// and the real nearest-centroid classifier.
+
+#include <gtest/gtest.h>
+
+#include "src/dnn/centroid.hpp"
+#include "src/dnn/oracle.hpp"
+#include "src/dnn/zoo.hpp"
+#include "src/util/stats.hpp"
+
+namespace apx {
+namespace {
+
+TEST(Zoo, ProfilesOrderedByWeight) {
+  const auto zoo = model_zoo();
+  ASSERT_EQ(zoo.size(), 3u);
+  EXPECT_LT(zoo[0].mean_latency, zoo[1].mean_latency);
+  EXPECT_LT(zoo[1].mean_latency, zoo[2].mean_latency);
+  EXPECT_LT(zoo[0].energy_mj, zoo[2].energy_mj);
+}
+
+TEST(Zoo, MobileNetProfileMagnitudes) {
+  const ModelProfile p = mobilenet_v2_profile();
+  EXPECT_EQ(p.name, "mobilenet_v2");
+  EXPECT_GE(p.mean_latency, 20 * kMillisecond);
+  EXPECT_LE(p.mean_latency, 200 * kMillisecond);
+  EXPECT_GT(p.top1_accuracy, 0.9);
+}
+
+TEST(ProfileLatency, SampleWithinTruncationBand) {
+  const ModelProfile p = mobilenet_v2_profile();
+  Rng rng{1};
+  for (int i = 0; i < 1000; ++i) {
+    const SimDuration lat = sample_profile_latency(p, rng);
+    EXPECT_GE(lat, static_cast<SimDuration>(0.8 * p.mean_latency));
+    EXPECT_LE(lat, static_cast<SimDuration>(1.5 * p.mean_latency));
+  }
+}
+
+TEST(ProfileLatency, MeanApproximatelyNominal) {
+  const ModelProfile p = mobilenet_v2_profile();
+  Rng rng{2};
+  double sum = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(sample_profile_latency(p, rng));
+  }
+  EXPECT_NEAR(sum / n / static_cast<double>(p.mean_latency), 1.0, 0.05);
+}
+
+// ---------------------------------------------------------------- Oracle
+
+TEST(Oracle, BadParamsThrow) {
+  EXPECT_THROW(make_oracle_model(mobilenet_v2_profile(), 0),
+               std::invalid_argument);
+  EXPECT_THROW(make_oracle_model(mobilenet_v2_profile(), 4, 0),
+               std::invalid_argument);
+}
+
+TEST(Oracle, AccuracyMatchesProfile) {
+  ModelProfile p = mobilenet_v2_profile();
+  p.top1_accuracy = 0.9;
+  const auto model = make_oracle_model(p, 16);
+  Rng rng{5};
+  const Image img(4, 4, 1);
+  int correct = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const Label truth = static_cast<Label>(i % 16);
+    if (model->infer(img, truth, rng).label == truth) ++correct;
+  }
+  EXPECT_NEAR(static_cast<double>(correct) / n, 0.9, 0.01);
+}
+
+TEST(Oracle, WrongAnswersAreNeverTruth) {
+  ModelProfile p = mobilenet_v2_profile();
+  p.top1_accuracy = 0.0;  // always wrong
+  const auto model = make_oracle_model(p, 8);
+  Rng rng{7};
+  const Image img(4, 4, 1);
+  for (int i = 0; i < 500; ++i) {
+    const Label truth = static_cast<Label>(i % 8);
+    const Prediction pred = model->infer(img, truth, rng);
+    EXPECT_NE(pred.label, truth);
+    EXPECT_GE(pred.label, 0);
+    EXPECT_LT(pred.label, 8);
+  }
+}
+
+TEST(Oracle, ConfusionErrorsStayInGroup) {
+  ModelProfile p = mobilenet_v2_profile();
+  p.top1_accuracy = 0.0;
+  const auto model = make_oracle_model(p, 16, /*confusion_group_size=*/4);
+  Rng rng{9};
+  const Image img(4, 4, 1);
+  int in_group = 0;
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) {
+    const Label truth = 5;  // group {4,5,6,7}
+    const Label got = model->infer(img, truth, rng).label;
+    if (got >= 4 && got < 8) ++in_group;
+  }
+  EXPECT_GT(in_group, n * 9 / 10);
+}
+
+TEST(Oracle, SingleClassAlwaysCorrect) {
+  ModelProfile p = mobilenet_v2_profile();
+  p.top1_accuracy = 0.0;
+  const auto model = make_oracle_model(p, 1);
+  Rng rng{11};
+  const Image img(4, 4, 1);
+  EXPECT_EQ(model->infer(img, 0, rng).label, 0);
+}
+
+TEST(Oracle, CorrectAnswersMoreConfident) {
+  ModelProfile p = mobilenet_v2_profile();
+  p.top1_accuracy = 0.5;
+  const auto model = make_oracle_model(p, 8);
+  Rng rng{13};
+  const Image img(4, 4, 1);
+  OnlineStats right, wrong;
+  for (int i = 0; i < 5000; ++i) {
+    const Prediction pred = model->infer(img, 3, rng);
+    (pred.label == 3 ? right : wrong).add(pred.confidence);
+  }
+  EXPECT_GT(right.mean(), wrong.mean());
+}
+
+// ---------------------------------------------------------------- Centroid
+
+SceneGenerator::Config easy_world() {
+  SceneGenerator::Config cfg;
+  cfg.num_classes = 6;
+  cfg.image_size = 32;
+  cfg.seed = 17;
+  return cfg;
+}
+
+TEST(Centroid, LearnsSeparableClasses) {
+  const SceneGenerator scenes{easy_world()};
+  CentroidClassifier clf{scenes, /*samples_per_class=*/6,
+                         mobilenet_v2_profile()};
+  EXPECT_EQ(clf.num_classes(), 6);
+  Rng rng{19};
+  int correct = 0;
+  const int trials = 60;
+  for (int i = 0; i < trials; ++i) {
+    const Label truth = static_cast<Label>(i % 6);
+    ViewParams view;
+    view.dx = static_cast<float>(rng.normal(0.0, 0.2));
+    view.noise_sigma = 0.02f;
+    view.noise_seed = rng.next_u64();
+    const Prediction pred = clf.infer(scenes.render(truth, view), truth, rng);
+    if (pred.label == truth) ++correct;
+  }
+  // A real classifier on an easy synthetic world: high but not perfect.
+  EXPECT_GE(correct, trials * 7 / 10);
+}
+
+TEST(Centroid, EmbeddingIsUnitNorm) {
+  const SceneGenerator scenes{easy_world()};
+  const CentroidClassifier clf{scenes, 4, mobilenet_v2_profile()};
+  const FeatureVec emb = clf.embed(scenes.render(0, ViewParams{}));
+  EXPECT_NEAR(norm(emb), 1.0f, 1e-4f);
+}
+
+TEST(Centroid, ConfidenceReflectsMargin) {
+  const SceneGenerator scenes{easy_world()};
+  CentroidClassifier clf{scenes, 6, mobilenet_v2_profile()};
+  Rng rng{23};
+  // Confidence must be in [0, 1] and usually positive on clean views.
+  const Prediction pred =
+      clf.infer(scenes.render(2, ViewParams{}), 2, rng);
+  EXPECT_GE(pred.confidence, 0.0f);
+  EXPECT_LE(pred.confidence, 1.0f);
+}
+
+}  // namespace
+}  // namespace apx

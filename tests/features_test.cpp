@@ -1,0 +1,187 @@
+// Unit + property tests for feature extraction. The key property, tested
+// per extractor via TEST_P, is metric usefulness: same-class views must be
+// closer in feature space than different-class views.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/features/extractor.hpp"
+#include "src/features/minicnn.hpp"
+#include "src/image/scene.hpp"
+#include "src/util/vecmath.hpp"
+
+namespace apx {
+namespace {
+
+SceneGenerator::Config scene_config() {
+  SceneGenerator::Config cfg;
+  cfg.num_classes = 8;
+  cfg.image_size = 32;
+  cfg.seed = 11;
+  return cfg;
+}
+
+std::unique_ptr<FeatureExtractor> make_by_name(const std::string& name) {
+  if (name == "downsample") return make_downsample_extractor();
+  if (name == "histogram") return make_histogram_extractor();
+  if (name == "hog") return make_hog_extractor();
+  if (name == "cnn-embed") return make_cnn_extractor();
+  return nullptr;
+}
+
+class ExtractorSuite : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<FeatureExtractor> extractor_ = make_by_name(GetParam());
+  SceneGenerator scenes_{scene_config()};
+};
+
+TEST_P(ExtractorSuite, NameMatches) {
+  EXPECT_EQ(extractor_->name(), GetParam());
+}
+
+TEST_P(ExtractorSuite, OutputHasDeclaredDim) {
+  const Image img = scenes_.render(0, ViewParams{});
+  EXPECT_EQ(extractor_->extract(img).size(), extractor_->dim());
+}
+
+TEST_P(ExtractorSuite, OutputIsUnitNorm) {
+  const Image img = scenes_.render(1, ViewParams{});
+  const FeatureVec v = extractor_->extract(img);
+  EXPECT_NEAR(norm(v), 1.0f, 1e-4f);
+}
+
+TEST_P(ExtractorSuite, Deterministic) {
+  const Image img = scenes_.render(2, ViewParams{});
+  EXPECT_EQ(extractor_->extract(img), extractor_->extract(img));
+}
+
+TEST_P(ExtractorSuite, PositiveLatency) {
+  EXPECT_GT(extractor_->latency(), 0);
+}
+
+TEST_P(ExtractorSuite, IntraClassCloserThanInterClass) {
+  // Mean distance between views of the same class vs views of different
+  // classes — the property that makes features usable as cache keys.
+  Rng rng{5};
+  float intra = 0.0f, inter = 0.0f;
+  int intra_n = 0, inter_n = 0;
+  for (int c = 0; c < 4; ++c) {
+    ViewParams a, b;
+    a.noise_sigma = b.noise_sigma = 0.02f;
+    a.noise_seed = rng.next_u64();
+    b.noise_seed = rng.next_u64();
+    b.dx = 0.05f;
+    const FeatureVec va = extractor_->extract(scenes_.render(c, a));
+    const FeatureVec vb = extractor_->extract(scenes_.render(c, b));
+    intra += l2(va, vb);
+    ++intra_n;
+    const FeatureVec vo =
+        extractor_->extract(scenes_.render((c + 4) % 8, a));
+    inter += l2(va, vo);
+    ++inter_n;
+  }
+  EXPECT_LT(intra / static_cast<float>(intra_n),
+            inter / static_cast<float>(inter_n));
+}
+
+TEST_P(ExtractorSuite, RobustToSensorNoise) {
+  // Two noise realizations of the identical view stay close.
+  ViewParams a, b;
+  a.noise_sigma = b.noise_sigma = 0.03f;
+  a.noise_seed = 1;
+  b.noise_seed = 2;
+  const FeatureVec va = extractor_->extract(scenes_.render(0, a));
+  const FeatureVec vb = extractor_->extract(scenes_.render(0, b));
+  EXPECT_LT(l2(va, vb), 0.35f);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllExtractors, ExtractorSuite,
+                         ::testing::Values("downsample", "histogram", "hog",
+                                           "cnn-embed"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+// ---------------------------------------------------------------- params
+
+TEST(Extractors, DownsampleDimIsSideSquared) {
+  EXPECT_EQ(make_downsample_extractor(6)->dim(), 36u);
+}
+
+TEST(Extractors, HistogramDimIsThreeTimesBins) {
+  EXPECT_EQ(make_histogram_extractor(10)->dim(), 30u);
+}
+
+TEST(Extractors, HogDimIsCellsSquaredTimesOrientations) {
+  EXPECT_EQ(make_hog_extractor(3, 6)->dim(), 54u);
+}
+
+TEST(Extractors, BadParamsThrow) {
+  EXPECT_THROW(make_downsample_extractor(0), std::invalid_argument);
+  EXPECT_THROW(make_histogram_extractor(-1), std::invalid_argument);
+  EXPECT_THROW(make_hog_extractor(0, 8), std::invalid_argument);
+}
+
+TEST(Extractors, ConfiguredLatencyRespected) {
+  EXPECT_EQ(make_downsample_extractor(8, 7 * kMillisecond)->latency(),
+            7 * kMillisecond);
+}
+
+// ---------------------------------------------------------------- MiniCnn
+
+TEST(MiniCnn, EmbeddingDimConfigurable) {
+  const MiniCnn cnn{32, 5};
+  EXPECT_EQ(cnn.dim(), 32u);
+  const SceneGenerator scenes{scene_config()};
+  EXPECT_EQ(cnn.embed(scenes.render(0, ViewParams{})).size(), 32u);
+}
+
+TEST(MiniCnn, ZeroDimThrows) { EXPECT_THROW(MiniCnn(0, 5), std::invalid_argument); }
+
+TEST(MiniCnn, SameSeedSameWeights) {
+  const SceneGenerator scenes{scene_config()};
+  const Image img = scenes.render(3, ViewParams{});
+  const MiniCnn a{64, 7}, b{64, 7};
+  EXPECT_EQ(a.embed(img), b.embed(img));
+}
+
+TEST(MiniCnn, DifferentSeedDifferentEmbedding) {
+  const SceneGenerator scenes{scene_config()};
+  const Image img = scenes.render(3, ViewParams{});
+  const MiniCnn a{64, 7}, b{64, 8};
+  EXPECT_NE(a.embed(img), b.embed(img));
+}
+
+TEST(MiniCnn, HandlesGrayscaleInput) {
+  auto cfg = scene_config();
+  cfg.channels = 1;
+  const SceneGenerator scenes{cfg};
+  const MiniCnn cnn{64, 7};
+  const FeatureVec v = cnn.embed(scenes.render(0, ViewParams{}));
+  EXPECT_NEAR(norm(v), 1.0f, 1e-4f);
+}
+
+TEST(MiniCnn, HandlesNonSquareInput) {
+  Image img(48, 24, 3);
+  for (int y = 0; y < 24; ++y) {
+    for (int x = 0; x < 48; ++x) img.at(x, y, 0) = 0.5f;
+  }
+  const MiniCnn cnn{64, 7};
+  EXPECT_EQ(cnn.embed(img).size(), 64u);
+}
+
+TEST(MiniCnn, ParameterCountMatchesArchitecture) {
+  const MiniCnn cnn{64, 7};
+  // conv1: 8*3*9+8, conv2: 16*8*9+16, conv3: 32*16*9+32, fc: 64*32+64.
+  const std::size_t expected = (8 * 3 * 9 + 8) + (16 * 8 * 9 + 16) +
+                               (32 * 16 * 9 + 32) + (64 * 32 + 64);
+  EXPECT_EQ(cnn.parameter_count(), expected);
+}
+
+}  // namespace
+}  // namespace apx

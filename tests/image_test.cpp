@@ -1,0 +1,273 @@
+// Unit tests for the image type and the synthetic scene generator,
+// including the two generative properties the cache depends on (intra-class
+// similarity, inter-class separation).
+
+#include <gtest/gtest.h>
+
+#include "src/image/image.hpp"
+#include "src/image/scene.hpp"
+
+namespace apx {
+namespace {
+
+// ---------------------------------------------------------------- Image
+
+TEST(Image, ConstructorZeroes) {
+  Image img(4, 3, 3);
+  EXPECT_EQ(img.width(), 4);
+  EXPECT_EQ(img.height(), 3);
+  EXPECT_EQ(img.channels(), 3);
+  EXPECT_EQ(img.pixel_count(), 12u);
+  for (float v : img.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Image, BadDimensionsThrow) {
+  EXPECT_THROW(Image(0, 4, 3), std::invalid_argument);
+  EXPECT_THROW(Image(4, -1, 3), std::invalid_argument);
+  EXPECT_THROW(Image(4, 4, 2), std::invalid_argument);
+}
+
+TEST(Image, AtReadsWhatWasWritten) {
+  Image img(2, 2, 3);
+  img.at(1, 0, 2) = 0.75f;
+  EXPECT_EQ(img.at(1, 0, 2), 0.75f);
+  EXPECT_EQ(img.at(0, 0, 0), 0.0f);
+}
+
+TEST(Image, ClampBoundsValues) {
+  Image img(1, 1, 1);
+  img.at(0, 0, 0) = 2.5f;
+  img.clamp();
+  EXPECT_EQ(img.at(0, 0, 0), 1.0f);
+  img.at(0, 0, 0) = -1.0f;
+  img.clamp();
+  EXPECT_EQ(img.at(0, 0, 0), 0.0f);
+}
+
+TEST(Image, ToGrayUsesLumaWeights) {
+  Image img(1, 1, 3);
+  img.at(0, 0, 0) = 1.0f;  // pure red
+  const Image gray = img.to_gray();
+  EXPECT_EQ(gray.channels(), 1);
+  EXPECT_NEAR(gray.at(0, 0, 0), 0.299f, 1e-6f);
+}
+
+TEST(Image, ToGrayOnGrayIsCopy) {
+  Image img(2, 2, 1);
+  img.at(1, 1, 0) = 0.5f;
+  const Image gray = img.to_gray();
+  EXPECT_EQ(gray.at(1, 1, 0), 0.5f);
+}
+
+TEST(Image, ResizePreservesConstantImage) {
+  Image img(8, 8, 3);
+  for (float& v : img.data()) v = 0.42f;
+  const Image small = img.resized(3, 5);
+  EXPECT_EQ(small.width(), 3);
+  EXPECT_EQ(small.height(), 5);
+  for (float v : small.data()) EXPECT_NEAR(v, 0.42f, 1e-6f);
+}
+
+TEST(Image, ResizeIdentityKeepsPixels) {
+  Image img(4, 4, 1);
+  img.at(2, 1, 0) = 0.9f;
+  const Image same = img.resized(4, 4);
+  EXPECT_NEAR(same.at(2, 1, 0), 0.9f, 1e-6f);
+}
+
+TEST(Image, ResizeBadDimensionsThrow) {
+  Image img(4, 4, 1);
+  EXPECT_THROW(img.resized(0, 4), std::invalid_argument);
+}
+
+TEST(Image, UpscaleInterpolatesBetweenPixels) {
+  Image img(2, 1, 1);
+  img.at(0, 0, 0) = 0.0f;
+  img.at(1, 0, 0) = 1.0f;
+  const Image big = img.resized(4, 1);
+  // Monotone nondecreasing across the gradient.
+  for (int x = 1; x < 4; ++x) {
+    EXPECT_GE(big.at(x, 0, 0), big.at(x - 1, 0, 0));
+  }
+}
+
+TEST(Image, MeanAbsDiffIdenticalIsZero) {
+  Image img(4, 4, 3);
+  for (float& v : img.data()) v = 0.3f;
+  EXPECT_EQ(img.mean_abs_diff(img), 0.0f);
+}
+
+TEST(Image, MeanAbsDiffKnownValue) {
+  Image a(2, 1, 1), b(2, 1, 1);
+  a.at(0, 0, 0) = 1.0f;  // diff 1.0 and 0.0 -> mean 0.5
+  EXPECT_FLOAT_EQ(a.mean_abs_diff(b), 0.5f);
+}
+
+TEST(Image, MeanComputesAverage) {
+  Image img(2, 1, 1);
+  img.at(0, 0, 0) = 1.0f;
+  EXPECT_FLOAT_EQ(img.mean(), 0.5f);
+}
+
+// ---------------------------------------------------------------- Scene
+
+SceneGenerator::Config small_config() {
+  SceneGenerator::Config cfg;
+  cfg.num_classes = 8;
+  cfg.image_size = 16;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(Scene, DeterministicRendering) {
+  const SceneGenerator gen{small_config()};
+  ViewParams view;
+  view.noise_sigma = 0.05f;
+  view.noise_seed = 9;
+  const Image a = gen.render(2, view);
+  const Image b = gen.render(2, view);
+  EXPECT_EQ(a.mean_abs_diff(b), 0.0f);
+}
+
+TEST(Scene, PixelsInUnitRange) {
+  const SceneGenerator gen{small_config()};
+  ViewParams view;
+  view.noise_sigma = 0.2f;
+  view.brightness = 0.4f;
+  const Image img = gen.render(0, view);
+  for (float v : img.data()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(Scene, ClassOutOfRangeThrows) {
+  const SceneGenerator gen{small_config()};
+  EXPECT_THROW(gen.render(8, ViewParams{}), std::out_of_range);
+  EXPECT_THROW(gen.render(-1, ViewParams{}), std::out_of_range);
+}
+
+TEST(Scene, BadConfigThrows) {
+  auto cfg = small_config();
+  cfg.num_classes = 0;
+  EXPECT_THROW(SceneGenerator{cfg}, std::invalid_argument);
+  cfg = small_config();
+  cfg.class_confusion = 1.5f;
+  EXPECT_THROW(SceneGenerator{cfg}, std::invalid_argument);
+}
+
+TEST(Scene, SameClassNearbyViewsSimilar) {
+  const SceneGenerator gen{small_config()};
+  ViewParams a;
+  ViewParams b = a;
+  b.dx += 0.02f;
+  const float same_class = gen.render(1, a).mean_abs_diff(gen.render(1, b));
+  EXPECT_LT(same_class, 0.05f);
+}
+
+TEST(Scene, DifferentClassesDissimilar) {
+  const SceneGenerator gen{small_config()};
+  const ViewParams view;
+  // Average inter-class distance dominates small-view intra-class distance.
+  float inter = 0.0f;
+  int pairs = 0;
+  for (int a = 0; a < 4; ++a) {
+    for (int b = a + 1; b < 4; ++b) {
+      inter += gen.render(a, view).mean_abs_diff(gen.render(b, view));
+      ++pairs;
+    }
+  }
+  inter /= static_cast<float>(pairs);
+  EXPECT_GT(inter, 0.05f);
+}
+
+TEST(Scene, ConfusionMakesGroupMatesSimilar) {
+  auto cfg = small_config();
+  cfg.group_size = 2;
+  const SceneGenerator distinct{cfg};
+  cfg.class_confusion = 0.9f;
+  const SceneGenerator confused{cfg};
+  const ViewParams view;
+  // Classes 0 and 1 share a group; confusion must pull them together.
+  const float d_distinct =
+      distinct.render(0, view).mean_abs_diff(distinct.render(1, view));
+  const float d_confused =
+      confused.render(0, view).mean_abs_diff(confused.render(1, view));
+  EXPECT_LT(d_confused, d_distinct);
+}
+
+TEST(Scene, BrightnessShiftsMean) {
+  const SceneGenerator gen{small_config()};
+  ViewParams dark, bright;
+  bright.brightness = 0.3f;
+  EXPECT_GT(gen.render(0, bright).mean(), gen.render(0, dark).mean());
+}
+
+TEST(Scene, NoiseChangesWithSeed) {
+  const SceneGenerator gen{small_config()};
+  ViewParams a;
+  a.noise_sigma = 0.1f;
+  a.noise_seed = 1;
+  ViewParams b = a;
+  b.noise_seed = 2;
+  EXPECT_GT(gen.render(0, a).mean_abs_diff(gen.render(0, b)), 0.0f);
+}
+
+TEST(Scene, OcclusionChangesImage) {
+  const SceneGenerator gen{small_config()};
+  ViewParams clear;
+  ViewParams occluded = clear;
+  occluded.occlusion = 0.5f;
+  EXPECT_GT(gen.render(0, clear).mean_abs_diff(gen.render(0, occluded)),
+            0.01f);
+}
+
+TEST(Scene, GrayscaleConfigProducesOneChannel) {
+  auto cfg = small_config();
+  cfg.channels = 1;
+  const SceneGenerator gen{cfg};
+  EXPECT_EQ(gen.render(0, ViewParams{}).channels(), 1);
+}
+
+// ---------------------------------------------------------------- View
+
+TEST(ViewParams, JitterZeroMagnitudeKeepsPose) {
+  Rng rng{1};
+  ViewParams v;
+  v.dx = 0.5f;
+  const ViewParams j = v.jittered(rng, 0.0f);
+  EXPECT_EQ(j.dx, v.dx);
+  EXPECT_EQ(j.zoom, v.zoom);
+}
+
+TEST(ViewParams, JitterRefreshesNoiseSeed) {
+  Rng rng{1};
+  ViewParams v;
+  v.noise_seed = 42;
+  const ViewParams j = v.jittered(rng, 0.0f);
+  EXPECT_NE(j.noise_seed, v.noise_seed);
+}
+
+TEST(ViewParams, LargerMagnitudeMovesFarther) {
+  ViewParams v;
+  float small_move = 0.0f, big_move = 0.0f;
+  for (int i = 0; i < 50; ++i) {
+    Rng rng{static_cast<std::uint64_t>(i)};
+    Rng rng2{static_cast<std::uint64_t>(i)};
+    small_move += std::abs(v.jittered(rng, 0.1f).dx - v.dx);
+    big_move += std::abs(v.jittered(rng2, 1.0f).dx - v.dx);
+  }
+  EXPECT_GT(big_move, small_move);
+}
+
+TEST(ViewParams, JitterKeepsZoomPositive) {
+  ViewParams v;
+  v.zoom = 0.25f;
+  for (int i = 0; i < 200; ++i) {
+    Rng rng{static_cast<std::uint64_t>(i)};
+    EXPECT_GT(v.jittered(rng, 1.0f).zoom, 0.0f);
+  }
+}
+
+}  // namespace
+}  // namespace apx

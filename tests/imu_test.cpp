@@ -1,0 +1,249 @@
+// Unit tests for the IMU substrate: mobility model, trace generation,
+// motion-state estimation, and the reuse gate.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/imu/gate.hpp"
+#include "src/imu/motion_estimator.hpp"
+#include "src/imu/trace.hpp"
+#include "src/util/stats.hpp"
+
+namespace apx {
+namespace {
+
+// ------------------------------------------------------------- Mobility
+
+TEST(Mobility, EmptySegmentsThrow) {
+  EXPECT_THROW(MobilityModel({}), std::invalid_argument);
+}
+
+TEST(Mobility, NonPositiveDurationThrows) {
+  EXPECT_THROW(MobilityModel({{MotionState::kMinor, 0}}),
+               std::invalid_argument);
+}
+
+TEST(Mobility, StateAtFollowsSegments) {
+  const MobilityModel m{{{MotionState::kStationary, 10},
+                         {MotionState::kMajor, 10},
+                         {MotionState::kMinor, 10}}};
+  EXPECT_EQ(m.state_at(0), MotionState::kStationary);
+  EXPECT_EQ(m.state_at(9), MotionState::kStationary);
+  EXPECT_EQ(m.state_at(10), MotionState::kMajor);
+  EXPECT_EQ(m.state_at(19), MotionState::kMajor);
+  EXPECT_EQ(m.state_at(20), MotionState::kMinor);
+}
+
+TEST(Mobility, ClampsPastEnd) {
+  const MobilityModel m{{{MotionState::kMajor, 10}}};
+  EXPECT_EQ(m.state_at(1000), MotionState::kMajor);
+  EXPECT_EQ(m.state_at(-5), MotionState::kMajor);
+}
+
+TEST(Mobility, IntensityMonotoneInState) {
+  EXPECT_LT(MobilityModel::intensity_of(MotionState::kStationary),
+            MobilityModel::intensity_of(MotionState::kMinor));
+  EXPECT_LT(MobilityModel::intensity_of(MotionState::kMinor),
+            MobilityModel::intensity_of(MotionState::kMajor));
+}
+
+TEST(Mobility, RandomCoversRequestedDuration) {
+  Rng rng{3};
+  const MobilityModel m =
+      MobilityModel::random(rng, 30 * kSecond, 3 * kSecond);
+  EXPECT_GE(m.total_duration(), 30 * kSecond - kSecond);
+  EXPECT_LE(m.total_duration(), 30 * kSecond);
+  EXPECT_GE(m.segments().size(), 3u);
+}
+
+TEST(Mobility, RandomIsDeterministicPerSeed) {
+  Rng a{7}, b{7};
+  const MobilityModel ma = MobilityModel::random(a, 20 * kSecond, 2 * kSecond);
+  const MobilityModel mb = MobilityModel::random(b, 20 * kSecond, 2 * kSecond);
+  ASSERT_EQ(ma.segments().size(), mb.segments().size());
+  for (std::size_t i = 0; i < ma.segments().size(); ++i) {
+    EXPECT_EQ(ma.segments()[i].state, mb.segments()[i].state);
+    EXPECT_EQ(ma.segments()[i].duration, mb.segments()[i].duration);
+  }
+}
+
+TEST(Mobility, WeightsShiftStateMix) {
+  Rng a{11}, b{11};
+  const MobilityModel still = MobilityModel::random(
+      a, 120 * kSecond, 2 * kSecond, 1.0, 0.0, 0.0);
+  for (const auto& seg : still.segments()) {
+    EXPECT_EQ(seg.state, MotionState::kStationary);
+  }
+  const MobilityModel moving = MobilityModel::random(
+      b, 120 * kSecond, 2 * kSecond, 0.0, 0.0, 1.0);
+  for (const auto& seg : moving.segments()) {
+    EXPECT_EQ(seg.state, MotionState::kMajor);
+  }
+}
+
+TEST(Mobility, ToStringNames) {
+  EXPECT_STREQ(to_string(MotionState::kStationary), "stationary");
+  EXPECT_STREQ(to_string(MotionState::kMinor), "minor");
+  EXPECT_STREQ(to_string(MotionState::kMajor), "major");
+}
+
+// ------------------------------------------------------------- Trace
+
+TEST(ImuTrace, BadRateThrows) {
+  const MobilityModel m = MobilityModel::constant(MotionState::kMinor, kSecond);
+  EXPECT_THROW(ImuTraceGenerator(m, 0.0, 1), std::invalid_argument);
+}
+
+TEST(ImuTrace, SampleRateRespected) {
+  const MobilityModel m =
+      MobilityModel::constant(MotionState::kStationary, 10 * kSecond);
+  ImuTraceGenerator gen{m, 100.0, 1};
+  const auto samples = gen.samples_between(0, kSecond);
+  EXPECT_EQ(samples.size(), 100u);
+  EXPECT_EQ(samples.front().t, 0);
+  EXPECT_EQ(samples[1].t - samples[0].t, gen.sample_period());
+}
+
+TEST(ImuTrace, WindowsAreContiguous) {
+  const MobilityModel m =
+      MobilityModel::constant(MotionState::kStationary, 10 * kSecond);
+  ImuTraceGenerator gen{m, 50.0, 1};
+  const auto first = gen.samples_between(0, kSecond);
+  const auto second = gen.samples_between(kSecond, 2 * kSecond);
+  ASSERT_FALSE(first.empty());
+  ASSERT_FALSE(second.empty());
+  EXPECT_EQ(second.front().t - first.back().t, gen.sample_period());
+}
+
+TEST(ImuTrace, StationaryHoversAroundGravity) {
+  const MobilityModel m =
+      MobilityModel::constant(MotionState::kStationary, 10 * kSecond);
+  ImuTraceGenerator gen{m, 100.0, 2};
+  for (const auto& s : gen.samples_between(0, 5 * kSecond)) {
+    const float mag = std::sqrt(s.accel[0] * s.accel[0] +
+                                s.accel[1] * s.accel[1] +
+                                s.accel[2] * s.accel[2]);
+    EXPECT_NEAR(mag, 9.81f, 0.5f);
+  }
+}
+
+TEST(ImuTrace, MajorMotionHasHigherVariance) {
+  auto variance_for = [](MotionState state) {
+    const MobilityModel m = MobilityModel::constant(state, 10 * kSecond);
+    ImuTraceGenerator gen{m, 100.0, 3};
+    OnlineStats stats;
+    for (const auto& s : gen.samples_between(0, 5 * kSecond)) {
+      stats.add(s.accel[0]);
+    }
+    return stats.variance();
+  };
+  EXPECT_LT(variance_for(MotionState::kStationary),
+            variance_for(MotionState::kMinor));
+  EXPECT_LT(variance_for(MotionState::kMinor),
+            variance_for(MotionState::kMajor));
+}
+
+// ------------------------------------------------------------- Estimator
+
+class EstimatorRoundTrip : public ::testing::TestWithParam<MotionState> {};
+
+TEST_P(EstimatorRoundTrip, RecoversGeneratedState) {
+  // Closing the loop: states synthesized by the trace generator must be
+  // recovered by the estimator with default thresholds.
+  const MotionState truth = GetParam();
+  const MobilityModel m = MobilityModel::constant(truth, 10 * kSecond);
+  ImuTraceGenerator gen{m, 100.0, 5};
+  MotionEstimator est;
+  est.add_all(gen.samples_between(0, kSecond));
+  EXPECT_EQ(est.estimate(), truth);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStates, EstimatorRoundTrip,
+                         ::testing::Values(MotionState::kStationary,
+                                           MotionState::kMinor,
+                                           MotionState::kMajor),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(Estimator, EmptyWindowIsConservative) {
+  MotionEstimator est;
+  EXPECT_EQ(est.estimate(), MotionState::kMajor);
+}
+
+TEST(Estimator, TracksRegimeChange) {
+  MotionEstimatorParams params;
+  params.window = 16;
+  MotionEstimator est{params};
+  const MobilityModel still =
+      MobilityModel::constant(MotionState::kStationary, kSecond);
+  ImuTraceGenerator gen_still{still, 100.0, 7};
+  est.add_all(gen_still.samples_between(0, kSecond));
+  EXPECT_EQ(est.estimate(), MotionState::kStationary);
+
+  const MobilityModel moving =
+      MobilityModel::constant(MotionState::kMajor, kSecond);
+  ImuTraceGenerator gen_move{moving, 100.0, 8};
+  est.add_all(gen_move.samples_between(0, kSecond));
+  EXPECT_EQ(est.estimate(), MotionState::kMajor);
+}
+
+TEST(Estimator, RmsReflectsSignalEnergy) {
+  MotionEstimator est;
+  ImuSample quiet;
+  quiet.accel = {0.0f, 0.0f, 9.81f};
+  est.add(quiet);
+  EXPECT_NEAR(est.accel_rms(), 0.0f, 1e-5f);
+  EXPECT_NEAR(est.gyro_rms(), 0.0f, 1e-5f);
+  ImuSample loud;
+  loud.accel = {3.0f, 0.0f, 9.81f};
+  loud.gyro = {1.0f, 0.0f, 0.0f};
+  est.add(loud);
+  // RMS pools the quiet sample too: |a| deviation ~0.45 over two samples.
+  EXPECT_GT(est.accel_rms(), 0.25f);
+  EXPECT_GT(est.gyro_rms(), 0.5f);
+}
+
+TEST(Estimator, WindowFillTracksSamples) {
+  MotionEstimatorParams params;
+  params.window = 4;
+  MotionEstimator est{params};
+  EXPECT_EQ(est.window_fill(), 0u);
+  for (int i = 0; i < 10; ++i) est.add(ImuSample{});
+  EXPECT_EQ(est.window_fill(), 4u);
+}
+
+// ------------------------------------------------------------- Gate
+
+TEST(Gate, StationaryRelaxesAndAllows) {
+  const MotionGate gate;
+  const GateDecision d = gate.decide(MotionState::kStationary);
+  EXPECT_TRUE(d.allow_temporal_reuse);
+  EXPECT_GT(d.threshold_scale, 1.0f);
+}
+
+TEST(Gate, MinorIsNeutral) {
+  const MotionGate gate;
+  const GateDecision d = gate.decide(MotionState::kMinor);
+  EXPECT_TRUE(d.allow_temporal_reuse);
+  EXPECT_FLOAT_EQ(d.threshold_scale, 1.0f);
+}
+
+TEST(Gate, MajorForbidsTemporalAndTightens) {
+  const MotionGate gate;
+  const GateDecision d = gate.decide(MotionState::kMajor);
+  EXPECT_FALSE(d.allow_temporal_reuse);
+  EXPECT_LT(d.threshold_scale, 1.0f);
+}
+
+TEST(Gate, CustomScalesRespected) {
+  MotionGateParams params;
+  params.stationary_scale = 2.0f;
+  const MotionGate gate{params};
+  EXPECT_FLOAT_EQ(gate.decide(MotionState::kStationary).threshold_scale,
+                  2.0f);
+}
+
+}  // namespace
+}  // namespace apx

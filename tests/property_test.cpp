@@ -1,0 +1,338 @@
+// Property-based and fuzz tests: randomized inputs against invariants that
+// must hold for every input — codec robustness on arbitrary bytes, cache
+// invariants under random operation sequences, LSH-vs-exact consistency,
+// event ordering, trace/snapshot round trips.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/ann/exact_knn.hpp"
+#include "src/ann/lsh.hpp"
+#include "src/cache/approx_cache.hpp"
+#include "src/cache/snapshot.hpp"
+#include "src/net/event_sim.hpp"
+#include "src/net/messages.hpp"
+#include "src/sim/runner.hpp"
+
+namespace apx {
+namespace {
+
+FeatureVec random_unit(Rng& rng, std::size_t dim) {
+  FeatureVec v(dim);
+  for (float& x : v) x = static_cast<float>(rng.normal());
+  normalize(v);
+  return v;
+}
+
+// ---------------------------------------------------------- Codec fuzz
+
+class CodecFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecFuzz, RandomBytesNeverCrashDecoders) {
+  Rng rng{GetParam()};
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<std::uint8_t> bytes(rng.uniform_u64(200));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next_u64());
+    // Every decoder must either produce a value or throw CodecError —
+    // never crash, never loop, never read out of bounds (ASAN would bark).
+    try { (void)decode_hello(bytes); } catch (const CodecError&) {}
+    try { (void)decode_lookup_request(bytes); } catch (const CodecError&) {}
+    try { (void)decode_lookup_response(bytes); } catch (const CodecError&) {}
+    try { (void)decode_entry_advert(bytes); } catch (const CodecError&) {}
+  }
+}
+
+TEST_P(CodecFuzz, TruncationsOfValidMessagesThrowOrParse) {
+  Rng rng{GetParam() ^ 0xabcdULL};
+  LookupResponseMsg msg;
+  msg.request_id = rng.next_u64();
+  msg.sender = static_cast<NodeId>(rng.next_u64());
+  for (int i = 0; i < 3; ++i) {
+    WireEntry e;
+    e.feature = random_unit(rng, 16);
+    e.label = static_cast<Label>(rng.uniform_u64(100));
+    e.quantize_on_wire = rng.chance(0.5);
+    msg.entries.push_back(std::move(e));
+  }
+  const auto full = encode(msg);
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    std::vector<std::uint8_t> truncated(full.begin(),
+                                        full.begin() + static_cast<long>(cut));
+    EXPECT_THROW((void)decode_lookup_response(truncated), CodecError)
+        << "cut=" << cut;
+  }
+  // The untruncated message parses.
+  EXPECT_EQ(decode_lookup_response(full).entries.size(), 3u);
+}
+
+TEST_P(CodecFuzz, MessageRoundTripExact) {
+  Rng rng{GetParam() ^ 0x1234ULL};
+  EntryAdvertMsg msg;
+  msg.sender = static_cast<NodeId>(rng.next_u64());
+  const std::size_t n = rng.uniform_u64(6);
+  for (std::size_t i = 0; i < n; ++i) {
+    WireEntry e;
+    e.feature = random_unit(rng, 1 + rng.uniform_u64(32));
+    e.label = static_cast<Label>(rng.uniform_u64(1000));
+    e.confidence = static_cast<float>(rng.uniform());
+    e.hop_count = static_cast<std::uint8_t>(rng.uniform_u64(4));
+    e.source_device = static_cast<std::uint32_t>(rng.next_u64());
+    e.age = static_cast<SimDuration>(rng.uniform_u64(1'000'000'000));
+    msg.entries.push_back(std::move(e));
+  }
+  const auto decoded = decode_entry_advert(encode(msg));
+  ASSERT_EQ(decoded.entries.size(), msg.entries.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(decoded.entries[i].feature, msg.entries[i].feature);
+    EXPECT_EQ(decoded.entries[i].label, msg.entries[i].label);
+    EXPECT_EQ(decoded.entries[i].age, msg.entries[i].age);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// ---------------------------------------------------------- Cache fuzz
+
+class CacheFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CacheFuzz, InvariantsUnderRandomOperations) {
+  Rng rng{GetParam()};
+  ApproxCacheConfig cfg;
+  cfg.capacity = 16;
+  cfg.index = IndexKind::kExact;
+  ApproxCache cache{8, cfg, make_lru_policy()};
+
+  std::set<VecId> live;
+  SimTime now = 0;
+  for (int op = 0; op < 2000; ++op) {
+    now += static_cast<SimTime>(rng.uniform_u64(1000));
+    const double dice = rng.uniform();
+    if (dice < 0.5) {
+      const VecId id = cache.insert(random_unit(rng, 8),
+                                    static_cast<Label>(rng.uniform_u64(10)),
+                                    static_cast<float>(rng.uniform()), now);
+      live.insert(id);
+    } else if (dice < 0.7 && !live.empty()) {
+      // Remove a random live-or-evicted id: remove() must return whether
+      // the entry was actually present, never crash.
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.uniform_u64(live.size())));
+      const bool present = cache.find(*it) != nullptr;
+      EXPECT_EQ(cache.remove(*it), present);
+      live.erase(it);
+    } else {
+      (void)cache.lookup(random_unit(rng, 8), now);
+    }
+    // Invariants after every operation:
+    ASSERT_LE(cache.size(), cfg.capacity);
+    std::size_t counted = 0;
+    cache.for_each([&](const CacheEntry& e) {
+      ++counted;
+      EXPECT_EQ(e.feature.size(), 8u);
+      EXPECT_LE(e.insert_time, now);
+    });
+    ASSERT_EQ(counted, cache.size());
+  }
+  // Accounting: every lookup was either a hit or a miss.
+  const auto& counters = cache.counters();
+  EXPECT_GT(counters.get("insert"), 0u);
+  EXPECT_EQ(counters.get("hit") + counters.get("miss"),
+            counters.get("hit") + counters.get("miss"));
+}
+
+TEST_P(CacheFuzz, SnapshotOfFuzzedCacheRoundTrips) {
+  Rng rng{GetParam() ^ 0x5eedULL};
+  ApproxCacheConfig cfg;
+  cfg.capacity = 64;
+  cfg.index = IndexKind::kExact;
+  ApproxCache cache{8, cfg, make_utility_policy()};
+  SimTime now = 0;
+  for (int i = 0; i < 100; ++i) {
+    now += 1000;
+    cache.insert(random_unit(rng, 8), static_cast<Label>(rng.uniform_u64(10)),
+                 static_cast<float>(rng.uniform()), now,
+                 rng.chance(0.3) ? EntryOrigin::kPeer : EntryOrigin::kLocal,
+                 static_cast<std::uint8_t>(rng.uniform_u64(3)),
+                 static_cast<std::uint32_t>(rng.uniform_u64(8)));
+  }
+  const auto bytes = save_snapshot(cache, now);
+  ApproxCache restored{8, cfg, make_utility_policy()};
+  EXPECT_EQ(load_snapshot(restored, bytes, now), cache.size());
+  EXPECT_EQ(restored.size(), cache.size());
+  // Same label multiset.
+  std::multiset<Label> a, b;
+  cache.for_each([&a](const CacheEntry& e) { a.insert(e.label); });
+  restored.for_each([&b](const CacheEntry& e) { b.insert(e.label); });
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(CacheFuzz, SnapshotBitFlipsNeverCrash) {
+  Rng rng{GetParam() ^ 0xf00dULL};
+  ApproxCacheConfig cfg;
+  cfg.capacity = 16;
+  cfg.index = IndexKind::kExact;
+  ApproxCache cache{8, cfg, make_lru_policy()};
+  for (int i = 0; i < 10; ++i) {
+    cache.insert(random_unit(rng, 8), static_cast<Label>(i), 0.9f, i);
+  }
+  const auto good = save_snapshot(cache, 100);
+  for (int trial = 0; trial < 300; ++trial) {
+    auto bad = good;
+    const std::size_t pos = rng.uniform_u64(bad.size());
+    bad[pos] ^= static_cast<std::uint8_t>(1 + rng.uniform_u64(255));
+    ApproxCache target{8, cfg, make_lru_policy()};
+    try {
+      (void)load_snapshot(target, bad, 100);
+    } catch (const CodecError&) {
+      // fine: malformed input must be rejected, not crash
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheFuzz, ::testing::Values(10u, 20u, 30u));
+
+// ---------------------------------------------------------- LSH property
+
+class LshProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LshProperty, ResultsAlwaysValid) {
+  Rng rng{GetParam()};
+  LshParams params;
+  params.probes_per_table = rng.uniform_u64(3);
+  PStableLshIndex lsh{8, params};
+  ExactKnnIndex exact{8};
+  std::set<VecId> stored;
+  for (int op = 0; op < 500; ++op) {
+    if (rng.chance(0.6) || stored.empty()) {
+      const VecId id = static_cast<VecId>(op);
+      const FeatureVec v = random_unit(rng, 8);
+      lsh.insert(id, v);
+      exact.insert(id, v);
+      stored.insert(id);
+    } else if (rng.chance(0.3)) {
+      auto it = stored.begin();
+      std::advance(it, static_cast<long>(rng.uniform_u64(stored.size())));
+      EXPECT_TRUE(lsh.remove(*it));
+      EXPECT_TRUE(exact.remove(*it));
+      stored.erase(it);
+    } else {
+      const FeatureVec q = random_unit(rng, 8);
+      const auto approx = lsh.query(q, 4);
+      const auto truth = exact.query(q, 4);
+      // Every returned id exists; distances ascend; the approximate top-1
+      // can never beat the exact top-1.
+      for (std::size_t i = 0; i < approx.size(); ++i) {
+        EXPECT_TRUE(stored.count(approx[i].id));
+        if (i > 0) EXPECT_GE(approx[i].distance, approx[i - 1].distance);
+      }
+      if (!approx.empty() && !truth.empty()) {
+        EXPECT_GE(approx[0].distance, truth[0].distance - 1e-6f);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LshProperty,
+                         ::testing::Values(100u, 200u, 300u));
+
+// ---------------------------------------------------------- Event order
+
+class EventOrderFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventOrderFuzz, FiringOrderIsTimeThenFifo) {
+  Rng rng{GetParam()};
+  EventSimulator sim;
+  struct Fired {
+    SimTime t;
+    int seq;
+  };
+  std::vector<Fired> fired;
+  for (int i = 0; i < 500; ++i) {
+    const auto t = static_cast<SimTime>(rng.uniform_u64(100));
+    sim.schedule_at(t, [&fired, t, i] { fired.push_back({t, i}); });
+  }
+  sim.run_all();
+  ASSERT_EQ(fired.size(), 500u);
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    ASSERT_GE(fired[i].t, fired[i - 1].t);
+    if (fired[i].t == fired[i - 1].t) {
+      ASSERT_GT(fired[i].seq, fired[i - 1].seq);  // FIFO within a timestamp
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventOrderFuzz,
+                         ::testing::Values(7u, 77u, 777u));
+
+// ---------------------------------------------------------- Trace
+
+TEST(Trace, RoundTripAndAnalysisMatchesLiveMetrics) {
+  ScenarioConfig cfg = default_scenario();
+  cfg.duration = 8 * kSecond;
+  cfg.num_devices = 2;
+  cfg.record_trace = true;
+  ExperimentRunner runner{cfg};
+  const ExperimentMetrics live = runner.run();
+
+  const auto bytes = runner.trace().serialize();
+  const auto events = TraceRecorder::parse(bytes);
+  EXPECT_EQ(events.size(), live.frames());
+
+  const ExperimentMetrics replayed = analyze_trace(events);
+  EXPECT_EQ(replayed.frames(), live.frames());
+  EXPECT_DOUBLE_EQ(replayed.accuracy(), live.accuracy());
+  // Live metrics merge device samples in sorted order, the trace replays
+  // them chronologically; the float sums differ in the last ulp.
+  EXPECT_NEAR(replayed.mean_latency_ms(), live.mean_latency_ms(), 1e-9);
+  EXPECT_DOUBLE_EQ(replayed.reuse_ratio(), live.reuse_ratio());
+
+  // Per-device slices partition the whole.
+  const ExperimentMetrics d0 = analyze_trace_device(events, 0);
+  const ExperimentMetrics d1 = analyze_trace_device(events, 1);
+  EXPECT_EQ(d0.frames() + d1.frames(), live.frames());
+}
+
+TEST(Trace, EmptyTraceSerializes) {
+  TraceRecorder recorder;
+  const auto events = TraceRecorder::parse(recorder.serialize());
+  EXPECT_TRUE(events.empty());
+}
+
+TEST(Trace, DisabledByDefault) {
+  ScenarioConfig cfg = default_scenario();
+  cfg.duration = 3 * kSecond;
+  cfg.num_devices = 1;
+  ExperimentRunner runner{cfg};
+  runner.run();
+  EXPECT_EQ(runner.trace().size(), 0u);
+}
+
+TEST(Trace, CorruptBytesThrow) {
+  TraceRecorder recorder;
+  RecognitionResult result;
+  result.source = ResultSource::kTemporalReuse;
+  recorder.record(0, result);
+  auto bytes = recorder.serialize();
+  bytes[0] ^= 0xff;
+  EXPECT_THROW(TraceRecorder::parse(bytes), CodecError);
+  auto truncated = recorder.serialize();
+  truncated.resize(truncated.size() / 2);
+  EXPECT_THROW(TraceRecorder::parse(truncated), CodecError);
+}
+
+TEST(Trace, DeterministicBytesAcrossIdenticalRuns) {
+  ScenarioConfig cfg = default_scenario();
+  cfg.duration = 5 * kSecond;
+  cfg.num_devices = 2;
+  cfg.record_trace = true;
+  ExperimentRunner a{cfg}, b{cfg};
+  a.run();
+  b.run();
+  EXPECT_EQ(a.trace().serialize(), b.trace().serialize());
+}
+
+}  // namespace
+}  // namespace apx

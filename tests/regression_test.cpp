@@ -1,0 +1,83 @@
+// Golden regression guard: pins the headline behaviour of one small, fully
+// seeded scenario so that accidental changes to any module show up as a
+// failed expectation rather than a silently shifted EXPERIMENTS.md. The
+// tolerances are deliberately loose (these are behavioural bands, not
+// bit-exact goldens — those are covered by the determinism tests).
+
+#include <gtest/gtest.h>
+
+#include "src/sim/runner.hpp"
+
+namespace apx {
+namespace {
+
+ScenarioConfig pinned_scenario() {
+  ScenarioConfig cfg = default_scenario();
+  cfg.seed = 42;
+  cfg.duration = 45 * kSecond;
+  cfg.num_devices = 4;
+  return cfg;
+}
+
+TEST(Regression, HeadlineReductionBand) {
+  ScenarioConfig cfg = pinned_scenario();
+  cfg.pipeline = make_nocache_config();
+  const ExperimentMetrics baseline = run_scenario(cfg);
+  cfg.pipeline = make_full_system_config();
+  const ExperimentMetrics full = run_scenario(cfg);
+
+  // No-cache mean must sit at the model profile (60 ms +- jitter).
+  EXPECT_NEAR(baseline.mean_latency_ms(), 60.0, 2.0);
+  // Full-system reduction: the mixed-mobility band (T1).
+  const double reduction =
+      full.reduction_vs_percent(baseline.mean_latency_ms());
+  EXPECT_GT(reduction, 75.0);
+  EXPECT_LT(reduction, 98.0);
+  // Accuracy stays near the DNN's. The band is wide because reuse chains
+  // make per-frame correctness strongly correlated (one unlucky inference
+  // covers an object's whole dwell), so single-seed accuracy swings a few
+  // points around the multi-seed mean that T2 reports.
+  EXPECT_GT(full.accuracy(), baseline.accuracy() - 0.06);
+  // All reuse paths fire on this workload.
+  EXPECT_GT(full.source_fraction(ResultSource::kImuFastPath), 0.05);
+  EXPECT_GT(full.source_fraction(ResultSource::kTemporalReuse), 0.05);
+  EXPECT_GT(full.source_fraction(ResultSource::kLocalCacheHit), 0.05);
+  EXPECT_GT(full.source_fraction(ResultSource::kFullInference), 0.01);
+}
+
+TEST(Regression, LadderIsOrdered) {
+  // Each rung must not regress the previous one by more than noise.
+  ScenarioConfig cfg = pinned_scenario();
+  auto mean_for = [&cfg](PipelineConfig pipeline) {
+    cfg.pipeline = std::move(pipeline);
+    return run_scenario(cfg).mean_latency_ms();
+  };
+  const double nocache = mean_for(make_nocache_config());
+  const double local = mean_for(make_approx_local_config());
+  const double imu = mean_for(make_approx_imu_config());
+  const double video = mean_for(make_approx_video_config());
+  EXPECT_LT(local, nocache * 0.5);
+  EXPECT_LT(imu, local * 1.10);
+  EXPECT_LT(video, imu * 1.10);
+}
+
+TEST(Regression, ExactCacheBaselineStaysUseless) {
+  // The motivating observation must keep holding: exact-match caching of
+  // noisy camera frames reuses (almost) nothing.
+  ScenarioConfig cfg = pinned_scenario();
+  cfg.pipeline = make_exactcache_config();
+  const ExperimentMetrics m = run_scenario(cfg);
+  EXPECT_LT(m.reuse_ratio(), 0.10);
+}
+
+TEST(Regression, EnergyBand) {
+  ScenarioConfig cfg = pinned_scenario();
+  cfg.pipeline = make_full_system_config();
+  const ExperimentMetrics m = run_scenario(cfg);
+  // mJ/frame: far below the 120 mJ inference cost, above the ~1 mJ floor.
+  EXPECT_LT(m.mean_total_energy_mj(), 40.0);
+  EXPECT_GT(m.mean_total_energy_mj(), 1.0);
+}
+
+}  // namespace
+}  // namespace apx

@@ -1,0 +1,528 @@
+// Unit tests for the util substrate: RNG, distributions, statistics,
+// serialization codec, vector math, ring buffer, text tables.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/util/ring_buffer.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/serialize.hpp"
+#include "src/util/stats.hpp"
+#include "src/util/table.hpp"
+#include "src/util/vecmath.hpp"
+
+namespace apx {
+namespace {
+
+// ---------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{123}, b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1}, b{2};
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng{7};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.5, 2.5);
+    EXPECT_GE(u, -3.5);
+    EXPECT_LT(u, 2.5);
+  }
+}
+
+TEST(Rng, UniformU64Unbiased) {
+  Rng rng{11};
+  std::array<int, 5> counts{};
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) counts[rng.uniform_u64(5)]++;
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.2, 0.02);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng{13};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values reachable
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng{17};
+  OnlineStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 5.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng{19};
+  OnlineStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(rng.exponential(4.0));
+  EXPECT_NEAR(stats.mean(), 0.25, 0.01);
+  EXPECT_GE(stats.min(), 0.0);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng{23};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceProbabilityApproximate) {
+  Rng rng{29};
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng{31};
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto copy = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, copy);
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng a{41};
+  Rng child = a.fork();
+  // The child must not replay the parent's stream.
+  Rng b{41};
+  b.next_u64();  // advance past the fork draw
+  EXPECT_NE(child.next_u64(), b.next_u64());
+}
+
+// ---------------------------------------------------------------- Zipf
+
+TEST(ZipfSampler, UniformWhenExponentZero) {
+  ZipfSampler zipf{4, 0.0};
+  for (std::size_t r = 0; r < 4; ++r) EXPECT_NEAR(zipf.pmf(r), 0.25, 1e-12);
+}
+
+TEST(ZipfSampler, PmfDecreasesWithRank) {
+  ZipfSampler zipf{10, 1.0};
+  for (std::size_t r = 1; r < 10; ++r) {
+    EXPECT_GT(zipf.pmf(r - 1), zipf.pmf(r));
+  }
+}
+
+TEST(ZipfSampler, PmfSumsToOne) {
+  ZipfSampler zipf{100, 0.8};
+  double total = 0.0;
+  for (std::size_t r = 0; r < 100; ++r) total += zipf.pmf(r);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfSampler, SampleFrequenciesTrackPmf) {
+  ZipfSampler zipf{8, 1.2};
+  Rng rng{5};
+  std::array<int, 8> counts{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[zipf.sample(rng)]++;
+  for (std::size_t r = 0; r < 8; ++r) {
+    EXPECT_NEAR(static_cast<double>(counts[r]) / n, zipf.pmf(r), 0.01);
+  }
+}
+
+TEST(ZipfSampler, SingleItemAlwaysRankZero) {
+  ZipfSampler zipf{1, 2.0};
+  Rng rng{5};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.sample(rng), 0u);
+}
+
+TEST(ZipfSampler, PmfOutOfRangeIsZero) {
+  ZipfSampler zipf{3, 1.0};
+  EXPECT_EQ(zipf.pmf(3), 0.0);
+  EXPECT_EQ(zipf.pmf(100), 0.0);
+}
+
+// ---------------------------------------------------------------- Stats
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(3.0);
+  EXPECT_EQ(s.mean(), 3.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 3.0);
+  EXPECT_EQ(s.max(), 3.0);
+}
+
+TEST(OnlineStats, KnownMoments) {
+  OnlineStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, MergeEqualsSequential) {
+  OnlineStats all, left, right;
+  Rng rng{3};
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal(1.0, 3.0);
+    all.add(v);
+    (i < 400 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-6);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, b;
+  a.add(1.0);
+  a.add(2.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(Samples, QuantileExactRanks) {
+  Samples s;
+  for (int i = 1; i <= 5; ++i) s.add(i);  // 1..5
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 5.0);
+}
+
+TEST(Samples, QuantileInterpolates) {
+  Samples s;
+  s.add(0.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 2.5);
+  EXPECT_DOUBLE_EQ(s.quantile(0.75), 7.5);
+}
+
+TEST(Samples, QuantileClampsRange) {
+  Samples s;
+  s.add(1.0);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.quantile(-1.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(2.0), 2.0);
+}
+
+TEST(Samples, EmptyReturnsZero) {
+  Samples s;
+  EXPECT_EQ(s.quantile(0.5), 0.0);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(Samples, MeanMatchesArithmetic) {
+  Samples s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+}
+
+TEST(Samples, SortedOutput) {
+  Samples s;
+  for (double v : {3.0, 1.0, 2.0}) s.add(v);
+  EXPECT_EQ(s.sorted(), (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(Samples, AddAfterQuantileInvalidatesCache) {
+  Samples s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 5.0);
+  s.add(9.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 9.0);
+}
+
+TEST(Counter, BasicCounts) {
+  Counter c;
+  c.inc("a");
+  c.inc("a", 2);
+  c.inc("b");
+  EXPECT_EQ(c.get("a"), 3u);
+  EXPECT_EQ(c.get("b"), 1u);
+  EXPECT_EQ(c.get("missing"), 0u);
+  EXPECT_EQ(c.total(), 4u);
+}
+
+TEST(Counter, Fractions) {
+  Counter c;
+  c.inc("x", 3);
+  c.inc("y", 1);
+  EXPECT_DOUBLE_EQ(c.fraction("x"), 0.75);
+  EXPECT_DOUBLE_EQ(c.fraction("missing"), 0.0);
+}
+
+TEST(Counter, EmptyFractionIsZero) {
+  Counter c;
+  EXPECT_DOUBLE_EQ(c.fraction("x"), 0.0);
+}
+
+// ---------------------------------------------------------------- Codec
+
+TEST(Codec, FixedWidthRoundTrip) {
+  Writer w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.i64(-42);
+  w.f32(3.5f);
+  w.f64(-2.25);
+  Reader r{w.bytes()};
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_EQ(r.f32(), 3.5f);
+  EXPECT_EQ(r.f64(), -2.25);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Codec, VarintRoundTripBoundaries) {
+  const std::uint64_t values[] = {0,    1,    127,  128,   16383, 16384,
+                                  1u << 20, 1ull << 35, ~0ull};
+  Writer w;
+  for (std::uint64_t v : values) w.varint(v);
+  Reader r{w.bytes()};
+  for (std::uint64_t v : values) EXPECT_EQ(r.varint(), v);
+}
+
+TEST(Codec, VarintSmallValuesAreOneByte) {
+  Writer w;
+  w.varint(127);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(Codec, StringRoundTrip) {
+  Writer w;
+  w.str("hello");
+  w.str("");
+  w.str(std::string(1000, 'x'));
+  Reader r{w.bytes()};
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.str(), std::string(1000, 'x'));
+}
+
+TEST(Codec, FloatVectorRoundTrip) {
+  const std::vector<float> v{1.0f, -2.5f, 0.0f, 1e-20f, 3e20f};
+  Writer w;
+  w.f32_vec(v);
+  Reader r{w.bytes()};
+  EXPECT_EQ(r.f32_vec(), v);
+}
+
+TEST(Codec, EmptyVectorRoundTrip) {
+  Writer w;
+  w.f32_vec({});
+  Reader r{w.bytes()};
+  EXPECT_TRUE(r.f32_vec().empty());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Codec, UnderflowThrows) {
+  Writer w;
+  w.u16(7);
+  Reader r{w.bytes()};
+  EXPECT_THROW(r.u32(), CodecError);
+}
+
+TEST(Codec, TruncatedStringThrows) {
+  Writer w;
+  w.varint(100);  // claims 100 bytes, provides none
+  Reader r{w.bytes()};
+  EXPECT_THROW(r.str(), CodecError);
+}
+
+TEST(Codec, OversizedVectorLengthThrows) {
+  Writer w;
+  w.varint(1ull << 40);  // absurd element count
+  Reader r{w.bytes()};
+  EXPECT_THROW(r.f32_vec(), CodecError);
+}
+
+TEST(Codec, MalformedVarintThrows) {
+  // 11 continuation bytes: longer than any valid 64-bit varint.
+  std::vector<std::uint8_t> bad(11, 0x80);
+  Reader r{bad};
+  EXPECT_THROW(r.varint(), CodecError);
+}
+
+TEST(Codec, RemainingTracksPosition) {
+  Writer w;
+  w.u32(1);
+  w.u32(2);
+  Reader r{w.bytes()};
+  EXPECT_EQ(r.remaining(), 8u);
+  r.u32();
+  EXPECT_EQ(r.remaining(), 4u);
+}
+
+// ---------------------------------------------------------------- Vecmath
+
+TEST(VecMath, DotProduct) {
+  const std::vector<float> a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_FLOAT_EQ(dot(a, b), 32.0f);
+}
+
+TEST(VecMath, L2Distance) {
+  const std::vector<float> a{0, 0}, b{3, 4};
+  EXPECT_FLOAT_EQ(l2(a, b), 5.0f);
+  EXPECT_FLOAT_EQ(l2_sq(a, b), 25.0f);
+}
+
+TEST(VecMath, NormalizeMakesUnitNorm) {
+  std::vector<float> v{3, 4};
+  normalize(v);
+  EXPECT_NEAR(norm(v), 1.0f, 1e-6f);
+  EXPECT_NEAR(v[0], 0.6f, 1e-6f);
+}
+
+TEST(VecMath, NormalizeZeroVectorIsNoop) {
+  std::vector<float> v{0, 0, 0};
+  normalize(v);
+  EXPECT_EQ(v, (std::vector<float>{0, 0, 0}));
+}
+
+TEST(VecMath, CosineDistanceIdenticalIsZero) {
+  const std::vector<float> a{1, 2, 3};
+  EXPECT_NEAR(cosine_distance(a, a), 0.0f, 1e-6f);
+}
+
+TEST(VecMath, CosineDistanceOrthogonalIsOne) {
+  const std::vector<float> a{1, 0}, b{0, 1};
+  EXPECT_NEAR(cosine_distance(a, b), 1.0f, 1e-6f);
+}
+
+TEST(VecMath, CosineDistanceZeroVector) {
+  const std::vector<float> a{0, 0}, b{1, 1};
+  EXPECT_FLOAT_EQ(cosine_distance(a, b), 1.0f);
+}
+
+TEST(VecMath, AddAndScaleInPlace) {
+  std::vector<float> a{1, 2};
+  const std::vector<float> b{3, 4};
+  add_in_place(a, b);
+  EXPECT_EQ(a, (std::vector<float>{4, 6}));
+  scale_in_place(a, 0.5f);
+  EXPECT_EQ(a, (std::vector<float>{2, 3}));
+}
+
+// ---------------------------------------------------------------- Ring
+
+TEST(RingBuffer, FillsThenOverwritesOldest) {
+  RingBuffer<int> ring{3};
+  ring.push(1);
+  ring.push(2);
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_EQ(ring.front(), 1);
+  ring.push(3);
+  EXPECT_TRUE(ring.full());
+  ring.push(4);  // evicts 1
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.front(), 2);
+  EXPECT_EQ(ring.back(), 4);
+  EXPECT_EQ(ring[0], 2);
+  EXPECT_EQ(ring[1], 3);
+  EXPECT_EQ(ring[2], 4);
+}
+
+TEST(RingBuffer, ClearEmpties) {
+  RingBuffer<int> ring{2};
+  ring.push(1);
+  ring.clear();
+  EXPECT_TRUE(ring.empty());
+  ring.push(7);
+  EXPECT_EQ(ring.front(), 7);
+}
+
+TEST(RingBuffer, CapacityOne) {
+  RingBuffer<int> ring{1};
+  ring.push(1);
+  ring.push(2);
+  EXPECT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring.front(), 2);
+}
+
+TEST(RingBuffer, LongWrapAround) {
+  RingBuffer<int> ring{5};
+  for (int i = 0; i < 100; ++i) ring.push(i);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(ring[i], 95 + static_cast<int>(i));
+  }
+}
+
+// ---------------------------------------------------------------- Table
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t;
+  t.header({"name", "value"});
+  t.row({"a", "1"});
+  t.row({"longer-name", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  // Both rows' second column starts at the same offset.
+  const auto lines_start = out.find("a ");
+  ASSERT_NE(lines_start, std::string::npos);
+}
+
+TEST(TextTable, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+TEST(TextTable, RendersWithoutHeader) {
+  TextTable t;
+  t.row({"x", "y"});
+  EXPECT_EQ(t.render(), "x  y\n");
+}
+
+TEST(TextTable, ShortRowsAllowed) {
+  TextTable t;
+  t.header({"a", "b", "c"});
+  t.row({"only"});
+  EXPECT_NE(t.render().find("only"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace apx

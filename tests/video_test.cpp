@@ -1,0 +1,269 @@
+// Unit tests for the video substrate: stream generation (temporal locality
+// driven by mobility) and the keyframe reuse detector.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/util/stats.hpp"
+#include "src/video/locality.hpp"
+#include "src/video/stream.hpp"
+
+namespace apx {
+namespace {
+
+SceneGenerator::Config world() {
+  SceneGenerator::Config cfg;
+  cfg.num_classes = 16;
+  cfg.image_size = 24;
+  cfg.seed = 3;
+  return cfg;
+}
+
+// --------------------------------------------------------------- Stream
+
+TEST(Stream, BadFpsThrows) {
+  const SceneGenerator scenes{world()};
+  const MobilityModel m = MobilityModel::constant(MotionState::kMinor, kSecond);
+  const ZipfSampler zipf{16, 0.8};
+  VideoStreamConfig cfg;
+  cfg.fps = 0.0;
+  EXPECT_THROW(VideoStreamGenerator(scenes, m, zipf, cfg, 1),
+               std::invalid_argument);
+}
+
+TEST(Stream, FrameTimesAdvanceByPeriod) {
+  const SceneGenerator scenes{world()};
+  const MobilityModel m =
+      MobilityModel::constant(MotionState::kMinor, 10 * kSecond);
+  const ZipfSampler zipf{16, 0.8};
+  VideoStreamConfig cfg;
+  cfg.fps = 10.0;
+  VideoStreamGenerator stream{scenes, m, zipf, cfg, 1};
+  const Frame a = stream.next();
+  const Frame b = stream.next();
+  EXPECT_EQ(a.t, 0);
+  EXPECT_EQ(b.t - a.t, 100 * kMillisecond);
+  EXPECT_EQ(stream.next_frame_time(), 200 * kMillisecond);
+}
+
+TEST(Stream, LabelsAreValidClasses) {
+  const SceneGenerator scenes{world()};
+  const MobilityModel m =
+      MobilityModel::constant(MotionState::kMajor, 30 * kSecond);
+  const ZipfSampler zipf{16, 0.8};
+  VideoStreamGenerator stream{scenes, m, zipf, VideoStreamConfig{}, 2};
+  for (int i = 0; i < 100; ++i) {
+    const Frame f = stream.next();
+    EXPECT_GE(f.true_label, 0);
+    EXPECT_LT(f.true_label, 16);
+    EXPECT_EQ(f.true_label, stream.current_label());
+  }
+}
+
+TEST(Stream, StationaryKeepsObject) {
+  const SceneGenerator scenes{world()};
+  const MobilityModel m =
+      MobilityModel::constant(MotionState::kStationary, 60 * kSecond);
+  const ZipfSampler zipf{16, 0.8};
+  VideoStreamGenerator stream{scenes, m, zipf, VideoStreamConfig{}, 3};
+  const Label first = stream.next().true_label;
+  int changes = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (stream.next().true_label != first) ++changes;
+  }
+  EXPECT_LE(changes, 3);
+}
+
+TEST(Stream, MajorMotionChangesObjectsOften) {
+  const SceneGenerator scenes{world()};
+  const MobilityModel m =
+      MobilityModel::constant(MotionState::kMajor, 60 * kSecond);
+  const ZipfSampler zipf{16, 0.8};
+  VideoStreamGenerator stream{scenes, m, zipf, VideoStreamConfig{}, 4};
+  int changes = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (stream.next().object_changed) ++changes;
+  }
+  EXPECT_GE(changes, 5);
+}
+
+TEST(Stream, ConsecutiveStationaryFramesSimilar) {
+  const SceneGenerator scenes{world()};
+  const MobilityModel m =
+      MobilityModel::constant(MotionState::kStationary, 60 * kSecond);
+  const ZipfSampler zipf{16, 0.8};
+  VideoStreamGenerator stream{scenes, m, zipf, VideoStreamConfig{}, 5};
+  Frame prev = stream.next();
+  OnlineStats diffs;
+  for (int i = 0; i < 30; ++i) {
+    Frame cur = stream.next();
+    if (cur.true_label == prev.true_label) {
+      diffs.add(cur.image.mean_abs_diff(prev.image));
+    }
+    prev = std::move(cur);
+  }
+  EXPECT_LT(diffs.mean(), 0.05);
+}
+
+TEST(Stream, MajorMotionFramesLessSimilar) {
+  const SceneGenerator scenes{world()};
+  const ZipfSampler zipf{16, 0.8};
+  auto mean_diff = [&](MotionState state, std::uint64_t seed) {
+    const MobilityModel m = MobilityModel::constant(state, 60 * kSecond);
+    VideoStreamGenerator stream{scenes, m, zipf, VideoStreamConfig{}, seed};
+    Frame prev = stream.next();
+    OnlineStats diffs;
+    for (int i = 0; i < 50; ++i) {
+      Frame cur = stream.next();
+      diffs.add(cur.image.mean_abs_diff(prev.image));
+      prev = std::move(cur);
+    }
+    return diffs.mean();
+  };
+  EXPECT_LT(mean_diff(MotionState::kStationary, 6),
+            mean_diff(MotionState::kMajor, 6));
+}
+
+TEST(Stream, DeterministicPerSeed) {
+  const SceneGenerator scenes{world()};
+  const MobilityModel m =
+      MobilityModel::constant(MotionState::kMinor, 10 * kSecond);
+  const ZipfSampler zipf{16, 0.8};
+  VideoStreamGenerator a{scenes, m, zipf, VideoStreamConfig{}, 9};
+  VideoStreamGenerator b{scenes, m, zipf, VideoStreamConfig{}, 9};
+  for (int i = 0; i < 20; ++i) {
+    const Frame fa = a.next();
+    const Frame fb = b.next();
+    EXPECT_EQ(fa.true_label, fb.true_label);
+    EXPECT_EQ(fa.image.mean_abs_diff(fb.image), 0.0f);
+  }
+}
+
+TEST(Stream, PopularitySkewShowsInLabels) {
+  const SceneGenerator scenes{world()};
+  const MobilityModel m =
+      MobilityModel::constant(MotionState::kMajor, 600 * kSecond);
+  const ZipfSampler zipf{16, 1.5};
+  VideoStreamGenerator stream{scenes, m, zipf, VideoStreamConfig{}, 10};
+  std::map<Label, int> counts;
+  for (int i = 0; i < 3000; ++i) counts[stream.next().true_label]++;
+  // Rank-0 must be sampled far more often than rank-15.
+  EXPECT_GT(counts[0], counts[15] * 3);
+}
+
+// --------------------------------------------------------------- Locality
+
+Image flat(float value) {
+  Image img(16, 16, 1);
+  for (float& v : img.data()) v = value;
+  return img;
+}
+
+TEST(Temporal, BadParamsThrow) {
+  TemporalReuseParams p;
+  p.diff_threshold = -1.0f;
+  EXPECT_THROW(TemporalReuseDetector{p}, std::invalid_argument);
+  p = TemporalReuseParams{};
+  p.downsample_side = 0;
+  EXPECT_THROW(TemporalReuseDetector{p}, std::invalid_argument);
+}
+
+TEST(Temporal, NoKeyframeNoReuse) {
+  TemporalReuseDetector det;
+  const TemporalCheck check = det.check(flat(0.5f));
+  EXPECT_FALSE(check.reusable);
+  EXPECT_FALSE(det.has_keyframe());
+}
+
+TEST(Temporal, IdenticalFrameReusable) {
+  TemporalReuseDetector det;
+  det.set_keyframe(flat(0.5f));
+  const TemporalCheck check = det.check(flat(0.5f));
+  EXPECT_TRUE(check.reusable);
+  EXPECT_EQ(check.diff, 0.0f);
+  EXPECT_EQ(det.chain_length(), 1);
+}
+
+TEST(Temporal, DifferentFrameNotReusable) {
+  TemporalReuseDetector det;
+  det.set_keyframe(flat(0.1f));
+  const TemporalCheck check = det.check(flat(0.9f));
+  EXPECT_FALSE(check.reusable);
+  EXPECT_NEAR(check.diff, 0.8f, 1e-5f);
+}
+
+TEST(Temporal, ChainBoundedByMaxChain) {
+  TemporalReuseParams p;
+  p.max_chain = 3;
+  TemporalReuseDetector det{p};
+  det.set_keyframe(flat(0.5f));
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(det.check(flat(0.5f)).reusable) << i;
+  }
+  EXPECT_FALSE(det.check(flat(0.5f)).reusable);  // forced refresh
+}
+
+TEST(Temporal, SetKeyframeResetsChain) {
+  TemporalReuseParams p;
+  p.max_chain = 2;
+  TemporalReuseDetector det{p};
+  det.set_keyframe(flat(0.5f));
+  det.check(flat(0.5f));
+  det.check(flat(0.5f));
+  det.set_keyframe(flat(0.5f));
+  EXPECT_EQ(det.chain_length(), 0);
+  EXPECT_TRUE(det.check(flat(0.5f)).reusable);
+}
+
+TEST(Temporal, InvalidateDropsKeyframe) {
+  TemporalReuseDetector det;
+  det.set_keyframe(flat(0.5f));
+  det.invalidate();
+  EXPECT_FALSE(det.has_keyframe());
+  EXPECT_FALSE(det.check(flat(0.5f)).reusable);
+}
+
+TEST(Temporal, CheckReportsConfiguredLatency) {
+  TemporalReuseParams p;
+  p.check_latency = 777;
+  TemporalReuseDetector det{p};
+  EXPECT_EQ(det.check(flat(0.0f)).latency, 777);
+}
+
+TEST(Temporal, ComparesAgainstKeyframeNotPreviousFrame) {
+  // Slow drift: each frame close to the previous but cumulative drift
+  // large. Keyframe comparison must eventually refuse.
+  TemporalReuseParams p;
+  p.diff_threshold = 0.1f;
+  p.max_chain = 1000;
+  TemporalReuseDetector det{p};
+  det.set_keyframe(flat(0.0f));
+  bool refused = false;
+  for (int i = 1; i <= 20; ++i) {
+    const TemporalCheck check = det.check(flat(0.03f * static_cast<float>(i)));
+    if (!check.reusable) {
+      refused = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(refused);
+}
+
+TEST(Temporal, WorksOnRealStream) {
+  const SceneGenerator scenes{world()};
+  const MobilityModel m =
+      MobilityModel::constant(MotionState::kStationary, 30 * kSecond);
+  const ZipfSampler zipf{16, 0.8};
+  VideoStreamGenerator stream{scenes, m, zipf, VideoStreamConfig{}, 11};
+  TemporalReuseDetector det;
+  det.set_keyframe(stream.next().image);
+  int reused = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (det.check(stream.next().image).reusable) ++reused;
+  }
+  EXPECT_GE(reused, 15);  // stationary stream is highly reusable
+}
+
+}  // namespace
+}  // namespace apx

@@ -1,0 +1,137 @@
+// Tests for multi-object frames and region-level operations.
+
+#include <gtest/gtest.h>
+
+#include "src/features/extractor.hpp"
+#include "src/util/vecmath.hpp"
+#include "src/vision/multi_object.hpp"
+
+namespace apx {
+namespace {
+
+SceneGenerator::Config world() {
+  SceneGenerator::Config cfg;
+  cfg.num_classes = 12;
+  cfg.image_size = 24;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(MultiObject, ComposeAndCropRoundTrip) {
+  const SceneGenerator scenes{world()};
+  std::array<Label, MultiFrame::kRegions> labels{1, 2, 3, 4};
+  std::array<ViewParams, MultiFrame::kRegions> views{};
+  const Image frame = compose_grid(scenes, labels, views);
+  EXPECT_EQ(frame.width(), 48);
+  EXPECT_EQ(frame.height(), 48);
+  for (int region = 0; region < MultiFrame::kRegions; ++region) {
+    const Image crop = crop_region(frame, region);
+    const Image direct =
+        scenes.render(labels[static_cast<std::size_t>(region)],
+                      views[static_cast<std::size_t>(region)]);
+    EXPECT_EQ(crop.mean_abs_diff(direct), 0.0f) << "region " << region;
+  }
+}
+
+TEST(MultiObject, CropBadIndexThrows) {
+  Image frame(48, 48, 3);
+  EXPECT_THROW(crop_region(frame, -1), std::out_of_range);
+  EXPECT_THROW(crop_region(frame, 4), std::out_of_range);
+}
+
+TEST(MultiObject, StreamBadFpsThrows) {
+  const SceneGenerator scenes{world()};
+  const ZipfSampler zipf{12, 0.8};
+  MultiObjectStream::Config cfg;
+  cfg.fps = 0.0;
+  EXPECT_THROW(MultiObjectStream(scenes, zipf, cfg, 1), std::invalid_argument);
+}
+
+TEST(MultiObject, StreamLabelsValidAndTracked) {
+  const SceneGenerator scenes{world()};
+  const ZipfSampler zipf{12, 0.8};
+  MultiObjectStream stream{scenes, zipf, MultiObjectStream::Config{}, 2};
+  for (int i = 0; i < 30; ++i) {
+    const MultiFrame frame = stream.next();
+    for (const Label label : frame.true_labels) {
+      EXPECT_GE(label, 0);
+      EXPECT_LT(label, 12);
+    }
+  }
+}
+
+TEST(MultiObject, SlotsChangeIndependently) {
+  const SceneGenerator scenes{world()};
+  const ZipfSampler zipf{12, 0.8};
+  MultiObjectStream::Config cfg;
+  cfg.slot_change_rate = 1.0;  // fast churn
+  MultiObjectStream stream{scenes, zipf, cfg, 3};
+  std::array<int, MultiFrame::kRegions> changes{};
+  int frames_with_partial_change = 0;
+  for (int i = 0; i < 300; ++i) {
+    const MultiFrame frame = stream.next();
+    int changed = 0;
+    for (int r = 0; r < MultiFrame::kRegions; ++r) {
+      if (frame.changed[static_cast<std::size_t>(r)]) {
+        ++changes[static_cast<std::size_t>(r)];
+        ++changed;
+      }
+    }
+    if (changed > 0 && changed < MultiFrame::kRegions) {
+      ++frames_with_partial_change;
+    }
+  }
+  for (const int c : changes) EXPECT_GT(c, 5);  // every slot churns
+  EXPECT_GT(frames_with_partial_change, 10);    // but not in lockstep
+}
+
+TEST(MultiObject, UnchangedRegionStaysSimilar) {
+  const SceneGenerator scenes{world()};
+  const ZipfSampler zipf{12, 0.8};
+  MultiObjectStream::Config cfg;
+  cfg.slot_change_rate = 0.0;  // nothing ever changes
+  MultiObjectStream stream{scenes, zipf, cfg, 4};
+  const MultiFrame a = stream.next();
+  const MultiFrame b = stream.next();
+  for (int r = 0; r < MultiFrame::kRegions; ++r) {
+    EXPECT_LT(crop_region(a.image, r).mean_abs_diff(crop_region(b.image, r)),
+              0.05f);
+  }
+}
+
+TEST(MultiObject, RegionFeaturesBeatWholeFrameUnderPartialChange) {
+  // The structural fact F10 exhibits: when one slot changes, the
+  // whole-frame feature moves far, but the unchanged regions' features
+  // stay near their previous values.
+  const SceneGenerator scenes{world()};
+  const auto extractor = make_cnn_extractor();
+  std::array<Label, MultiFrame::kRegions> labels{1, 2, 3, 4};
+  std::array<ViewParams, MultiFrame::kRegions> views{};
+  const Image before = compose_grid(scenes, labels, views);
+  labels[0] = 9;  // one object replaced
+  const Image after = compose_grid(scenes, labels, views);
+
+  const float whole_shift =
+      l2(extractor->extract(before), extractor->extract(after));
+  const float unchanged_shift =
+      l2(extractor->extract(crop_region(before, 3)),
+         extractor->extract(crop_region(after, 3)));
+  EXPECT_GT(whole_shift, unchanged_shift * 5.0f);
+  EXPECT_NEAR(unchanged_shift, 0.0f, 1e-5f);
+}
+
+TEST(MultiObject, DeterministicPerSeed) {
+  const SceneGenerator scenes{world()};
+  const ZipfSampler zipf{12, 0.8};
+  MultiObjectStream a{scenes, zipf, MultiObjectStream::Config{}, 9};
+  MultiObjectStream b{scenes, zipf, MultiObjectStream::Config{}, 9};
+  for (int i = 0; i < 10; ++i) {
+    const MultiFrame fa = a.next();
+    const MultiFrame fb = b.next();
+    EXPECT_EQ(fa.true_labels, fb.true_labels);
+    EXPECT_EQ(fa.image.mean_abs_diff(fb.image), 0.0f);
+  }
+}
+
+}  // namespace
+}  // namespace apx

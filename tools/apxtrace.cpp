@@ -1,0 +1,109 @@
+// apxtrace — offline analyzer for recorded experiment traces (see
+// sim/trace.hpp). Re-derives metrics from a trace file without
+// re-simulating.
+//
+//   $ apxsim --duration 60 --trace-out run.aptr
+//   $ apxtrace run.aptr                 # pooled summary
+//   $ apxtrace run.aptr --device 2      # one device
+//   $ apxtrace run.aptr --cdf           # latency CDF rows
+//   $ apxtrace run.aptr --csv           # per-device CSV
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/sim/trace.hpp"
+#include "src/util/serialize.hpp"
+#include "src/util/table.hpp"
+
+using namespace apx;
+
+namespace {
+
+std::vector<std::uint8_t> read_file(const char* path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) {
+    std::fprintf(stderr, "apxtrace: cannot open %s\n", path);
+    std::exit(1);
+  }
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void print_summary(const char* label, const ExperimentMetrics& m) {
+  TextTable t;
+  t.header({"metric", "value"});
+  t.row({"frames", std::to_string(m.frames())});
+  t.row({"mean latency", TextTable::num(m.mean_latency_ms()) + " ms"});
+  t.row({"p50 / p95 / p99",
+         TextTable::num(m.latency_quantile_ms(0.5)) + " / " +
+             TextTable::num(m.latency_quantile_ms(0.95)) + " / " +
+             TextTable::num(m.latency_quantile_ms(0.99)) + " ms"});
+  t.row({"accuracy", TextTable::num(m.accuracy(), 4)});
+  t.row({"reuse ratio", TextTable::num(m.reuse_ratio(), 4)});
+  t.row({"energy/frame", TextTable::num(m.mean_compute_energy_mj(), 2) + " mJ"});
+  std::printf("%s\n%s\nsource breakdown:\n", label, t.render().c_str());
+  for (const auto& [source, count] : m.sources().items()) {
+    std::printf("  %-13s %6llu (%.1f%%)\n", source.c_str(),
+                static_cast<unsigned long long>(count),
+                m.frames() ? 100.0 * static_cast<double>(count) /
+                                 static_cast<double>(m.frames())
+                           : 0.0);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || std::strcmp(argv[1], "--help") == 0) {
+    std::puts("usage: apxtrace FILE [--device N | --cdf | --csv]");
+    return argc < 2 ? 2 : 0;
+  }
+  std::vector<TraceEvent> events;
+  try {
+    events = TraceRecorder::parse(read_file(argv[1]));
+  } catch (const CodecError& error) {
+    std::fprintf(stderr, "apxtrace: malformed trace: %s\n", error.what());
+    return 1;
+  }
+
+  std::set<std::uint32_t> device_ids;
+  for (const TraceEvent& event : events) device_ids.insert(event.device);
+
+  const std::string mode = argc > 2 ? argv[2] : "";
+  if (mode == "--device") {
+    if (argc < 4) {
+      std::fprintf(stderr, "apxtrace: --device needs an id\n");
+      return 2;
+    }
+    const auto id = static_cast<std::uint32_t>(std::atoi(argv[3]));
+    print_summary(("device " + std::to_string(id)).c_str(),
+                  analyze_trace_device(events, id));
+    return 0;
+  }
+  if (mode == "--cdf") {
+    const ExperimentMetrics m = analyze_trace(events);
+    std::printf("percentile,latency_ms\n");
+    for (const int p : {1, 5, 10, 25, 50, 75, 90, 95, 99}) {
+      std::printf("%d,%.3f\n", p, m.latency_quantile_ms(p / 100.0));
+    }
+    return 0;
+  }
+  if (mode == "--csv") {
+    std::printf("device,frames,mean_ms,p95_ms,accuracy,reuse\n");
+    for (const std::uint32_t id : device_ids) {
+      const ExperimentMetrics m = analyze_trace_device(events, id);
+      std::printf("%u,%zu,%.3f,%.3f,%.4f,%.4f\n", id, m.frames(),
+                  m.mean_latency_ms(), m.latency_quantile_ms(0.95),
+                  m.accuracy(), m.reuse_ratio());
+    }
+    return 0;
+  }
+
+  std::printf("trace: %zu events from %zu devices\n\n", events.size(),
+              device_ids.size());
+  print_summary("pooled", analyze_trace(events));
+  return 0;
+}
