@@ -16,146 +16,213 @@ PStableLshIndex::PStableLshIndex(std::size_t dim, const LshParams& params)
   Rng rng{params.seed};
   tables_.resize(params.num_tables);
   for (auto& table : tables_) {
-    table.projections.resize(params.hashes_per_table);
+    table.projections.resize(params.hashes_per_table * dim);
     table.offsets.resize(params.hashes_per_table);
     for (std::size_t h = 0; h < params.hashes_per_table; ++h) {
-      auto& proj = table.projections[h];
-      proj.resize(dim);
-      for (float& x : proj) x = static_cast<float>(rng.normal());
+      float* row = table.projections.data() + h * dim;
+      for (std::size_t i = 0; i < dim; ++i) {
+        row[i] = static_cast<float>(rng.normal());
+      }
       table.offsets[h] =
           static_cast<float>(rng.uniform(0.0, params.bucket_width));
     }
   }
+  scratch_.projected.resize(params.hashes_per_table);
+  scratch_.coords.resize(params.hashes_per_table);
+  scratch_.fractions.resize(params.hashes_per_table);
+  scratch_.order.resize(params.hashes_per_table);
 }
 
 namespace {
 
-std::uint64_t hash_coords(std::span<const std::int64_t> coords) {
-  // FNV-1a over the concatenated quantized projections.
-  std::uint64_t key = 0xcbf29ce484222325ULL;
+/// Finalizer from MurmurHash3: full 64-bit avalanche in three multiplies.
+inline std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Word-at-a-time key over the quantized projections: one avalanche per
+/// coordinate (chained, so position matters) instead of the old FNV-1a
+/// byte loop (8 xor-multiplies per coordinate).
+inline std::uint64_t hash_coords(std::span<const std::int64_t> coords) noexcept {
+  std::uint64_t key = 0x9e3779b97f4a7c15ULL ^ coords.size();
   for (const std::int64_t q : coords) {
-    const auto uq = static_cast<std::uint64_t>(q);
-    for (int byte = 0; byte < 8; ++byte) {
-      key ^= (uq >> (8 * byte)) & 0xff;
-      key *= 0x100000001b3ULL;
-    }
+    key = mix64(key ^ static_cast<std::uint64_t>(q));
   }
   return key;
 }
 
 }  // namespace
 
-std::vector<std::int64_t> PStableLshIndex::quantized_coords(
-    const Table& table, std::span<const float> v,
-    std::vector<float>* fractions) const {
-  std::vector<std::int64_t> coords(params_.hashes_per_table);
-  if (fractions != nullptr) fractions->resize(params_.hashes_per_table);
-  for (std::size_t h = 0; h < params_.hashes_per_table; ++h) {
-    const float scaled =
-        (dot(table.projections[h], v) + table.offsets[h]) /
-        params_.bucket_width;
+std::uint64_t PStableLshIndex::compute_coords(const Table& table,
+                                              std::span<const float> v,
+                                              bool want_fractions) const {
+  QueryScratch& sc = scratch_;
+  const std::size_t k = params_.hashes_per_table;
+  // One matrix-vector pass over the table's contiguous projection rows.
+  dot_batch(v, table.projections.data(), k, sc.projected.data());
+  const float inv_w = 1.0f / params_.bucket_width;
+  for (std::size_t h = 0; h < k; ++h) {
+    const float scaled = (sc.projected[h] + table.offsets[h]) * inv_w;
     const float floor_val = std::floor(scaled);
-    coords[h] = static_cast<std::int64_t>(floor_val);
-    if (fractions != nullptr) (*fractions)[h] = scaled - floor_val;
+    sc.coords[h] = static_cast<std::int64_t>(floor_val);
+    if (want_fractions) sc.fractions[h] = scaled - floor_val;
   }
-  return coords;
+  return hash_coords(sc.coords);
 }
 
-std::uint64_t PStableLshIndex::bucket_key(const Table& table,
-                                          std::span<const float> v) const {
-  const auto coords = quantized_coords(table, v, nullptr);
-  return hash_coords(coords);
+void PStableLshIndex::link_slot(Slot slot) {
+  const std::span<const float> v = slot_vec(slot);
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    const std::uint64_t key =
+        compute_coords(tables_[t], v, /*want_fractions=*/false);
+    tables_[t].buckets[key].push_back(slot);
+    slot_keys_[static_cast<std::size_t>(slot) * tables_.size() + t] = key;
+  }
 }
 
 void PStableLshIndex::insert(VecId id, const FeatureVec& v) {
   assert(v.size() == dim_);
-  Entry entry{v, {}};
-  entry.keys.reserve(tables_.size());
-  for (auto& table : tables_) {
-    const std::uint64_t key = bucket_key(table, v);
-    table.buckets[key].push_back(id);
-    entry.keys.push_back(key);
+  const auto [it, inserted] = id_to_slot_.try_emplace(id, Slot{0});
+  if (!inserted) {
+    // A silent duplicate would stack a second slot under the same id and
+    // leave the first one stale in every table — corrupt under NDEBUG.
+    throw std::invalid_argument("PStableLshIndex::insert: duplicate id");
   }
-  [[maybe_unused]] const auto [_, inserted] =
-      entries_.emplace(id, std::move(entry));
-  assert(inserted && "duplicate id");
+  Slot slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slot_ids_[slot] = id;
+  } else {
+    slot = static_cast<Slot>(slot_ids_.size());
+    slot_ids_.push_back(id);
+    arena_.resize(arena_.size() + dim_);
+    slot_keys_.resize(slot_keys_.size() + tables_.size());
+  }
+  std::copy(v.begin(), v.end(),
+            arena_.begin() + static_cast<std::ptrdiff_t>(
+                                 static_cast<std::size_t>(slot) * dim_));
+  it->second = slot;
+  link_slot(slot);
 }
 
 bool PStableLshIndex::remove(VecId id) {
-  const auto it = entries_.find(id);
-  if (it == entries_.end()) return false;
+  const auto it = id_to_slot_.find(id);
+  if (it == id_to_slot_.end()) return false;
+  const Slot slot = it->second;
   for (std::size_t t = 0; t < tables_.size(); ++t) {
     auto& table = tables_[t];
-    const auto bucket_it = table.buckets.find(it->second.keys[t]);
+    const std::uint64_t key =
+        slot_keys_[static_cast<std::size_t>(slot) * tables_.size() + t];
+    const auto bucket_it = table.buckets.find(key);
     if (bucket_it != table.buckets.end()) {
-      auto& ids = bucket_it->second;
-      ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
-      if (ids.empty()) table.buckets.erase(bucket_it);
+      auto& slots = bucket_it->second;
+      slots.erase(std::remove(slots.begin(), slots.end(), slot), slots.end());
+      if (slots.empty()) table.buckets.erase(bucket_it);
     }
   }
-  entries_.erase(it);
+  free_slots_.push_back(slot);
+  id_to_slot_.erase(it);
   return true;
 }
 
 std::vector<Neighbor> PStableLshIndex::query(std::span<const float> q,
                                              std::size_t k) const {
+  std::vector<Neighbor> result;
+  query_into(q, k, result);
+  return result;
+}
+
+void PStableLshIndex::query_into(std::span<const float> q, std::size_t k,
+                                 std::vector<Neighbor>& out) const {
   assert(q.size() == dim_);
-  // Union of candidate buckets across tables, deduplicated by sort.
-  std::vector<VecId> candidates;
-  std::vector<float> fractions;
+  out.clear();
+  QueryScratch& sc = scratch_;
+
+  // Generation-stamped seen mask over arena slots: dedup is O(candidates)
+  // with no sorting and no clearing between queries (a stamp survives until
+  // the 32-bit generation wraps, at which point the mask is rewritten once).
+  if (sc.seen.size() < slot_count()) sc.seen.resize(slot_count(), 0);
+  if (++sc.generation == 0) {
+    std::fill(sc.seen.begin(), sc.seen.end(), 0u);
+    sc.generation = 1;
+  }
+  const std::uint32_t gen = sc.generation;
+
+  sc.candidates.clear();
+  sc.candidates.reserve(last_candidates_);  // typical steady-state size
+
   for (const auto& table : tables_) {
-    auto coords = quantized_coords(table, q, &fractions);
-    const auto base_it = table.buckets.find(hash_coords(coords));
+    const std::uint64_t base_key =
+        compute_coords(table, q, params_.probes_per_table > 0);
+    const auto base_it = table.buckets.find(base_key);
     if (base_it != table.buckets.end()) {
-      candidates.insert(candidates.end(), base_it->second.begin(),
-                        base_it->second.end());
+      for (const Slot slot : base_it->second) {
+        if (sc.seen[slot] != gen) {
+          sc.seen[slot] = gen;
+          sc.candidates.push_back(slot);
+        }
+      }
     }
     if (params_.probes_per_table > 0) {
       // Query-directed multiprobe: flip the coordinates whose projections
       // sit closest to a quantization boundary, one at a time, toward that
       // boundary.
-      std::vector<std::size_t> order(coords.size());
-      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-      std::sort(order.begin(), order.end(),
-                [&fractions](std::size_t a, std::size_t b) {
-                  const float da = std::min(fractions[a], 1.0f - fractions[a]);
-                  const float db = std::min(fractions[b], 1.0f - fractions[b]);
+      for (std::uint32_t i = 0; i < sc.order.size(); ++i) sc.order[i] = i;
+      std::sort(sc.order.begin(), sc.order.end(),
+                [&sc](std::uint32_t a, std::uint32_t b) {
+                  const float da =
+                      std::min(sc.fractions[a], 1.0f - sc.fractions[a]);
+                  const float db =
+                      std::min(sc.fractions[b], 1.0f - sc.fractions[b]);
                   return da < db;
                 });
       const std::size_t probes =
-          std::min(params_.probes_per_table, coords.size());
+          std::min(params_.probes_per_table, sc.coords.size());
       for (std::size_t p = 0; p < probes; ++p) {
-        const std::size_t h = order[p];
-        const std::int64_t delta = fractions[h] < 0.5f ? -1 : 1;
-        coords[h] += delta;
-        const auto it = table.buckets.find(hash_coords(coords));
+        const std::uint32_t h = sc.order[p];
+        const std::int64_t delta = sc.fractions[h] < 0.5f ? -1 : 1;
+        sc.coords[h] += delta;
+        const auto it = table.buckets.find(hash_coords(sc.coords));
         if (it != table.buckets.end()) {
-          candidates.insert(candidates.end(), it->second.begin(),
-                            it->second.end());
+          for (const Slot slot : it->second) {
+            if (sc.seen[slot] != gen) {
+              sc.seen[slot] = gen;
+              sc.candidates.push_back(slot);
+            }
+          }
         }
-        coords[h] -= delta;  // restore for the next single-flip probe
+        sc.coords[h] -= delta;  // restore for the next single-flip probe
       }
     }
   }
-  std::sort(candidates.begin(), candidates.end());
-  candidates.erase(std::unique(candidates.begin(), candidates.end()),
-                   candidates.end());
-  last_candidates_ = candidates.size();
+  last_candidates_ = sc.candidates.size();
+  if (sc.candidates.empty()) return;
 
-  std::vector<Neighbor> result;
-  result.reserve(candidates.size());
-  for (const VecId id : candidates) {
-    result.push_back({id, l2(q, entries_.at(id).vec)});
+  // Batched scoring: one gather pass over the contiguous arena.
+  if (sc.distances.size() < sc.candidates.size()) {
+    sc.distances.resize(sc.candidates.size());
   }
-  const std::size_t take = std::min(k, result.size());
-  std::partial_sort(result.begin(),
-                    result.begin() + static_cast<std::ptrdiff_t>(take),
-                    result.end(), [](const Neighbor& a, const Neighbor& b) {
+  l2_sq_gather(q, arena_.data(), sc.candidates, sc.distances.data());
+
+  out.reserve(sc.candidates.size());
+  for (std::size_t i = 0; i < sc.candidates.size(); ++i) {
+    out.push_back(
+        {slot_ids_[sc.candidates[i]], std::sqrt(sc.distances[i])});
+  }
+  const std::size_t take = std::min(k, out.size());
+  std::partial_sort(out.begin(),
+                    out.begin() + static_cast<std::ptrdiff_t>(take),
+                    out.end(), [](const Neighbor& a, const Neighbor& b) {
                       return a.distance < b.distance ||
                              (a.distance == b.distance && a.id < b.id);
                     });
-  result.resize(take);
-  return result;
+  out.resize(take);
 }
 
 void PStableLshIndex::rebuild_with_width(float new_width) {
@@ -169,13 +236,8 @@ void PStableLshIndex::rebuild_with_width(float new_width) {
     table.buckets.clear();
     for (float& off : table.offsets) off *= scale;
   }
-  for (auto& [id, entry] : entries_) {
-    entry.keys.clear();
-    for (auto& table : tables_) {
-      const std::uint64_t key = bucket_key(table, entry.vec);
-      table.buckets[key].push_back(id);
-      entry.keys.push_back(key);
-    }
+  for (const auto& [id, slot] : id_to_slot_) {
+    link_slot(slot);
   }
 }
 

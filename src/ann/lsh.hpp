@@ -3,8 +3,20 @@
 // [Datar et al., SoCG'04]: h(v) = floor((a.v + b) / w). Vectors whose L2
 // distance is small collide with high probability; `w` (bucket width)
 // trades candidate-set size against recall.
+//
+// Hot-path layout (see DESIGN.md and bench_m2_hotpath):
+//  - each table's k projection vectors live in one flat row-major matrix,
+//    so hashing a vector is a single matrix-vector pass over contiguous
+//    memory instead of k separate dot() calls;
+//  - stored vectors live in a contiguous slot-indexed arena, so candidate
+//    scoring is a batched gather kernel (l2_sq_gather) rather than one
+//    hash-map lookup plus pointer chase per candidate;
+//  - a reusable per-index QueryScratch (coords, fractions, probe order,
+//    candidate and distance buffers, a generation-stamped seen mask) makes
+//    steady-state queries perform zero heap allocations via query_into().
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -27,15 +39,28 @@ struct LshParams {
 };
 
 /// p-stable LSH index over L2 distance.
+///
+/// Not safe for concurrent queries on the same instance: the query scratch
+/// is shared per index (each simulated device owns its own cache/index).
 class PStableLshIndex final : public NnIndex {
  public:
   PStableLshIndex(std::size_t dim, const LshParams& params);
 
+  /// Adds a vector under `id`. Throws std::invalid_argument on a duplicate
+  /// id (a silent duplicate would leave stale slots in the tables).
   void insert(VecId id, const FeatureVec& v) override;
   bool remove(VecId id) override;
   std::vector<Neighbor> query(std::span<const float> q,
                               std::size_t k) const override;
-  std::size_t size() const noexcept override { return entries_.size(); }
+
+  /// Allocation-free query path: clears and fills `out` with up to `k`
+  /// nearest stored vectors, closest first. After a warm-up call with a
+  /// comparable workload, performs zero heap allocations (the internal
+  /// scratch and `out`'s capacity are reused).
+  void query_into(std::span<const float> q, std::size_t k,
+                  std::vector<Neighbor>& out) const;
+
+  std::size_t size() const noexcept override { return id_to_slot_.size(); }
   std::size_t dim() const noexcept override { return dim_; }
 
   const LshParams& params() const noexcept { return params_; }
@@ -51,28 +76,51 @@ class PStableLshIndex final : public NnIndex {
   void rebuild_with_width(float new_width);
 
  private:
+  /// Index into the vector arena (row `slot` starts at arena_[slot * dim_]).
+  using Slot = std::uint32_t;
+
   struct Table {
-    std::vector<FeatureVec> projections;  // k vectors of dim floats
-    std::vector<float> offsets;           // k offsets in [0, w)
-    std::unordered_map<std::uint64_t, std::vector<VecId>> buckets;
-  };
-  struct Entry {
-    FeatureVec vec;
-    std::vector<std::uint64_t> keys;  // bucket key per table
+    std::vector<float> projections;  ///< k x dim row-major matrix
+    std::vector<float> offsets;      ///< k offsets in [0, w)
+    std::unordered_map<std::uint64_t, std::vector<Slot>> buckets;
   };
 
-  std::uint64_t bucket_key(const Table& table,
-                           std::span<const float> v) const;
-  /// Quantized per-hash coordinates; optionally also the within-bucket
-  /// fractional positions (for multiprobe boundary-proximity ordering).
-  std::vector<std::int64_t> quantized_coords(
-      const Table& table, std::span<const float> v,
-      std::vector<float>* fractions) const;
+  /// Per-index reusable query working set; grows to the high-water mark
+  /// and is never shrunk, so steady-state queries allocate nothing.
+  struct QueryScratch {
+    std::vector<float> projected;       // k projections of one table
+    std::vector<std::int64_t> coords;   // quantized per-hash coordinates
+    std::vector<float> fractions;       // within-bucket fractional positions
+    std::vector<std::uint32_t> order;   // multiprobe flip order
+    std::vector<Slot> candidates;       // deduplicated candidate slots
+    std::vector<float> distances;       // squared distances per candidate
+    std::vector<std::uint32_t> seen;    // per-slot generation stamp
+    std::uint32_t generation = 0;
+  };
+
+  std::span<const float> slot_vec(Slot slot) const noexcept {
+    return {arena_.data() + static_cast<std::size_t>(slot) * dim_, dim_};
+  }
+  std::size_t slot_count() const noexcept { return slot_ids_.size(); }
+
+  /// Fills scratch_.projected/coords (and fractions when asked) for one
+  /// table; returns the bucket key of the base probe.
+  std::uint64_t compute_coords(const Table& table, std::span<const float> v,
+                               bool want_fractions) const;
+  /// Hashes `slot`'s vector into every table, recording per-table keys.
+  void link_slot(Slot slot);
 
   std::size_t dim_;
   LshParams params_;
   std::vector<Table> tables_;
-  std::unordered_map<VecId, Entry> entries_;
+
+  std::vector<float> arena_;              ///< slot-major vector storage
+  std::vector<VecId> slot_ids_;           ///< slot -> owning id
+  std::vector<std::uint64_t> slot_keys_;  ///< slot * L + t -> bucket key
+  std::vector<Slot> free_slots_;          ///< reusable holes left by remove()
+  std::unordered_map<VecId, Slot> id_to_slot_;
+
+  mutable QueryScratch scratch_;
   mutable std::size_t last_candidates_ = 0;
 };
 

@@ -51,11 +51,13 @@ std::size_t MiniCnn::parameter_count() const noexcept {
 }
 
 MiniCnn::Tensor MiniCnn::conv3x3_relu(const Tensor& in, int width, int height,
-                                      const ConvLayer& layer) {
+                                      const ConvLayer& layer,
+                                      ThreadPool* pool) {
   const int in_ch = layer.in_channels;
   const int out_ch = layer.out_channels;
   Tensor out(static_cast<std::size_t>(width) * height * out_ch, 0.0f);
-  for (int y = 0; y < height; ++y) {
+  auto rows = [&](std::size_t y_begin, std::size_t y_end) {
+    for (int y = static_cast<int>(y_begin); y < static_cast<int>(y_end); ++y) {
     for (int x = 0; x < width; ++x) {
       for (int oc = 0; oc < out_ch; ++oc) {
         float acc = layer.bias[static_cast<std::size_t>(oc)];
@@ -78,6 +80,15 @@ MiniCnn::Tensor MiniCnn::conv3x3_relu(const Tensor& in, int width, int height,
             static_cast<std::size_t>(oc)] = std::max(acc, 0.0f);
       }
     }
+    }
+  };
+  if (pool != nullptr && pool->size() > 0 && height >= 8) {
+    // Each task owns a disjoint band of output rows (halo reads overlap,
+    // writes never do), so the result matches the serial loop bit for bit.
+    pool->parallel_for(0, static_cast<std::size_t>(height), /*grain=*/4,
+                       rows);
+  } else {
+    rows(0, static_cast<std::size_t>(height));
   }
   return out;
 }
@@ -108,7 +119,7 @@ MiniCnn::Tensor MiniCnn::maxpool2(const Tensor& in, int width, int height,
   return out;
 }
 
-FeatureVec MiniCnn::embed(const Image& img) const {
+FeatureVec MiniCnn::embed(const Image& img, ThreadPool* pool) const {
   Image input = img;
   if (input.width() != kInputSide || input.height() != kInputSide) {
     input = input.resized(kInputSide, kInputSide);
@@ -126,15 +137,15 @@ FeatureVec MiniCnn::embed(const Image& img) const {
   }
 
   int w = kInputSide, h = kInputSide;
-  t = conv3x3_relu(t, w, h, conv1_);
+  t = conv3x3_relu(t, w, h, conv1_, pool);
   t = maxpool2(t, w, h, conv1_.out_channels);
   w /= 2;
   h /= 2;
-  t = conv3x3_relu(t, w, h, conv2_);
+  t = conv3x3_relu(t, w, h, conv2_, pool);
   t = maxpool2(t, w, h, conv2_.out_channels);
   w /= 2;
   h /= 2;
-  t = conv3x3_relu(t, w, h, conv3_);
+  t = conv3x3_relu(t, w, h, conv3_, pool);
 
   // Global average pool.
   std::vector<float> pooled(32, 0.0f);
@@ -156,6 +167,24 @@ FeatureVec MiniCnn::embed(const Image& img) const {
     out[d] = acc;
   }
   normalize(out);
+  return out;
+}
+
+std::vector<FeatureVec> MiniCnn::embed_batch(std::span<const Image> imgs,
+                                             ThreadPool* pool) const {
+  std::vector<FeatureVec> out(imgs.size());
+  if (pool == nullptr || pool->size() == 0 || imgs.size() < 2) {
+    for (std::size_t i = 0; i < imgs.size(); ++i) out[i] = embed(imgs[i]);
+    return out;
+  }
+  // One image per task: images are independent and each result lands in its
+  // own slot, so scheduling order cannot affect the output.
+  pool->parallel_for(0, imgs.size(), /*grain=*/1,
+                     [this, imgs, &out](std::size_t lo, std::size_t hi) {
+                       for (std::size_t i = lo; i < hi; ++i) {
+                         out[i] = embed(imgs[i]);
+                       }
+                     });
   return out;
 }
 

@@ -15,9 +15,11 @@
 //   fully connected (32 -> dim), L2 norm   -> dim
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/image/image.hpp"
+#include "src/util/thread_pool.hpp"
 #include "src/util/vecmath.hpp"
 
 namespace apx {
@@ -29,7 +31,15 @@ class MiniCnn {
   explicit MiniCnn(std::size_t dim = 64, std::uint64_t seed = 7);
 
   /// Embeds `img` (any size; resized internally) into a unit-norm vector.
-  FeatureVec embed(const Image& img) const;
+  /// With a pool, conv layers partition their output rows across workers;
+  /// rows are disjoint, so the result is bit-identical to the serial path.
+  FeatureVec embed(const Image& img, ThreadPool* pool = nullptr) const;
+
+  /// Embeds a batch of images, one parallel_for task per image (the
+  /// coarser and usually better-scaling grain than per-row). Results are
+  /// indexed by input position, independent of scheduling.
+  std::vector<FeatureVec> embed_batch(std::span<const Image> imgs,
+                                      ThreadPool* pool = nullptr) const;
 
   std::size_t dim() const noexcept { return dim_; }
 
@@ -47,7 +57,7 @@ class MiniCnn {
   using Tensor = std::vector<float>;  // HWC layout
 
   static Tensor conv3x3_relu(const Tensor& in, int width, int height,
-                             const ConvLayer& layer);
+                             const ConvLayer& layer, ThreadPool* pool);
   static Tensor maxpool2(const Tensor& in, int width, int height,
                          int channels);
 

@@ -1,5 +1,6 @@
 #include "src/sim/runner.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "src/core/pipeline.hpp"
@@ -7,6 +8,7 @@
 #include "src/dnn/oracle.hpp"
 #include "src/imu/trace.hpp"
 #include "src/net/event_sim.hpp"
+#include "src/util/thread_pool.hpp"
 
 namespace apx {
 
@@ -60,29 +62,58 @@ struct Device {
 }  // namespace
 
 struct ExperimentRunner::Impl {
+  /// One independently runnable event world. Sequential mode uses a single
+  /// shard holding every device; parallel mode gives each device its own
+  /// (devices that cannot interact share no mutable state, so the shards
+  /// can execute on any thread in any order with identical results).
+  struct Shard {
+    EventSimulator sim;
+    std::unique_ptr<WirelessMedium> medium;
+    std::vector<std::size_t> device_indices;
+  };
+
   ScenarioConfig config;
-  EventSimulator sim;
   std::unique_ptr<SceneGenerator> scenes;
   std::unique_ptr<ZipfSampler> popularity;
-  std::unique_ptr<WirelessMedium> medium;
   std::unique_ptr<FeatureExtractor> extractor;
+  std::vector<std::unique_ptr<Shard>> shards;
+  std::vector<std::unique_ptr<Device>> devices;   // global device order
+  std::vector<Shard*> shard_of;                   // per device
   std::unique_ptr<ApproxCache> edge_cache;
   std::unique_ptr<PeerCacheService> edge_service;
-  std::vector<std::unique_ptr<Device>> devices;
   std::vector<ExperimentMetrics> device_metrics;
   TraceRecorder trace;
+  bool parallel = false;
   bool ran = false;
 
   explicit Impl(const ScenarioConfig& scenario) : config(scenario) {
     if (config.num_devices < 1) {
       throw std::invalid_argument("ScenarioConfig: num_devices < 1");
     }
+    // Devices may only run concurrently when nothing couples them: no P2P
+    // traffic, no edge super-peer, and no shared frame trace. Everything
+    // else they touch (scenes, popularity, extractor) is immutable after
+    // construction.
+    parallel = config.num_threads > 1 && config.num_devices > 1 &&
+               !config.pipeline.enable_p2p && !config.edge_server &&
+               !config.record_trace;
+
     Rng master{config.seed};
     scenes = std::make_unique<SceneGenerator>(config.scene);
     popularity = std::make_unique<ZipfSampler>(
         static_cast<std::size_t>(config.scene.num_classes), config.zipf_s);
-    medium = std::make_unique<WirelessMedium>(sim, config.medium,
-                                              master.next_u64());
+    // The medium seed is drawn before any device fork in both modes, so
+    // per-device RNG streams are identical sequential vs parallel.
+    const std::uint64_t medium_seed = master.next_u64();
+    const std::size_t shard_count =
+        parallel ? static_cast<std::size_t>(config.num_devices) : 1;
+    shards.reserve(shard_count);
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      auto shard = std::make_unique<Shard>();
+      shard->medium = std::make_unique<WirelessMedium>(
+          shard->sim, config.medium, medium_seed);
+      shards.push_back(std::move(shard));
+    }
     extractor = make_extractor(config.extractor);
     if (config.auto_threshold) {
       config.pipeline.cache.hknn.max_distance =
@@ -100,10 +131,12 @@ struct ExperimentRunner::Impl {
       PeerCacheParams edge_peer = config.peer;
       edge_peer.advert_enabled = false;  // the edge answers, it doesn't gossip
       edge_service = std::make_unique<PeerCacheService>(
-          sim, *medium, *edge_cache, edge_peer, /*cell=*/0);
+          shards[0]->sim, *shards[0]->medium, *edge_cache, edge_peer,
+          /*cell=*/0);
     }
 
     for (int d = 0; d < config.num_devices; ++d) {
+      Shard& shard = *shards[parallel ? static_cast<std::size_t>(d) : 0];
       auto device = std::make_unique<Device>();
       Rng rng = master.fork();
       device->mobility = std::make_unique<MobilityModel>(MobilityModel::random(
@@ -138,13 +171,16 @@ struct ExperimentRunner::Impl {
       const int cell = config.co_located ? 0 : d;
       if (config.pipeline.enable_p2p && device->cache != nullptr) {
         device->peers = std::make_unique<PeerCacheService>(
-            sim, *medium, *device->cache, config.peer, cell);
+            shard.sim, *shard.medium, *device->cache, config.peer, cell);
       }
 
       device->pipeline = std::make_unique<ReusePipeline>(
-          sim, config.pipeline, *extractor, *device->model, device->cache.get(),
-          device->exact_cache.get(), device->peers.get(), rng.next_u64());
+          shard.sim, config.pipeline, *extractor, *device->model,
+          device->cache.get(), device->exact_cache.get(), device->peers.get(),
+          rng.next_u64());
       device->churn_rng = rng.fork();
+      shard.device_indices.push_back(devices.size());
+      shard_of.push_back(&shard);
       devices.push_back(std::move(device));
     }
   }
@@ -154,15 +190,17 @@ struct ExperimentRunner::Impl {
   void schedule_churn(std::size_t index, bool present) {
     Device& device = *devices[index];
     if (!device.peers) return;
+    Shard& shard = *shard_of[index];
     const double f = std::clamp(config.churn_away_fraction, 0.01, 0.99);
     const double mean = static_cast<double>(config.churn_period) *
                         (present ? (1.0 - f) : f);
     const auto stay = static_cast<SimDuration>(
         device.churn_rng.exponential(1.0 / std::max(mean, 1.0)));
-    sim.schedule_after(stay, [this, index, present] {
+    shard.sim.schedule_after(stay, [this, &shard, index, present] {
       Device& d = *devices[index];
       const NodeId node = d.peers->id();
-      medium->set_cell(node, present ? 1000 + static_cast<int>(index) : 0);
+      shard.medium->set_cell(node,
+                             present ? 1000 + static_cast<int>(index) : 0);
       schedule_churn(index, !present);
     });
   }
@@ -171,14 +209,15 @@ struct ExperimentRunner::Impl {
     Device& device = *devices[index];
     const SimTime frame_time = device.stream->next_frame_time();
     if (frame_time >= config.duration) return;
-    sim.schedule_at(frame_time, [this, index] { device_tick(index); });
+    shard_of[index]->sim.schedule_at(frame_time,
+                                     [this, index] { device_tick(index); });
   }
 
   void device_tick(std::size_t index) {
     Device& device = *devices[index];
     // Sensor hub: feed the motion estimator with all IMU samples since the
     // previous frame, then classify.
-    const SimTime now = sim.now();
+    const SimTime now = shard_of[index]->sim.now();
     device.motion->add_all(device.imu->samples_between(device.last_imu_pull,
                                                        now));
     device.last_imu_pull = now;
@@ -197,26 +236,46 @@ struct ExperimentRunner::Impl {
     schedule_device_frames(index);
   }
 
-  ExperimentMetrics run() {
-    if (ran) throw std::logic_error("ExperimentRunner::run: already ran");
-    ran = true;
-    if (edge_service) edge_service->start();
-    for (std::size_t d = 0; d < devices.size(); ++d) {
+  /// Starts and drains one shard's event world. In parallel mode this runs
+  /// on a pool thread and touches only shard-local and device-local state.
+  void run_shard(Shard& shard) {
+    for (const std::size_t d : shard.device_indices) {
       if (devices[d]->peers) devices[d]->peers->start();
       if (config.churn_period > 0 && config.co_located) {
         schedule_churn(d, /*present=*/true);
       }
       schedule_device_frames(d);
     }
-    sim.run_until(config.duration + 5 * kSecond);  // drain in-flight frames
+    shard.sim.run_until(config.duration + 5 * kSecond);  // drain in-flight
+  }
 
+  ExperimentMetrics run() {
+    if (ran) throw std::logic_error("ExperimentRunner::run: already ran");
+    ran = true;
+    if (edge_service) edge_service->start();
+    if (parallel && shards.size() > 1) {
+      const std::size_t threads = std::min<std::size_t>(
+          static_cast<std::size_t>(config.num_threads), shards.size());
+      ThreadPool pool(threads - 1);  // the caller participates
+      pool.parallel_for(0, shards.size(), /*grain=*/1,
+                        [this](std::size_t lo, std::size_t hi) {
+                          for (std::size_t s = lo; s < hi; ++s) {
+                            run_shard(*shards[s]);
+                          }
+                        });
+    } else {
+      run_shard(*shards[0]);
+    }
+
+    // Deterministic merge: always in global device order, regardless of
+    // which thread finished which shard first.
     ExperimentMetrics pooled;
     device_metrics.clear();
     for (std::size_t d = 0; d < devices.size(); ++d) {
       Device& device = *devices[d];
       if (device.peers) {
         device.metrics.add_radio_energy_mj(
-            medium->energy_mj(device.peers->id()));
+            shard_of[d]->medium->energy_mj(device.peers->id()));
       }
       pooled.merge(device.metrics);
       device_metrics.push_back(device.metrics);

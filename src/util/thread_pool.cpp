@@ -1,0 +1,122 @@
+#include "src/util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace apx {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::lock_guard lock(mutex_);
+      --in_flight_;
+    }
+    cv_idle_.notify_all();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> fn) {
+  if (workers_.empty()) {
+    fn();
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(fn));
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  cv_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (end <= begin) return;
+  grain = std::max<std::size_t>(grain, 1);
+  const std::size_t n = end - begin;
+  if (workers_.empty() || n <= grain) {
+    body(begin, end);
+    return;
+  }
+
+  // Chunks are claimed from a shared atomic cursor; each claim covers a
+  // disjoint [lo, hi), so writes never overlap and the union is exact.
+  struct State {
+    std::atomic<std::size_t> next;
+    std::atomic<std::size_t> done{0};
+    std::size_t end;
+    std::size_t grain;
+    std::size_t total;
+    std::mutex m;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<State>();
+  state->next.store(begin, std::memory_order_relaxed);
+  state->end = end;
+  state->grain = grain;
+  state->total = n;
+
+  auto drain = [](State& s,
+                  const std::function<void(std::size_t, std::size_t)>& f) {
+    for (;;) {
+      const std::size_t lo =
+          s.next.fetch_add(s.grain, std::memory_order_relaxed);
+      if (lo >= s.end) return;
+      const std::size_t hi = std::min(lo + s.grain, s.end);
+      f(lo, hi);
+      if (s.done.fetch_add(hi - lo, std::memory_order_acq_rel) + (hi - lo) ==
+          s.total) {
+        std::lock_guard lock(s.m);
+        s.cv.notify_all();
+      }
+    }
+  };
+
+  // One helper task per worker; each drains chunks until none remain.
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    submit([state, &body, drain] { drain(*state, body); });
+  }
+  drain(*state, body);  // the caller works too
+  std::unique_lock lock(state->m);
+  state->cv.wait(lock, [&state] {
+    return state->done.load(std::memory_order_acquire) == state->total;
+  });
+}
+
+std::size_t ThreadPool::default_workers() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 1 ? static_cast<std::size_t>(hw - 1) : 0;
+}
+
+}  // namespace apx

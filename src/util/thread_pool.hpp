@@ -1,0 +1,70 @@
+#pragma once
+// Small fixed-size thread pool with a blocking parallel_for.
+//
+// Scope: coarse-grained, deterministic-output parallelism — independent
+// simulation shards, batch feature extraction, conv-row partitioning. Tasks
+// must write disjoint state; the pool guarantees nothing about execution
+// order, so anything that needs a deterministic result must make each
+// task's output independent of scheduling (the callers in this repo index
+// results by slot and merge in a fixed order).
+//
+// parallel_for blocks the caller and has the caller thread participate in
+// chunk processing, so a pool of size 0 (or a single-core machine) degrades
+// to a plain sequential loop with no queueing overhead.
+
+#include <cstddef>
+#include <functional>
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace apx {
+
+/// Fixed-size worker pool. Threads start in the constructor and join in the
+/// destructor; submitted tasks must not throw.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers. 0 is valid: submit() runs inline and
+  /// parallel_for degrades to a sequential loop.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker count (0 for an inline pool).
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues `fn` for asynchronous execution (inline when size() == 0).
+  void submit(std::function<void()> fn);
+
+  /// Blocks until every task submitted so far has finished.
+  void wait_idle();
+
+  /// Runs body(begin, end) over [begin, end) split into chunks of at most
+  /// `grain` items, spread across the workers plus the calling thread.
+  /// Blocks until the whole range is done. Chunks are disjoint, so the
+  /// result is deterministic whenever `body` writes only to its own range.
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// A reasonable pool width for this machine: hardware_concurrency - 1
+  /// workers (the caller participates), at least 0.
+  static std::size_t default_workers() noexcept;
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;   // workers wait for tasks
+  std::condition_variable cv_idle_;   // wait_idle waits for drain
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace apx

@@ -4,6 +4,163 @@
 #include <cmath>
 
 namespace apx {
+namespace {
+
+// 8 independent accumulators: the unroll width that fills one AVX register
+// (or two SSE ones) and gives scalar fallback enough ILP to hide FMA
+// latency. Tails shorter than 8 fall through to the scalar loop.
+inline float dot_kernel(const float* __restrict a, const float* __restrict b,
+                        std::size_t n) noexcept {
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  float s4 = 0.0f, s5 = 0.0f, s6 = 0.0f, s7 = 0.0f;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    s0 += a[i + 0] * b[i + 0];
+    s1 += a[i + 1] * b[i + 1];
+    s2 += a[i + 2] * b[i + 2];
+    s3 += a[i + 3] * b[i + 3];
+    s4 += a[i + 4] * b[i + 4];
+    s5 += a[i + 5] * b[i + 5];
+    s6 += a[i + 6] * b[i + 6];
+    s7 += a[i + 7] * b[i + 7];
+  }
+  float s = ((s0 + s1) + (s2 + s3)) + ((s4 + s5) + (s6 + s7));
+  for (; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+inline float l2_sq_kernel(const float* __restrict a, const float* __restrict b,
+                          std::size_t n) noexcept {
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  float s4 = 0.0f, s5 = 0.0f, s6 = 0.0f, s7 = 0.0f;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const float d0 = a[i + 0] - b[i + 0];
+    const float d1 = a[i + 1] - b[i + 1];
+    const float d2 = a[i + 2] - b[i + 2];
+    const float d3 = a[i + 3] - b[i + 3];
+    const float d4 = a[i + 4] - b[i + 4];
+    const float d5 = a[i + 5] - b[i + 5];
+    const float d6 = a[i + 6] - b[i + 6];
+    const float d7 = a[i + 7] - b[i + 7];
+    s0 += d0 * d0;
+    s1 += d1 * d1;
+    s2 += d2 * d2;
+    s3 += d3 * d3;
+    s4 += d4 * d4;
+    s5 += d5 * d5;
+    s6 += d6 * d6;
+    s7 += d7 * d7;
+  }
+  float s = ((s0 + s1) + (s2 + s3)) + ((s4 + s5) + (s6 + s7));
+  for (; i < n; ++i) {
+    const float d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+}  // namespace
+
+float dot(std::span<const float> a, std::span<const float> b) noexcept {
+  assert(a.size() == b.size());
+  return dot_kernel(a.data(), b.data(), a.size());
+}
+
+float l2_sq(std::span<const float> a, std::span<const float> b) noexcept {
+  assert(a.size() == b.size());
+  return l2_sq_kernel(a.data(), b.data(), a.size());
+}
+
+float l2(std::span<const float> a, std::span<const float> b) noexcept {
+  return std::sqrt(l2_sq(a, b));
+}
+
+float norm(std::span<const float> a) noexcept {
+  return std::sqrt(dot(a, a));
+}
+
+float cosine_distance(std::span<const float> a,
+                      std::span<const float> b) noexcept {
+  assert(a.size() == b.size());
+  // One fused pass: dot and both norms share the loads.
+  const float* __restrict pa = a.data();
+  const float* __restrict pb = b.data();
+  const std::size_t n = a.size();
+  float ab0 = 0.0f, ab1 = 0.0f, ab2 = 0.0f, ab3 = 0.0f;
+  float aa0 = 0.0f, aa1 = 0.0f, aa2 = 0.0f, aa3 = 0.0f;
+  float bb0 = 0.0f, bb1 = 0.0f, bb2 = 0.0f, bb3 = 0.0f;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    ab0 += pa[i + 0] * pb[i + 0];
+    ab1 += pa[i + 1] * pb[i + 1];
+    ab2 += pa[i + 2] * pb[i + 2];
+    ab3 += pa[i + 3] * pb[i + 3];
+    aa0 += pa[i + 0] * pa[i + 0];
+    aa1 += pa[i + 1] * pa[i + 1];
+    aa2 += pa[i + 2] * pa[i + 2];
+    aa3 += pa[i + 3] * pa[i + 3];
+    bb0 += pb[i + 0] * pb[i + 0];
+    bb1 += pb[i + 1] * pb[i + 1];
+    bb2 += pb[i + 2] * pb[i + 2];
+    bb3 += pb[i + 3] * pb[i + 3];
+  }
+  float ab = (ab0 + ab1) + (ab2 + ab3);
+  float aa = (aa0 + aa1) + (aa2 + aa3);
+  float bb = (bb0 + bb1) + (bb2 + bb3);
+  for (; i < n; ++i) {
+    ab += pa[i] * pb[i];
+    aa += pa[i] * pa[i];
+    bb += pb[i] * pb[i];
+  }
+  const float na = std::sqrt(aa);
+  const float nb = std::sqrt(bb);
+  if (na == 0.0f || nb == 0.0f) return 1.0f;
+  return 1.0f - ab / (na * nb);
+}
+
+void normalize(std::span<float> v) noexcept {
+  const float n = norm(v);
+  if (n == 0.0f) return;
+  scale_in_place(v, 1.0f / n);
+}
+
+void add_in_place(std::span<float> a, std::span<const float> b) noexcept {
+  assert(a.size() == b.size());
+  float* __restrict pa = a.data();
+  const float* __restrict pb = b.data();
+  for (std::size_t i = 0; i < a.size(); ++i) pa[i] += pb[i];
+}
+
+void scale_in_place(std::span<float> a, float s) noexcept {
+  for (float& x : a) x *= s;
+}
+
+void dot_batch(std::span<const float> q, const float* rows, std::size_t n,
+               float* out) noexcept {
+  const std::size_t dim = q.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = dot_kernel(q.data(), rows + i * dim, dim);
+  }
+}
+
+void l2_sq_batch(std::span<const float> q, const float* rows, std::size_t n,
+                 float* out) noexcept {
+  const std::size_t dim = q.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = l2_sq_kernel(q.data(), rows + i * dim, dim);
+  }
+}
+
+void l2_sq_gather(std::span<const float> q, const float* arena,
+                  std::span<const std::uint32_t> slots, float* out) noexcept {
+  const std::size_t dim = q.size();
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    out[i] = l2_sq_kernel(q.data(), arena + slots[i] * dim, dim);
+  }
+}
+
+namespace ref {
 
 float dot(std::span<const float> a, std::span<const float> b) noexcept {
   assert(a.size() == b.size());
@@ -22,35 +179,14 @@ float l2_sq(std::span<const float> a, std::span<const float> b) noexcept {
   return s;
 }
 
-float l2(std::span<const float> a, std::span<const float> b) noexcept {
-  return std::sqrt(l2_sq(a, b));
-}
-
-float norm(std::span<const float> a) noexcept {
-  return std::sqrt(dot(a, a));
-}
-
 float cosine_distance(std::span<const float> a,
                       std::span<const float> b) noexcept {
-  const float na = norm(a);
-  const float nb = norm(b);
+  const float na = std::sqrt(ref::dot(a, a));
+  const float nb = std::sqrt(ref::dot(b, b));
   if (na == 0.0f || nb == 0.0f) return 1.0f;
-  return 1.0f - dot(a, b) / (na * nb);
+  return 1.0f - ref::dot(a, b) / (na * nb);
 }
 
-void normalize(std::span<float> v) noexcept {
-  const float n = norm(v);
-  if (n == 0.0f) return;
-  scale_in_place(v, 1.0f / n);
-}
-
-void add_in_place(std::span<float> a, std::span<const float> b) noexcept {
-  assert(a.size() == b.size());
-  for (std::size_t i = 0; i < a.size(); ++i) a[i] += b[i];
-}
-
-void scale_in_place(std::span<float> a, float s) noexcept {
-  for (float& x : a) x *= s;
-}
+}  // namespace ref
 
 }  // namespace apx

@@ -1,7 +1,16 @@
 #pragma once
 // Dense float-vector math shared by feature extraction and ANN search.
+//
+// The hot kernels (dot, l2_sq and their batched variants) are written as
+// multi-accumulator unrolled loops over __restrict pointers: the explicit
+// accumulator split removes the loop-carried floating-point dependency that
+// blocks auto-vectorization under strict FP semantics, so the compiler can
+// keep 8 independent lanes in flight (SSE/AVX at -O2/-O3, plain ILP
+// otherwise). Scalar one-element-at-a-time references live in apx::ref for
+// property tests and benchmark baselines.
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -34,5 +43,35 @@ void add_in_place(std::span<float> a, std::span<const float> b) noexcept;
 
 /// Element-wise a *= s.
 void scale_in_place(std::span<float> a, float s) noexcept;
+
+// ------------------------------------------------------- batched kernels
+//
+// `rows` points at `n` contiguous row-major vectors of `q.size()` floats
+// each (row i at rows + i * q.size()); `out` receives n results. One pass
+// over contiguous memory: this is how candidate scoring should be done.
+
+/// out[i] = dot(q, row_i).
+void dot_batch(std::span<const float> q, const float* rows, std::size_t n,
+               float* out) noexcept;
+
+/// out[i] = l2_sq(q, row_i).
+void l2_sq_batch(std::span<const float> q, const float* rows, std::size_t n,
+                 float* out) noexcept;
+
+/// Gather variant: out[i] = l2_sq(q, arena + slots[i] * q.size()). Rows are
+/// picked from an arena by slot index (still contiguous per row).
+void l2_sq_gather(std::span<const float> q, const float* arena,
+                  std::span<const std::uint32_t> slots, float* out) noexcept;
+
+namespace ref {
+
+/// One-element-at-a-time scalar references (the pre-overhaul kernels).
+/// Ground truth for property tests and the benchmark baseline.
+float dot(std::span<const float> a, std::span<const float> b) noexcept;
+float l2_sq(std::span<const float> a, std::span<const float> b) noexcept;
+float cosine_distance(std::span<const float> a,
+                      std::span<const float> b) noexcept;
+
+}  // namespace ref
 
 }  // namespace apx

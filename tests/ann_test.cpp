@@ -105,6 +105,45 @@ TEST(Lsh, ExactDuplicateAlwaysFound) {
   EXPECT_FLOAT_EQ(result[0].distance, 0.0f);
 }
 
+TEST(Lsh, DuplicateIdInsertThrowsAndLeavesIndexIntact) {
+  // Regression guard: duplicate-id detection used to be assert-only, so a
+  // release build would stack a second slot under the id and leave the
+  // first stale in every table.
+  PStableLshIndex index{8, default_lsh()};
+  Rng rng{5};
+  const FeatureVec v = random_unit(rng, 8);
+  const FeatureVec other = random_unit(rng, 8);
+  index.insert(42, v);
+  EXPECT_THROW(index.insert(42, other), std::invalid_argument);
+  EXPECT_EQ(index.size(), 1u);
+  // The original vector must still be the one indexed, at distance zero.
+  const auto result = index.query(v, 1);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].id, 42u);
+  EXPECT_FLOAT_EQ(result[0].distance, 0.0f);
+  // And exactly one removal succeeds — no stale second copy.
+  EXPECT_TRUE(index.remove(42));
+  EXPECT_FALSE(index.remove(42));
+  EXPECT_TRUE(index.query(v, 1).empty());
+}
+
+TEST(Lsh, SlotReuseAfterRemoveStaysConsistent) {
+  // remove() leaves an arena hole; the next insert must reuse it without
+  // resurrecting the removed id or corrupting lookups.
+  PStableLshIndex index{8, default_lsh()};
+  Rng rng{6};
+  const FeatureVec a = random_unit(rng, 8);
+  const FeatureVec b = random_unit(rng, 8);
+  index.insert(1, a);
+  EXPECT_TRUE(index.remove(1));
+  index.insert(2, b);
+  EXPECT_EQ(index.size(), 1u);
+  const auto hit = index.query(b, 2);
+  ASSERT_EQ(hit.size(), 1u);
+  EXPECT_EQ(hit[0].id, 2u);
+  EXPECT_FLOAT_EQ(hit[0].distance, 0.0f);
+}
+
 TEST(Lsh, RemoveDeletesFromAllTables) {
   PStableLshIndex index{8, default_lsh()};
   Rng rng{3};

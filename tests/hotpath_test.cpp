@@ -1,0 +1,300 @@
+// Hot-path overhaul guards (see ISSUE 1 / bench_m2_hotpath):
+//  - unrolled/batched vecmath kernels match the scalar references within
+//    1e-4 across random dims, including non-multiple-of-8 tails;
+//  - steady-state LSH queries via query_into perform zero heap allocations
+//    (verified with a counting global allocator);
+//  - the parallel simulation runner produces metrics bit-identical to the
+//    sequential runner for the same seed;
+//  - ThreadPool/parallel_for cover ranges exactly once, and pool-backed
+//    MiniCnn embedding matches the serial path bit for bit.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <new>
+
+#include "src/ann/lsh.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/features/minicnn.hpp"
+#include "src/image/scene.hpp"
+#include "src/sim/runner.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/thread_pool.hpp"
+#include "src/util/vecmath.hpp"
+
+// ------------------------------------------------- counting allocator
+//
+// Replaces the global allocation functions for this test binary so the
+// zero-allocation claim is checked against reality, not code review.
+
+namespace {
+std::atomic<std::size_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc{};
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace apx {
+namespace {
+
+FeatureVec random_vec(Rng& rng, std::size_t dim) {
+  FeatureVec v(dim);
+  for (float& x : v) x = static_cast<float>(rng.normal());
+  return v;
+}
+
+// ------------------------------------------------------- kernel parity
+
+TEST(Kernels, MatchScalarReferenceAcrossRandomDims) {
+  Rng rng{101};
+  for (int trial = 0; trial < 200; ++trial) {
+    // Dims deliberately straddle the unroll width: 1..130 hits every tail
+    // length mod 8 many times over.
+    const std::size_t dim = 1 + rng.uniform_u64(130);
+    const FeatureVec a = random_vec(rng, dim);
+    const FeatureVec b = random_vec(rng, dim);
+    const float ref_dot = ref::dot(a, b);
+    const float ref_l2 = ref::l2_sq(a, b);
+    const float ref_cos = ref::cosine_distance(a, b);
+    const auto tol = [](float r) { return 1e-4f * std::max(1.0f, std::fabs(r)); };
+    EXPECT_NEAR(dot(a, b), ref_dot, tol(ref_dot)) << "dim=" << dim;
+    EXPECT_NEAR(l2_sq(a, b), ref_l2, tol(ref_l2)) << "dim=" << dim;
+    EXPECT_NEAR(cosine_distance(a, b), ref_cos, 1e-4f) << "dim=" << dim;
+  }
+}
+
+TEST(Kernels, BatchedVariantsMatchPerRowReference) {
+  Rng rng{202};
+  for (const std::size_t dim : {1u, 7u, 8u, 17u, 64u, 65u}) {
+    const std::size_t n = 33;
+    const FeatureVec q = random_vec(rng, dim);
+    std::vector<float> rows(n * dim);
+    for (float& x : rows) x = static_cast<float>(rng.normal());
+    std::vector<float> out_dot(n), out_l2(n);
+    dot_batch(q, rows.data(), n, out_dot.data());
+    l2_sq_batch(q, rows.data(), n, out_l2.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::span<const float> row{rows.data() + i * dim, dim};
+      EXPECT_NEAR(out_dot[i], ref::dot(q, row),
+                  1e-4f * std::max(1.0f, std::fabs(ref::dot(q, row))));
+      EXPECT_NEAR(out_l2[i], ref::l2_sq(q, row),
+                  1e-4f * std::max(1.0f, std::fabs(ref::l2_sq(q, row))));
+    }
+    // Gather variant picks rows by slot in arbitrary order.
+    std::vector<std::uint32_t> slots;
+    for (std::size_t i = 0; i < n; i += 3) {
+      slots.push_back(static_cast<std::uint32_t>(n - 1 - i));
+    }
+    std::vector<float> out_gather(slots.size());
+    l2_sq_gather(q, rows.data(), slots, out_gather.data());
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      EXPECT_FLOAT_EQ(out_gather[i], out_l2[slots[i]]);
+    }
+  }
+}
+
+// -------------------------------------------------- zero-alloc queries
+
+TEST(LshHotPath, SteadyStateQueryPerformsZeroAllocations) {
+  LshParams params;
+  params.num_tables = 4;
+  params.hashes_per_table = 8;
+  params.bucket_width = 0.5f;
+  params.probes_per_table = 2;  // exercise the multiprobe path too
+  PStableLshIndex index{64, params};
+
+  Rng rng{31};
+  for (VecId id = 0; id < 2000; ++id) {
+    FeatureVec v = random_vec(rng, 64);
+    normalize(v);
+    index.insert(id, v);
+  }
+  std::vector<FeatureVec> queries;
+  for (int i = 0; i < 64; ++i) {
+    FeatureVec q = random_vec(rng, 64);
+    normalize(q);
+    queries.push_back(std::move(q));
+  }
+
+  // Warm-up pass: grows the scratch and the reused output buffer to their
+  // high-water marks for exactly this workload.
+  std::vector<Neighbor> out;
+  for (const auto& q : queries) index.query_into(q, 8, out);
+
+  const std::size_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (const auto& q : queries) index.query_into(q, 8, out);
+  const std::size_t after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u);
+}
+
+TEST(LshHotPath, QueryIntoMatchesQuery) {
+  LshParams params;
+  params.probes_per_table = 1;
+  PStableLshIndex index{16, params};
+  Rng rng{77};
+  for (VecId id = 0; id < 500; ++id) index.insert(id, random_vec(rng, 16));
+  std::vector<Neighbor> out;
+  for (int i = 0; i < 50; ++i) {
+    const FeatureVec q = random_vec(rng, 16);
+    const auto a = index.query(q, 5);
+    index.query_into(q, 5, out);
+    ASSERT_EQ(a.size(), out.size());
+    for (std::size_t j = 0; j < a.size(); ++j) {
+      EXPECT_EQ(a[j].id, out[j].id);
+      EXPECT_FLOAT_EQ(a[j].distance, out[j].distance);
+    }
+  }
+}
+
+// ------------------------------------------------------- thread pool
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool{3};
+  std::vector<int> hits(10'000, 0);
+  pool.parallel_for(0, hits.size(), 64, [&hits](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i], 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, InlinePoolRunsSequentially) {
+  ThreadPool pool{0};
+  int calls = 0;
+  pool.submit([&calls] { ++calls; });
+  pool.parallel_for(0, 100, 10, [&calls](std::size_t lo, std::size_t hi) {
+    calls += static_cast<int>(hi - lo);
+  });
+  pool.wait_idle();
+  EXPECT_EQ(calls, 101);
+}
+
+TEST(ThreadPoolTest, SubmitAndWaitIdleDrains) {
+  ThreadPool pool{2};
+  std::atomic<int> done{0};
+  for (int i = 0; i < 50; ++i) pool.submit([&done] { ++done; });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 50);
+}
+
+// -------------------------------------------------- MiniCnn parallelism
+
+TEST(MiniCnnParallel, PoolBackedEmbedIsBitIdentical) {
+  SceneGenerator::Config scfg;
+  scfg.num_classes = 4;
+  SceneGenerator scenes{scfg};
+  MiniCnn cnn{64, 7};
+  ThreadPool pool{3};
+  for (int cls = 0; cls < 4; ++cls) {
+    const Image img = scenes.render(cls, ViewParams{});
+    const FeatureVec serial = cnn.embed(img);
+    const FeatureVec parallel = cnn.embed(img, &pool);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i], parallel[i]) << "lane " << i;
+    }
+  }
+}
+
+TEST(MiniCnnParallel, EmbedBatchMatchesPerImageEmbeds) {
+  SceneGenerator::Config scfg;
+  scfg.num_classes = 6;
+  SceneGenerator scenes{scfg};
+  MiniCnn cnn{32, 9};
+  ThreadPool pool{3};
+  std::vector<Image> imgs;
+  for (int cls = 0; cls < 6; ++cls) imgs.push_back(scenes.render(cls, ViewParams{}));
+  const auto batch = cnn.embed_batch(imgs, &pool);
+  ASSERT_EQ(batch.size(), imgs.size());
+  for (std::size_t i = 0; i < imgs.size(); ++i) {
+    const FeatureVec one = cnn.embed(imgs[i]);
+    for (std::size_t j = 0; j < one.size(); ++j) {
+      EXPECT_EQ(batch[i][j], one[j]);
+    }
+  }
+}
+
+// -------------------------------------- parallel runner determinism
+
+void expect_metrics_identical(const ExperimentMetrics& a,
+                              const ExperimentMetrics& b) {
+  EXPECT_EQ(a.frames(), b.frames());
+  EXPECT_EQ(a.dropped(), b.dropped());
+  EXPECT_DOUBLE_EQ(a.accuracy(), b.accuracy());
+  EXPECT_DOUBLE_EQ(a.mean_latency_ms(), b.mean_latency_ms());
+  EXPECT_DOUBLE_EQ(a.latency_quantile_ms(0.5), b.latency_quantile_ms(0.5));
+  EXPECT_DOUBLE_EQ(a.latency_quantile_ms(0.99), b.latency_quantile_ms(0.99));
+  EXPECT_DOUBLE_EQ(a.mean_total_energy_mj(), b.mean_total_energy_mj());
+  for (const auto& [key, count] : a.sources().items()) {
+    EXPECT_EQ(b.sources().get(key), count) << key;
+  }
+  for (const auto& [key, count] : b.sources().items()) {
+    EXPECT_EQ(a.sources().get(key), count) << key;
+  }
+}
+
+TEST(ParallelRunner, BitIdenticalToSequentialForSameSeed) {
+  ScenarioConfig cfg = default_scenario();
+  cfg.num_devices = 4;
+  cfg.duration = 8 * kSecond;
+  cfg.seed = 1234;
+  cfg.pipeline = make_approx_video_config();  // no P2P: devices independent
+  ASSERT_FALSE(cfg.pipeline.enable_p2p);
+
+  cfg.num_threads = 1;
+  ExperimentRunner sequential{cfg};
+  const ExperimentMetrics seq = sequential.run();
+
+  cfg.num_threads = 4;
+  ExperimentRunner parallel{cfg};
+  const ExperimentMetrics par = parallel.run();
+
+  expect_metrics_identical(seq, par);
+  // Per-device metrics must line up too (same device order).
+  ASSERT_EQ(sequential.device_metrics().size(), parallel.device_metrics().size());
+  for (std::size_t d = 0; d < sequential.device_metrics().size(); ++d) {
+    expect_metrics_identical(sequential.device_metrics()[d],
+                             parallel.device_metrics()[d]);
+  }
+  // And the cache counters (insert/hit/miss/evict) must agree exactly.
+  const Counter seq_counters = sequential.cache_counters();
+  const Counter par_counters = parallel.cache_counters();
+  for (const auto& [key, count] : seq_counters.items()) {
+    EXPECT_EQ(par_counters.get(key), count) << key;
+  }
+}
+
+TEST(ParallelRunner, P2pScenarioFallsBackToSequentialAndStaysDeterministic) {
+  // Cross-device coupling (P2P) cannot shard; num_threads must be a no-op.
+  ScenarioConfig cfg = default_scenario();
+  cfg.num_devices = 3;
+  cfg.duration = 6 * kSecond;
+  cfg.seed = 77;
+  ASSERT_TRUE(cfg.pipeline.enable_p2p);
+
+  cfg.num_threads = 1;
+  const ExperimentMetrics seq = run_scenario(cfg);
+  cfg.num_threads = 4;
+  const ExperimentMetrics par = run_scenario(cfg);
+  expect_metrics_identical(seq, par);
+}
+
+}  // namespace
+}  // namespace apx

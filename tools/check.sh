@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 flow plus sanitizer sweeps.
+#
+#   tools/check.sh            # tier-1: default build + full ctest
+#   tools/check.sh sanitize   # + asan-ubsan over the whole suite
+#                             # + tsan over the concurrency tests
+#
+# The tsan leg filters to the tests that exercise ThreadPool, the parallel
+# simulation runner and pool-backed MiniCnn embedding — the code introduced
+# by the hot-path overhaul that can actually race.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset default
+cmake --build --preset default -j
+ctest --preset default -j
+
+if [[ "${1:-}" == "sanitize" ]]; then
+  cmake --preset asan-ubsan
+  cmake --build --preset asan-ubsan -j
+  ctest --preset asan-ubsan -j
+
+  cmake --preset tsan
+  cmake --build --preset tsan -j
+  ./build-tsan/tests/hotpath_test \
+    --gtest_filter='ThreadPoolTest.*:ParallelRunner.*:MiniCnnParallel.*'
+fi
+echo "check.sh: all green"
