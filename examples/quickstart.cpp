@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/obs/report.hpp"
 #include "src/sim/runner.hpp"
 #include "src/util/table.hpp"
 
@@ -58,6 +59,13 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(count),
                 100.0 * static_cast<double>(count) /
                     static_cast<double>(full.frames()));
+  }
+
+  // Where the time goes: per-rung latency attribution from the traced
+  // pipeline (the observability subsystem, src/obs/).
+  const std::string rungs = apx::per_rung_summary(runner.metrics());
+  if (!rungs.empty()) {
+    std::printf("\nper-rung breakdown (full-system run):\n%s", rungs.c_str());
   }
   return 0;
 }

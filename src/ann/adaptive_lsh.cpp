@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/obs/metrics.hpp"
+
 namespace apx {
 
 AdaptiveLshIndex::AdaptiveLshIndex(std::size_t dim,
@@ -22,11 +24,18 @@ bool AdaptiveLshIndex::remove(VecId id) { return base_.remove(id); }
 
 std::vector<Neighbor> AdaptiveLshIndex::query(std::span<const float> q,
                                               std::size_t k) const {
-  auto result = base_.query(q, k);
-  if (!result.empty()) {
+  std::vector<Neighbor> result;
+  query_into(q, k, result);
+  return result;
+}
+
+void AdaptiveLshIndex::query_into(std::span<const float> q, std::size_t k,
+                                  std::vector<Neighbor>& out) const {
+  base_.query_into(q, k, out);
+  if (!out.empty()) {
     // Feed the controller with the farthest distance this query actually
     // needed (the k-th neighbour, or the last one found when fewer exist).
-    const double dk = static_cast<double>(result.back().distance);
+    const double dk = static_cast<double>(out.back().distance);
     if (dk > 0.0) {
       if (has_ema_) {
         dk_ema_ += params_.ema_alpha * (dk - dk_ema_);
@@ -38,7 +47,12 @@ std::vector<Neighbor> AdaptiveLshIndex::query(std::span<const float> q,
   }
   ++queries_since_rebuild_;
   maybe_adapt();
-  return result;
+}
+
+void AdaptiveLshIndex::attach_metrics(MetricsRegistry& metrics) {
+  base_.attach_metrics(metrics);
+  metrics_ = &metrics;
+  rebuilds_counter_ = metrics.counter("ann/rebuilds");
 }
 
 void AdaptiveLshIndex::maybe_adapt() const {
@@ -55,6 +69,7 @@ void AdaptiveLshIndex::maybe_adapt() const {
     base_.rebuild_with_width(static_cast<float>(target));
     ++rebuilds_;
     queries_since_rebuild_ = 0;
+    if (metrics_ != nullptr) metrics_->inc(rebuilds_counter_);
   }
 }
 

@@ -39,8 +39,19 @@ class AdaptiveLshIndex final : public NnIndex {
   /// const (results are unaffected within a call), hence the mutable state.
   std::vector<Neighbor> query(std::span<const float> q,
                               std::size_t k) const override;
+  /// Zero-steady-state-allocation variant of query() (same side effects);
+  /// a rebuild, when the controller triggers one, does allocate.
+  void query_into(std::span<const float> q, std::size_t k,
+                  std::vector<Neighbor>& out) const override;
   std::size_t size() const noexcept override { return base_.size(); }
   std::size_t dim() const noexcept override { return base_.dim(); }
+
+  std::size_t last_query_candidates() const noexcept override {
+    return base_.last_candidate_count();
+  }
+
+  /// Registers the base index's instruments plus the "ann/rebuilds" counter.
+  void attach_metrics(MetricsRegistry& metrics) override;
 
   /// Current bucket width (changes over time; exposed for tests/benches).
   float current_width() const noexcept {
@@ -63,6 +74,8 @@ class AdaptiveLshIndex final : public NnIndex {
   mutable bool has_ema_ = false;
   mutable std::size_t queries_since_rebuild_ = 0;
   mutable std::size_t rebuilds_ = 0;
+  MetricsRegistry* metrics_ = nullptr;
+  std::uint32_t rebuilds_counter_ = 0;
 };
 
 }  // namespace apx

@@ -19,20 +19,26 @@ bool ExactKnnIndex::remove(VecId id) { return vectors_.erase(id) > 0; }
 
 std::vector<Neighbor> ExactKnnIndex::query(std::span<const float> q,
                                            std::size_t k) const {
+  std::vector<Neighbor> out;
+  query_into(q, k, out);
+  return out;
+}
+
+void ExactKnnIndex::query_into(std::span<const float> q, std::size_t k,
+                               std::vector<Neighbor>& out) const {
   assert(q.size() == dim_);
-  std::vector<Neighbor> all;
-  all.reserve(vectors_.size());
+  out.clear();
+  out.reserve(vectors_.size());
   for (const auto& [id, v] : vectors_) {
-    all.push_back({id, l2(q, v)});
+    out.push_back({id, l2(q, v)});
   }
-  const std::size_t take = std::min(k, all.size());
-  std::partial_sort(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(take),
-                    all.end(), [](const Neighbor& a, const Neighbor& b) {
+  const std::size_t take = std::min(k, out.size());
+  std::partial_sort(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(take),
+                    out.end(), [](const Neighbor& a, const Neighbor& b) {
                       return a.distance < b.distance ||
                              (a.distance == b.distance && a.id < b.id);
                     });
-  all.resize(take);
-  return all;
+  out.resize(take);
 }
 
 }  // namespace apx

@@ -18,6 +18,11 @@ class ExactKnnIndex final : public NnIndex {
   bool remove(VecId id) override;
   std::vector<Neighbor> query(std::span<const float> q,
                               std::size_t k) const override;
+  /// Scores every stored vector into `out` (reusing its capacity), then
+  /// partial-sorts the top k — zero heap allocations once `out` has grown
+  /// to the index size.
+  void query_into(std::span<const float> q, std::size_t k,
+                  std::vector<Neighbor>& out) const override;
   std::size_t size() const noexcept override { return vectors_.size(); }
   std::size_t dim() const noexcept override { return dim_; }
 

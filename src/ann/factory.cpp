@@ -1,0 +1,32 @@
+#include "src/ann/factory.hpp"
+
+#include <stdexcept>
+
+#include "src/ann/exact_knn.hpp"
+#include "src/ann/lsh.hpp"
+
+namespace apx {
+
+const char* to_string(IndexKind kind) noexcept {
+  switch (kind) {
+    case IndexKind::kExact: return "exact";
+    case IndexKind::kLsh: return "lsh";
+    case IndexKind::kAdaptiveLsh: return "adaptive-lsh";
+  }
+  return "?";
+}
+
+std::unique_ptr<NnIndex> make_index(IndexKind kind, std::size_t dim,
+                                    const AdaptiveLshParams& params) {
+  switch (kind) {
+    case IndexKind::kExact:
+      return std::make_unique<ExactKnnIndex>(dim);
+    case IndexKind::kLsh:
+      return std::make_unique<PStableLshIndex>(dim, params.lsh);
+    case IndexKind::kAdaptiveLsh:
+      return std::make_unique<AdaptiveLshIndex>(dim, params);
+  }
+  throw std::invalid_argument("make_index: unknown index kind");
+}
+
+}  // namespace apx

@@ -1,0 +1,26 @@
+#pragma once
+// Index construction: the one place that knows every NnIndex backend. The
+// cache (and anything else hosting an index) selects by IndexKind and never
+// names a concrete index type, so adding a backend touches only this pair
+// of files.
+
+#include <memory>
+
+#include "src/ann/adaptive_lsh.hpp"
+#include "src/ann/index.hpp"
+
+namespace apx {
+
+/// Which ANN index backs a cache.
+enum class IndexKind { kExact, kLsh, kAdaptiveLsh };
+
+/// Printable kind name ("exact", "lsh", "adaptive-lsh").
+const char* to_string(IndexKind kind) noexcept;
+
+/// Builds an index of `kind` over `dim`-dimensional vectors. `params`
+/// covers the whole LSH family: kLsh uses params.lsh, kAdaptiveLsh all of
+/// it, kExact neither. Throws std::invalid_argument on an unknown kind.
+std::unique_ptr<NnIndex> make_index(IndexKind kind, std::size_t dim,
+                                    const AdaptiveLshParams& params);
+
+}  // namespace apx

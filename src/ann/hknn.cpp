@@ -1,9 +1,26 @@
 #include "src/ann/hknn.hpp"
 
+#include <array>
 #include <map>
 
 namespace apx {
 namespace {
+
+/// Picks the winner from (label, weight) pairs. Ties break toward the
+/// smaller label, matching the historical std::map-iteration behaviour.
+template <typename Pairs>
+Label pick_best(const Pairs& pairs, std::size_t n, float& best_weight) {
+  Label best = kNoLabel;
+  best_weight = -1.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& [label, w] = pairs[i];
+    if (w > best_weight || (w == best_weight && label < best)) {
+      best_weight = w;
+      best = label;
+    }
+  }
+  return best;
+}
 
 std::optional<HknnVote> vote_impl(const std::vector<Neighbor>& neighbors,
                                   const std::function<Label(VecId)>& label_of,
@@ -12,28 +29,64 @@ std::optional<HknnVote> vote_impl(const std::vector<Neighbor>& neighbors,
   if (neighbors.empty()) return std::nullopt;
   if (neighbors.front().distance > params.max_distance) return std::nullopt;
 
-  // Distance-weighted vote over the in-range prefix (closest first).
-  std::map<Label, float> weights;
+  // Distance-weighted vote over the in-range prefix (closest first). At
+  // most params.k voters participate, so the distinct-label tally almost
+  // always fits the fixed inline buffer: the vote then runs without heap
+  // allocations, which the traced cache-lookup hot path depends on. The
+  // std::map fallback only triggers for degenerate parameter choices
+  // (k > kInlineLabels with all-distinct labels).
+  constexpr std::size_t kInlineLabels = 64;
+  std::array<std::pair<Label, float>, kInlineLabels> tally;
+  std::size_t distinct = 0;
+  bool overflow = false;
+
   float total = 0.0f;
   std::size_t voters = 0;
   for (const Neighbor& n : neighbors) {
     if (voters >= params.k) break;
     if (n.distance > params.max_distance) break;
     const float w = 1.0f / (n.distance + params.distance_epsilon);
-    weights[label_of(n.id)] += w;
+    const Label label = label_of(n.id);
+    std::size_t i = 0;
+    while (i < distinct && tally[i].first != label) ++i;
+    if (i < distinct) {
+      tally[i].second += w;
+    } else if (distinct < kInlineLabels) {
+      tally[distinct++] = {label, w};
+    } else {
+      overflow = true;
+      break;
+    }
     total += w;
     ++voters;
   }
-  if (voters == 0 || total <= 0.0f) return std::nullopt;
 
   Label best = kNoLabel;
   float best_weight = -1.0f;
-  for (const auto& [label, w] : weights) {
-    if (w > best_weight) {
-      best_weight = w;
-      best = label;
+  if (overflow) {
+    // Redo the tally with an unbounded map; correctness over allocation.
+    std::map<Label, float> weights;
+    total = 0.0f;
+    voters = 0;
+    for (const Neighbor& n : neighbors) {
+      if (voters >= params.k) break;
+      if (n.distance > params.max_distance) break;
+      const float w = 1.0f / (n.distance + params.distance_epsilon);
+      weights[label_of(n.id)] += w;
+      total += w;
+      ++voters;
     }
+    for (const auto& [label, w] : weights) {
+      if (w > best_weight) {
+        best_weight = w;
+        best = label;
+      }
+    }
+  } else {
+    best = pick_best(tally, distinct, best_weight);
   }
+
+  if (voters == 0 || total <= 0.0f) return std::nullopt;
   const float homogeneity = best_weight / total;
   if (require_homogeneity && homogeneity < params.homogeneity_threshold) {
     return std::nullopt;

@@ -2,6 +2,7 @@
 // Nearest-neighbour index abstraction the approximate cache builds on.
 // Implementations: ExactKnnIndex (linear scan baseline), PStableLshIndex,
 // and AdaptiveLshIndex (the A-LSH variant the poster's lineage uses).
+// New backends register in make_index() (src/ann/factory.hpp).
 
 #include <cstdint>
 #include <span>
@@ -10,6 +11,8 @@
 #include "src/util/vecmath.hpp"
 
 namespace apx {
+
+class MetricsRegistry;
 
 /// Identifier of an indexed vector (the cache's entry id).
 using VecId = std::uint64_t;
@@ -38,6 +41,28 @@ class NnIndex {
   /// Returns up to `k` nearest stored vectors, closest first.
   virtual std::vector<Neighbor> query(std::span<const float> q,
                                       std::size_t k) const = 0;
+
+  /// Allocation-conscious query path: clears and fills `out` with up to `k`
+  /// nearest stored vectors, closest first. Implementations that keep an
+  /// internal scratch (the LSH family, the exact scan) perform zero heap
+  /// allocations in steady state — `out`'s capacity and the scratch are
+  /// reused across calls. The default simply wraps query().
+  virtual void query_into(std::span<const float> q, std::size_t k,
+                          std::vector<Neighbor>& out) const {
+    out = query(q, k);
+  }
+
+  /// Stored vectors whose distance the last query (query/query_into)
+  /// computed — the work an approximate lookup actually did. Defaults to
+  /// size(), which is exact for full-scan indexes.
+  virtual std::size_t last_query_candidates() const noexcept {
+    return size();
+  }
+
+  /// Registers this index's instruments (candidate-set histograms, rebuild
+  /// counters, ...) on `metrics`; recording is zero-alloc afterwards. The
+  /// registry must outlive the index. Default: not instrumented.
+  virtual void attach_metrics(MetricsRegistry& metrics) { (void)metrics; }
 
   /// Number of stored vectors.
   virtual std::size_t size() const noexcept = 0;

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/obs/metrics.hpp"
+
 namespace apx {
 
 PStableLshIndex::PStableLshIndex(std::size_t dim, const LshParams& params)
@@ -202,6 +204,10 @@ void PStableLshIndex::query_into(std::span<const float> q, std::size_t k,
     }
   }
   last_candidates_ = sc.candidates.size();
+  if (metrics_ != nullptr) {
+    metrics_->record(candidates_hist_,
+                     static_cast<double>(last_candidates_));
+  }
   if (sc.candidates.empty()) return;
 
   // Batched scoring: one gather pass over the contiguous arena.
@@ -223,6 +229,11 @@ void PStableLshIndex::query_into(std::span<const float> q, std::size_t k,
                              (a.distance == b.distance && a.id < b.id);
                     });
   out.resize(take);
+}
+
+void PStableLshIndex::attach_metrics(MetricsRegistry& metrics) {
+  metrics_ = &metrics;
+  candidates_hist_ = metrics.histogram("ann/candidates", count_bounds());
 }
 
 void PStableLshIndex::rebuild_with_width(float new_width) {

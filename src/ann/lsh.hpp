@@ -58,7 +58,7 @@ class PStableLshIndex final : public NnIndex {
   /// comparable workload, performs zero heap allocations (the internal
   /// scratch and `out`'s capacity are reused).
   void query_into(std::span<const float> q, std::size_t k,
-                  std::vector<Neighbor>& out) const;
+                  std::vector<Neighbor>& out) const override;
 
   std::size_t size() const noexcept override { return id_to_slot_.size(); }
   std::size_t dim() const noexcept override { return dim_; }
@@ -70,6 +70,13 @@ class PStableLshIndex final : public NnIndex {
   std::size_t last_candidate_count() const noexcept {
     return last_candidates_;
   }
+
+  std::size_t last_query_candidates() const noexcept override {
+    return last_candidates_;
+  }
+
+  /// Registers the "ann/candidates" per-query candidate-set histogram.
+  void attach_metrics(MetricsRegistry& metrics) override;
 
   /// Rebuilds every table with a new bucket width, reusing the projections.
   /// O(n L k dim); called rarely (adaptation), never per query.
@@ -122,6 +129,8 @@ class PStableLshIndex final : public NnIndex {
 
   mutable QueryScratch scratch_;
   mutable std::size_t last_candidates_ = 0;
+  MetricsRegistry* metrics_ = nullptr;
+  std::uint32_t candidates_hist_ = 0;
 };
 
 }  // namespace apx

@@ -5,61 +5,57 @@
 #include <limits>
 #include <stdexcept>
 
+#include "src/obs/frame_trace.hpp"
+#include "src/obs/metrics.hpp"
+
 namespace apx {
-namespace {
-
-std::unique_ptr<NnIndex> make_index(std::size_t dim,
-                                    const ApproxCacheConfig& config) {
-  switch (config.index) {
-    case IndexKind::kExact:
-      return std::make_unique<ExactKnnIndex>(dim);
-    case IndexKind::kLsh:
-      return std::make_unique<PStableLshIndex>(dim, config.alsh.lsh);
-    case IndexKind::kAdaptiveLsh:
-      return std::make_unique<AdaptiveLshIndex>(dim, config.alsh);
-  }
-  throw std::invalid_argument("ApproxCache: unknown index kind");
-}
-
-}  // namespace
 
 ApproxCache::ApproxCache(std::size_t dim, const ApproxCacheConfig& config,
                          std::unique_ptr<EvictionPolicy> eviction)
     : dim_(dim),
       config_(config),
       eviction_(std::move(eviction)),
-      index_(make_index(dim, config)) {
+      index_(make_index(config.index, dim, config.alsh)),
+      label_of_([this](VecId id) { return entries_.at(id).label; }) {
   if (dim == 0 || config.capacity == 0 || eviction_ == nullptr) {
     throw std::invalid_argument("ApproxCache: bad configuration");
   }
 }
 
 CacheLookupResult ApproxCache::lookup(std::span<const float> q, SimTime now,
-                                      float threshold_scale) {
+                                      const LookupOptions& opts) {
   assert(q.size() == dim_);
   CacheLookupResult result;
-  const auto neighbors = index_->query(q, config_.hknn.k);
+  const std::size_t k =
+      opts.k_override != 0 ? opts.k_override : config_.hknn.k;
+  index_->query_into(q, k, neighbor_scratch_);
+  const std::vector<Neighbor>& neighbors = neighbor_scratch_;
 
   // Simulated lookup cost: fixed overhead + one distance per candidate.
-  std::size_t candidates = neighbors.size();
-  if (config_.index == IndexKind::kLsh) {
-    candidates =
-        static_cast<PStableLshIndex*>(index_.get())->last_candidate_count();
-  } else if (config_.index == IndexKind::kAdaptiveLsh) {
-    candidates =
-        static_cast<AdaptiveLshIndex*>(index_.get())->last_candidate_count();
-  } else {
-    candidates = index_->size();  // exact scan touches everything
-  }
+  const std::size_t candidates = index_->last_query_candidates();
   result.candidates = candidates;
   result.latency = config_.lookup_base_latency +
                    static_cast<SimDuration>(candidates) *
                        config_.per_candidate_latency;
 
+  const float nearest =
+      neighbors.empty() ? -1.0f : neighbors.front().distance;
+  if (opts.trace != nullptr) {
+    opts.trace->annotate_lookup(static_cast<std::uint32_t>(candidates),
+                                nearest);
+  }
+  if (metrics_ != nullptr) {
+    metrics_->record(lookup_us_hist_, static_cast<double>(result.latency));
+    if (nearest >= 0.0f) {
+      metrics_->record(nearest_distance_hist_,
+                       static_cast<double>(nearest));
+    }
+  }
+
   HknnParams params = config_.hknn;
-  params.max_distance *= threshold_scale;
-  result.vote = hknn_vote(
-      neighbors, [this](VecId id) { return entries_.at(id).label; }, params);
+  params.max_distance *= opts.threshold_scale;
+  if (opts.k_override != 0) params.k = opts.k_override;
+  result.vote = hknn_vote(neighbors, label_of_, params);
 
   if (result.vote.has_value()) {
     counters_.inc("hit");
@@ -120,18 +116,18 @@ const CacheEntry* ApproxCache::find(VecId id) const {
 
 std::optional<float> ApproxCache::nearest_distance(
     std::span<const float> q) const {
-  const auto neighbors = index_->query(q, 1);
-  if (neighbors.empty()) return std::nullopt;
-  return neighbors.front().distance;
+  index_->query_into(q, 1, neighbor_scratch_);
+  if (neighbor_scratch_.empty()) return std::nullopt;
+  return neighbor_scratch_.front().distance;
 }
 
-std::optional<HknnVote> ApproxCache::peek_vote(std::span<const float> q,
-                                               float threshold_scale) const {
-  const auto neighbors = index_->query(q, config_.hknn.k);
+std::optional<HknnVote> ApproxCache::peek_vote(
+    std::span<const float> q, const LookupOptions& opts) const {
+  index_->query_into(q, config_.hknn.k, neighbor_scratch_);
   HknnParams params = config_.hknn;
-  params.max_distance *= threshold_scale;
-  return hknn_vote(
-      neighbors, [this](VecId id) { return entries_.at(id).label; }, params);
+  params.max_distance *= opts.threshold_scale;
+  if (opts.k_override != 0) params.k = opts.k_override;
+  return hknn_vote(neighbor_scratch_, label_of_, params);
 }
 
 void ApproxCache::for_each(
@@ -139,17 +135,32 @@ void ApproxCache::for_each(
   for (const auto& [_, entry] : entries_) fn(entry);
 }
 
-std::vector<const CacheEntry*> ApproxCache::entries_since(SimTime since) const {
-  std::vector<const CacheEntry*> out;
+std::vector<CacheEntry> ApproxCache::entries_since(SimTime since) const {
+  std::vector<CacheEntry> out;
   for (const auto& [_, entry] : entries_) {
-    if (entry.insert_time >= since) out.push_back(&entry);
+    if (entry.insert_time >= since) out.push_back(entry);
   }
   std::sort(out.begin(), out.end(),
-            [](const CacheEntry* a, const CacheEntry* b) {
-              return a->insert_time < b->insert_time ||
-                     (a->insert_time == b->insert_time && a->id < b->id);
+            [](const CacheEntry& a, const CacheEntry& b) {
+              return a.insert_time < b.insert_time ||
+                     (a.insert_time == b.insert_time && a.id < b.id);
             });
   return out;
+}
+
+void ApproxCache::attach_metrics(MetricsRegistry& metrics) {
+  metrics_ = &metrics;
+  lookup_us_hist_ = metrics.histogram("cache/lookup_us", latency_us_bounds());
+  nearest_distance_hist_ =
+      metrics.histogram("cache/nearest_distance", distance_bounds());
+  // Pre-register the counters the runner later copies from the legacy
+  // Counter map, so exports carry them (as zeros) even in empty runs and
+  // the JSON schema stays stable.
+  metrics.counter("cache/hit");
+  metrics.counter("cache/miss");
+  metrics.counter("cache/insert");
+  metrics.counter("cache/evict");
+  index_->attach_metrics(metrics);
 }
 
 VecId ApproxCache::evict_one(SimTime now) {

@@ -10,8 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "src/ann/adaptive_lsh.hpp"
-#include "src/ann/exact_knn.hpp"
+#include "src/ann/factory.hpp"
 #include "src/ann/hknn.hpp"
 #include "src/ann/index.hpp"
 #include "src/cache/entry.hpp"
@@ -20,8 +19,8 @@
 
 namespace apx {
 
-/// Which ANN index backs the cache.
-enum class IndexKind { kExact, kLsh, kAdaptiveLsh };
+class FrameTrace;
+class MetricsRegistry;
 
 /// Cache configuration.
 struct ApproxCacheConfig {
@@ -33,6 +32,20 @@ struct ApproxCacheConfig {
   /// plus a per-candidate distance computation cost.
   SimDuration lookup_base_latency = 300;     // 0.3 ms
   SimDuration per_candidate_latency = 2;     // 2 us per distance
+};
+
+/// Per-call knobs for lookup()/peek_vote(). Designed for designated
+/// initializers at call sites: `cache.lookup(q, now, {.threshold_scale = s})`.
+struct LookupOptions {
+  /// Scales HknnParams::max_distance for this call only — the hook the IMU
+  /// motion gate uses (stationary devices accept slightly farther matches,
+  /// §5.4).
+  float threshold_scale = 1.0f;
+  /// When non-zero, overrides HknnParams::k for this call.
+  std::size_t k_override = 0;
+  /// When set, the open span of this trace is annotated with the candidate
+  /// count and nearest-neighbour distance of the lookup.
+  FrameTrace* trace = nullptr;
 };
 
 /// Outcome of one cache lookup.
@@ -51,11 +64,10 @@ class ApproxCache {
   ApproxCache(std::size_t dim, const ApproxCacheConfig& config,
               std::unique_ptr<EvictionPolicy> eviction);
 
-  /// Looks up `q`. `threshold_scale` scales HknnParams::max_distance for
-  /// this call only — the hook the IMU motion gate uses (stationary devices
-  /// accept slightly farther matches, §5.4). Accessed entries are touched.
+  /// Looks up `q`. Accessed entries are touched. Steady-state calls perform
+  /// zero heap allocations (neighbour scratch and index scratch are reused).
   CacheLookupResult lookup(std::span<const float> q, SimTime now,
-                           float threshold_scale = 1.0f);
+                           const LookupOptions& opts = {});
 
   /// Inserts a new entry, evicting first when full. Returns the new id.
   VecId insert(FeatureVec feature, Label label, float confidence, SimTime now,
@@ -72,19 +84,26 @@ class ApproxCache {
   /// (nullopt when empty) — used by the P2P layer to dedupe merges.
   std::optional<float> nearest_distance(std::span<const float> q) const;
 
-  /// Hypothetical vote at a scaled threshold, with NO side effects: no
-  /// counter updates, no entry touches. Used by the adaptive threshold
-  /// controller to ask "would the cache have answered, and what?" on
-  /// frames where the DNN ran anyway.
+  /// Hypothetical vote with NO side effects: no counter updates, no entry
+  /// touches, no metrics. Used by the adaptive threshold controller to ask
+  /// "would the cache have answered, and what?" on frames where the DNN ran
+  /// anyway.
   std::optional<HknnVote> peek_vote(std::span<const float> q,
-                                    float threshold_scale) const;
+                                    const LookupOptions& opts = {}) const;
 
   /// Calls `fn` for every entry (unspecified order).
   void for_each(const std::function<void(const CacheEntry&)>& fn) const;
 
   /// Entries inserted at or after `since`, newest last — the P2P
-  /// advertisement source.
-  std::vector<const CacheEntry*> entries_since(SimTime since) const;
+  /// advertisement source. Returns copies: callers iterate this while
+  /// inserting into (possibly the same) cache, which rehashes `entries_`
+  /// and would invalidate any pointer/reference into it.
+  std::vector<CacheEntry> entries_since(SimTime since) const;
+
+  /// Registers this cache's instruments ("cache/lookup_us",
+  /// "cache/nearest_distance", hit/miss/insert/evict counters) and the
+  /// backing index's, on `metrics`. The registry must outlive the cache.
+  void attach_metrics(MetricsRegistry& metrics);
 
   std::size_t size() const noexcept { return entries_.size(); }
   std::size_t capacity() const noexcept { return config_.capacity; }
@@ -106,6 +125,13 @@ class ApproxCache {
   std::unordered_map<VecId, CacheEntry> entries_;
   VecId next_id_ = 1;
   Counter counters_;
+  /// Constructed once (single this-pointer capture fits std::function's
+  /// small-buffer storage) so votes never rebuild a closure per lookup.
+  std::function<Label(VecId)> label_of_;
+  mutable std::vector<Neighbor> neighbor_scratch_;
+  MetricsRegistry* metrics_ = nullptr;
+  std::uint32_t lookup_us_hist_ = 0;
+  std::uint32_t nearest_distance_hist_ = 0;
 };
 
 }  // namespace apx

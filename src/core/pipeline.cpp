@@ -4,6 +4,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/report.hpp"
+
 namespace apx {
 
 const char* to_string(ResultSource source) noexcept {
@@ -54,14 +57,15 @@ bool ReusePipeline::process(const Frame& frame, MotionState motion,
   inflight_->frame = frame;
   inflight_->motion = motion;
   inflight_->done = std::move(done);
+  trace_.reset(frame.t);
 
   // Rung 0 — IMU: consult the motion estimate, decide gating, and take the
   // stationary fast path when the last result is still fresh.
   const std::uint64_t epoch = epoch_;
-  const SimDuration imu_cost =
-      (config_.enable_imu_gate || config_.enable_imu_fastpath)
-          ? config_.imu_check_latency
-          : 0;
+  const bool imu_active =
+      config_.enable_imu_gate || config_.enable_imu_fastpath;
+  const SimDuration imu_cost = imu_active ? config_.imu_check_latency : 0;
+  if (imu_active) trace_.begin_span(Rung::kImuGate, sim_->now());
   spend(imu_cost);
   sim_->schedule_after(imu_cost, [this, epoch] {
     if (epoch != epoch_ || !busy_) return;
@@ -78,10 +82,12 @@ bool ReusePipeline::process(const Frame& frame, MotionState motion,
         inflight_->motion == MotionState::kStationary &&
         last_result_.has_value() && last_result_->label != kNoLabel &&
         sim_->now() - last_result_time_ <= config_.imu_fastpath_max_age) {
+      trace_.end_span(RungOutcome::kHit, sim_->now());
       complete(ResultSource::kImuFastPath, last_result_->label,
                last_result_->confidence);
       return;
     }
+    trace_.end_span(RungOutcome::kMiss, sim_->now());
     run_temporal_rung();
   });
   return true;
@@ -99,16 +105,19 @@ void ReusePipeline::run_temporal_rung() {
     return;
   }
   const TemporalCheck check = temporal_.check(inflight_->frame.image);
+  trace_.begin_span(Rung::kTemporal, sim_->now());
   spend(check.latency);
   const std::uint64_t epoch = epoch_;
   sim_->schedule_after(check.latency, [this, epoch, check] {
     if (epoch != epoch_ || !busy_) return;
     if (check.reusable && last_result_.has_value() &&
         last_result_->label != kNoLabel) {
+      trace_.end_span(RungOutcome::kHit, sim_->now());
       complete(ResultSource::kTemporalReuse, last_result_->label,
                last_result_->confidence);
       return;
     }
+    trace_.end_span(RungOutcome::kMiss, sim_->now());
     run_cache_rung();
   });
 }
@@ -119,6 +128,7 @@ void ReusePipeline::run_cache_rung() {
       run_inference_rung();
       return;
     case CacheMode::kExact: {
+      trace_.begin_span(Rung::kLocalCache, sim_->now());
       spend(extractor_->latency());
       const std::uint64_t epoch = epoch_;
       sim_->schedule_after(extractor_->latency(), [this, epoch] {
@@ -132,8 +142,10 @@ void ReusePipeline::run_cache_rung() {
         sim_->schedule_after(cost, [this, epoch2, hit] {
           if (epoch2 != epoch_ || !busy_) return;
           if (hit.has_value()) {
+            trace_.end_span(RungOutcome::kHit, sim_->now());
             complete(ResultSource::kLocalCacheHit, *hit, 1.0f);
           } else {
+            trace_.end_span(RungOutcome::kMiss, sim_->now());
             run_inference_rung();
           }
         });
@@ -147,6 +159,7 @@ void ReusePipeline::run_cache_rung() {
 }
 
 void ReusePipeline::run_local_cache_rung() {
+  trace_.begin_span(Rung::kLocalCache, sim_->now());
   spend(extractor_->latency());
   const std::uint64_t epoch = epoch_;
   sim_->schedule_after(extractor_->latency(), [this, epoch] {
@@ -154,16 +167,20 @@ void ReusePipeline::run_local_cache_rung() {
     inflight_->features = extractor_->extract(inflight_->frame.image);
     inflight_->features_ready = true;
     const CacheLookupResult res = cache_->lookup(
-        inflight_->features, sim_->now(), inflight_->gate.threshold_scale);
+        inflight_->features, sim_->now(),
+        {.threshold_scale = inflight_->gate.threshold_scale,
+         .trace = &trace_});
     spend(res.latency);
     const std::uint64_t epoch2 = epoch_;
     sim_->schedule_after(res.latency, [this, epoch2, vote = res.vote] {
       if (epoch2 != epoch_ || !busy_) return;
       if (vote.has_value()) {
+        trace_.end_span(RungOutcome::kHit, sim_->now());
         complete(ResultSource::kLocalCacheHit, vote->label,
                  vote->homogeneity);
         return;
       }
+      trace_.end_span(RungOutcome::kMiss, sim_->now());
       if (config_.enable_p2p && peers_ != nullptr) {
         run_p2p_rung();
       } else {
@@ -174,27 +191,32 @@ void ReusePipeline::run_local_cache_rung() {
 }
 
 void ReusePipeline::run_p2p_rung() {
+  trace_.begin_span(Rung::kP2p, sim_->now());
   const std::uint64_t epoch = epoch_;
   peers_->async_lookup(
       inflight_->features, [this, epoch](std::vector<WireEntry> entries) {
         if (epoch != epoch_ || !busy_) return;
         if (entries.empty()) {
+          trace_.end_span(RungOutcome::kMiss, sim_->now());
           run_inference_rung();
           return;
         }
         // Responses were merged into the local cache by the peer service;
         // re-run the homogenized vote over the enriched neighbourhood.
-        const CacheLookupResult res =
-            cache_->lookup(inflight_->features, sim_->now(),
-                           inflight_->gate.threshold_scale);
+        const CacheLookupResult res = cache_->lookup(
+            inflight_->features, sim_->now(),
+            {.threshold_scale = inflight_->gate.threshold_scale,
+             .trace = &trace_});
         spend(res.latency);
         const std::uint64_t epoch2 = epoch_;
         sim_->schedule_after(res.latency, [this, epoch2, vote = res.vote] {
           if (epoch2 != epoch_ || !busy_) return;
           if (vote.has_value()) {
+            trace_.end_span(RungOutcome::kHit, sim_->now());
             complete(ResultSource::kPeerCacheHit, vote->label,
                      vote->homogeneity);
           } else {
+            trace_.end_span(RungOutcome::kMiss, sim_->now());
             run_inference_rung();
           }
         });
@@ -202,6 +224,7 @@ void ReusePipeline::run_p2p_rung() {
 }
 
 void ReusePipeline::run_inference_rung() {
+  trace_.begin_span(Rung::kDnn, sim_->now());
   const SimDuration latency = model_->sample_latency(rng_);
   inflight_->dnn_energy = model_->energy_mj();
   const std::uint64_t epoch = epoch_;
@@ -214,8 +237,9 @@ void ReusePipeline::run_inference_rung() {
         inflight_->features_ready) {
       // Validation event: the DNN ran, so compare it against the cache's
       // hypothetical vote just past the current threshold edge.
-      const auto vote = cache_->peek_vote(inflight_->features,
-                                          threshold_.observation_scale());
+      const auto vote = cache_->peek_vote(
+          inflight_->features,
+          {.threshold_scale = threshold_.observation_scale()});
       if (vote.has_value()) threshold_.observe(vote->label == pred.label);
     }
     if (config_.cache_mode == CacheMode::kApprox &&
@@ -226,8 +250,27 @@ void ReusePipeline::run_inference_rung() {
                inflight_->features_ready) {
       exact_cache_->insert(inflight_->features, pred.label);
     }
+    // The DNN always answers: its span is a hit by construction.
+    trace_.end_span(RungOutcome::kHit, sim_->now());
     complete(ResultSource::kFullInference, pred.label, pred.confidence);
   });
+}
+
+void ReusePipeline::attach_metrics(MetricsRegistry& metrics) {
+  metrics_ = &metrics;
+  for (std::size_t r = 0; r < kRungCount; ++r) {
+    const Rung rung = static_cast<Rung>(r);
+    rung_latency_hist_[r] =
+        metrics.histogram(rung_latency_metric(rung), latency_us_bounds());
+    rung_hit_counter_[r] =
+        metrics.counter(rung_outcome_metric(rung, RungOutcome::kHit));
+    rung_miss_counter_[r] =
+        metrics.counter(rung_outcome_metric(rung, RungOutcome::kMiss));
+  }
+  for (std::size_t s = 0; s < kResultSourceCount; ++s) {
+    source_counter_[s] = metrics.counter(
+        source_metric(to_string(static_cast<ResultSource>(s))));
+  }
 }
 
 double ReusePipeline::compute_energy(ResultSource /*source*/) const {
@@ -251,6 +294,16 @@ void ReusePipeline::complete(ResultSource source, Label label,
   result.source = source;
   result.compute_energy_mj = compute_energy(source);
   counters_.inc(to_string(source));
+  if (metrics_ != nullptr) {
+    for (const TraceSpan& span : trace_.spans()) {
+      const auto r = static_cast<std::size_t>(span.rung);
+      metrics_->record(rung_latency_hist_[r],
+                       static_cast<double>(span.end - span.start));
+      metrics_->inc(span.outcome == RungOutcome::kHit ? rung_hit_counter_[r]
+                                                      : rung_miss_counter_[r]);
+    }
+    metrics_->inc(source_counter_[static_cast<std::size_t>(source)]);
+  }
 
   last_result_ = Prediction{label, confidence};
   // The fast path must not refresh its own freshness clock: a result is

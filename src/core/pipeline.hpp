@@ -11,6 +11,7 @@
 // a completion callback because the P2P and inference stages are
 // asynchronous in simulated time.
 
+#include <array>
 #include <functional>
 #include <optional>
 
@@ -19,9 +20,12 @@
 #include "src/core/result.hpp"
 #include "src/features/extractor.hpp"
 #include "src/net/event_sim.hpp"
+#include "src/obs/frame_trace.hpp"
 #include "src/video/stream.hpp"
 
 namespace apx {
+
+class MetricsRegistry;
 
 /// Per-device recognition pipeline with computation reuse.
 ///
@@ -54,6 +58,17 @@ class ReusePipeline {
   const ThresholdController& threshold_controller() const noexcept {
     return threshold_;
   }
+
+  /// Registers per-rung latency histograms, per-rung hit/miss counters and
+  /// per-source counters (see obs/report.hpp for the naming scheme) and
+  /// starts recording every completed frame's trace into them. The registry
+  /// must outlive the pipeline.
+  void attach_metrics(MetricsRegistry& metrics);
+
+  /// Trace of the most recently completed frame (rungs visited, in order).
+  /// Reused across frames: read it from the completion callback, before the
+  /// next process() call resets it.
+  const FrameTrace& last_trace() const noexcept { return trace_; }
 
  private:
   struct InFlight {
@@ -100,6 +115,13 @@ class ReusePipeline {
   /// Energy actually attributed to DNN runs is the model's own figure; the
   /// rest of the pipeline converts busy time via cpu_active_power_mw.
   Counter counters_;
+
+  FrameTrace trace_;
+  MetricsRegistry* metrics_ = nullptr;
+  std::array<std::uint32_t, kRungCount> rung_latency_hist_{};
+  std::array<std::uint32_t, kRungCount> rung_hit_counter_{};
+  std::array<std::uint32_t, kRungCount> rung_miss_counter_{};
+  std::array<std::uint32_t, kResultSourceCount> source_counter_{};
 };
 
 }  // namespace apx

@@ -16,6 +16,8 @@ enum class ResultSource : std::uint8_t {
   kFullInference = 4, ///< the DNN ran
 };
 
+inline constexpr std::size_t kResultSourceCount = 5;
+
 /// Printable name ("imu-fastpath", "temporal", ...).
 const char* to_string(ResultSource source) noexcept;
 

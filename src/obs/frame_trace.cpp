@@ -1,0 +1,24 @@
+#include "src/obs/frame_trace.hpp"
+
+namespace apx {
+
+const char* to_string(Rung rung) noexcept {
+  switch (rung) {
+    case Rung::kImuGate: return "imu-gate";
+    case Rung::kTemporal: return "temporal";
+    case Rung::kLocalCache: return "local-cache";
+    case Rung::kP2p: return "p2p";
+    case Rung::kDnn: return "dnn";
+  }
+  return "?";
+}
+
+const char* to_string(RungOutcome outcome) noexcept {
+  switch (outcome) {
+    case RungOutcome::kHit: return "hit";
+    case RungOutcome::kMiss: return "miss";
+  }
+  return "?";
+}
+
+}  // namespace apx

@@ -1,0 +1,110 @@
+#pragma once
+// Per-frame trace spans: which rungs of the reuse ladder one frame visited,
+// in order, with simulated start/stop times and the rung's outcome. This is
+// the measurement seam behind the poster's headline claim — "where does the
+// time go?" is answered by attributing each frame's latency to the rungs
+// that actually ran (IMU gate, temporal check, local cache, P2P round, DNN)
+// instead of inferring it from pooled counters.
+//
+// A FrameTrace is a fixed-capacity value type (the ladder has at most five
+// rungs) so tracing adds no heap allocations to the frame hot path; the
+// pipeline owns one and reuses it for every frame it processes.
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "src/util/clock.hpp"
+
+namespace apx {
+
+/// Rungs of the reuse ladder, in ladder order.
+enum class Rung : std::uint8_t {
+  kImuGate = 0,     ///< motion estimate consulted / stationary fast path
+  kTemporal = 1,    ///< frame-diff keyframe check
+  kLocalCache = 2,  ///< feature extraction + approximate cache lookup
+  kP2p = 3,         ///< peer lookup round + re-vote
+  kDnn = 4,         ///< full inference
+};
+
+inline constexpr std::size_t kRungCount = 5;
+
+/// Printable rung name ("imu-gate", "temporal", "local-cache", "p2p", "dnn").
+const char* to_string(Rung rung) noexcept;
+
+/// How a visited rung ended: it either answered the frame or passed it down.
+enum class RungOutcome : std::uint8_t { kHit = 0, kMiss = 1 };
+
+const char* to_string(RungOutcome outcome) noexcept;
+
+/// One visited rung.
+struct TraceSpan {
+  Rung rung = Rung::kDnn;
+  RungOutcome outcome = RungOutcome::kMiss;
+  SimTime start = 0;  ///< simulated time the rung began
+  SimTime end = 0;    ///< simulated time the rung decided
+  /// Local-cache / P2P rungs: vectors whose distance the lookup computed.
+  std::uint32_t candidates = 0;
+  /// Nearest cached neighbour's distance; negative when nothing was found.
+  float nearest_distance = -1.0f;
+};
+
+/// Trace of one frame through the ladder. Spans appear in visit order; a
+/// rung that was disabled or skipped records no span.
+class FrameTrace {
+ public:
+  /// Spans are bounded by the ladder depth; extra slack guards future rungs.
+  static constexpr std::size_t kMaxSpans = 8;
+
+  /// Starts a new frame; drops all previous spans.
+  void reset(SimTime frame_time) noexcept {
+    count_ = 0;
+    open_ = false;
+    frame_time_ = frame_time;
+  }
+
+  /// Opens a span for `rung` at `now`. At most one span is open at a time;
+  /// returns false (and records nothing) when full or one is already open.
+  bool begin_span(Rung rung, SimTime now) noexcept {
+    if (open_ || count_ >= kMaxSpans) return false;
+    spans_[count_] = TraceSpan{rung, RungOutcome::kMiss, now, now, 0, -1.0f};
+    open_ = true;
+    return true;
+  }
+
+  /// Closes the open span with `outcome` at `now`; no-op when none is open.
+  void end_span(RungOutcome outcome, SimTime now) noexcept {
+    if (!open_) return;
+    spans_[count_].outcome = outcome;
+    spans_[count_].end = now;
+    ++count_;
+    open_ = false;
+  }
+
+  /// Annotates the open span with lookup work (candidate count + nearest
+  /// distance). Called by ApproxCache::lookup when LookupOptions::trace is
+  /// set; no-op when no span is open.
+  void annotate_lookup(std::uint32_t candidates,
+                       float nearest_distance) noexcept {
+    if (!open_) return;
+    spans_[count_].candidates = candidates;
+    spans_[count_].nearest_distance = nearest_distance;
+  }
+
+  /// Closed spans, in visit order.
+  std::span<const TraceSpan> spans() const noexcept {
+    return {spans_.data(), count_};
+  }
+
+  std::size_t size() const noexcept { return count_; }
+  bool has_open_span() const noexcept { return open_; }
+  SimTime frame_time() const noexcept { return frame_time_; }
+
+ private:
+  std::array<TraceSpan, kMaxSpans> spans_{};
+  std::size_t count_ = 0;
+  bool open_ = false;
+  SimTime frame_time_ = 0;
+};
+
+}  // namespace apx

@@ -1,0 +1,42 @@
+#include "src/obs/report.hpp"
+
+#include "src/util/table.hpp"
+
+namespace apx {
+
+std::string rung_latency_metric(Rung rung) {
+  return std::string("pipeline/rung_us/") + to_string(rung);
+}
+
+std::string rung_outcome_metric(Rung rung, RungOutcome outcome) {
+  return std::string("pipeline/rung_") + to_string(outcome) + "/" +
+         to_string(rung);
+}
+
+std::string source_metric(const char* source_name) {
+  return std::string("pipeline/source/") + source_name;
+}
+
+std::string per_rung_summary(const MetricsRegistry& metrics) {
+  TextTable table;
+  table.header(
+      {"rung", "visits", "hits", "mean ms", "p50 ms", "p95 ms", "max ms"});
+  bool any = false;
+  for (std::size_t r = 0; r < kRungCount; ++r) {
+    const Rung rung = static_cast<Rung>(r);
+    const MetricsRegistry::Histogram* h =
+        metrics.find_histogram(rung_latency_metric(rung));
+    if (h == nullptr || h->count == 0) continue;
+    any = true;
+    const std::uint64_t hits =
+        metrics.counter_value(rung_outcome_metric(rung, RungOutcome::kHit));
+    table.row({to_string(rung), std::to_string(h->count),
+               std::to_string(hits), TextTable::num(h->mean() / 1000.0, 3),
+               TextTable::num(h->quantile(0.5) / 1000.0, 3),
+               TextTable::num(h->quantile(0.95) / 1000.0, 3),
+               TextTable::num(h->max / 1000.0, 3)});
+  }
+  return any ? table.render() : std::string{};
+}
+
+}  // namespace apx

@@ -1,0 +1,28 @@
+#pragma once
+// Naming scheme + human rendering for the pipeline's per-rung metrics.
+// Instruments (core/pipeline.cpp) and reporters (runner, apxsim, examples)
+// both go through these helpers so the metric names cannot drift apart.
+
+#include <string>
+
+#include "src/obs/frame_trace.hpp"
+#include "src/obs/metrics.hpp"
+
+namespace apx {
+
+/// Histogram of simulated latency (us) spent in `rung` per visiting frame:
+/// "pipeline/rung_us/<rung>".
+std::string rung_latency_metric(Rung rung);
+
+/// Counter of rung visits that ended with `outcome`:
+/// "pipeline/rung_<outcome>/<rung>".
+std::string rung_outcome_metric(Rung rung, RungOutcome outcome);
+
+/// Counter of frames answered by `source` ("pipeline/source/<source>").
+std::string source_metric(const char* source_name);
+
+/// Renders the per-rung latency/hit breakdown table from a registry filled
+/// by an instrumented pipeline (empty string when nothing was recorded).
+std::string per_rung_summary(const MetricsRegistry& metrics);
+
+}  // namespace apx

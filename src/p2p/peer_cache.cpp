@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/metrics.hpp"
+
 namespace apx {
 
 PeerCacheService::PeerCacheService(EventSimulator& sim, WirelessMedium& medium,
@@ -77,6 +79,7 @@ void PeerCacheService::async_lookup(const FeatureVec& query,
   PendingLookup pending;
   pending.cb = std::move(cb);
   pending.expected = neighbors.size();
+  pending.start = sim_->now();
   pending_.emplace(request_id, std::move(pending));
 
   LookupRequestMsg msg;
@@ -97,7 +100,20 @@ void PeerCacheService::complete_lookup(std::uint64_t request_id) {
   // Move out before erase: the callback may start another lookup.
   PendingLookup pending = std::move(it->second);
   pending_.erase(it);
+  if (metrics_ != nullptr) {
+    metrics_->record(round_us_hist_,
+                     static_cast<double>(sim_->now() - pending.start));
+  }
   pending.cb(std::move(pending.collected));
+}
+
+void PeerCacheService::attach_metrics(MetricsRegistry& metrics) {
+  metrics_ = &metrics;
+  round_us_hist_ = metrics.histogram("p2p/round_us", latency_us_bounds());
+  metrics.counter("p2p/lookup_sent");
+  metrics.counter("p2p/response_sent");
+  metrics.counter("p2p/response_recv");
+  metrics.counter("p2p/merged");
 }
 
 void PeerCacheService::push_hotset(NodeId newcomer) {
@@ -223,9 +239,11 @@ void PeerCacheService::advert_tick() {
   last_advert_scan_ = sim_->now();
   // Gossip only locally computed results; re-advertising merged entries
   // would amplify traffic quadratically (hop limits bound it regardless).
-  std::vector<const CacheEntry*> fresh;
-  for (const CacheEntry* entry : cache_->entries_since(since)) {
-    if (entry->origin == EntryOrigin::kLocal) fresh.push_back(entry);
+  std::vector<CacheEntry> fresh;
+  for (CacheEntry& entry : cache_->entries_since(since)) {
+    if (entry.origin == EntryOrigin::kLocal) {
+      fresh.push_back(std::move(entry));
+    }
   }
   if (!fresh.empty() && !discovery_.neighbors().empty()) {
     EntryAdvertMsg msg;
@@ -235,7 +253,7 @@ void PeerCacheService::advert_tick() {
             ? fresh.size() - params_.advert_batch_max
             : 0;
     for (std::size_t i = start; i < fresh.size(); ++i) {
-      const CacheEntry& entry = *fresh[i];
+      const CacheEntry& entry = fresh[i];
       WireEntry wire;
       wire.feature = entry.feature;
       wire.label = entry.label;

@@ -22,6 +22,8 @@
 
 namespace apx {
 
+class MetricsRegistry;
+
 /// Protocol parameters.
 struct PeerCacheParams {
   DiscoveryParams discovery;
@@ -75,6 +77,11 @@ class PeerCacheService {
   /// "bad_message".
   const Counter& counters() const noexcept { return counters_; }
 
+  /// Registers the "p2p/round_us" lookup round-trip histogram (plus the
+  /// counters the runner later copies, as zeros, for schema stability).
+  /// The registry must outlive the service.
+  void attach_metrics(MetricsRegistry& metrics);
+
  private:
   void on_message(NodeId from, const std::vector<std::uint8_t>& payload);
   void push_hotset(NodeId newcomer);
@@ -91,6 +98,7 @@ class PeerCacheService {
     std::vector<WireEntry> collected;
     std::size_t expected = 0;
     std::size_t received = 0;
+    SimTime start = 0;  ///< when the request was broadcast
   };
 
   EventSimulator* sim_;
@@ -104,6 +112,8 @@ class PeerCacheService {
   SimTime last_advert_scan_ = 0;
   bool running_ = false;
   Counter counters_;
+  MetricsRegistry* metrics_ = nullptr;
+  std::uint32_t round_us_hist_ = 0;
 };
 
 }  // namespace apx

@@ -56,6 +56,9 @@ struct Device {
   std::unique_ptr<ReusePipeline> pipeline;
   SimTime last_imu_pull = 0;
   ExperimentMetrics metrics;
+  /// Private registry — shard-local recording needs no synchronization;
+  /// the runner merges these in global device order after the run.
+  MetricsRegistry registry;
   Rng churn_rng{0};
 };
 
@@ -82,6 +85,7 @@ struct ExperimentRunner::Impl {
   std::unique_ptr<ApproxCache> edge_cache;
   std::unique_ptr<PeerCacheService> edge_service;
   std::vector<ExperimentMetrics> device_metrics;
+  MetricsRegistry pooled_registry;
   TraceRecorder trace;
   bool parallel = false;
   bool ran = false;
@@ -178,6 +182,9 @@ struct ExperimentRunner::Impl {
           shard.sim, config.pipeline, *extractor, *device->model,
           device->cache.get(), device->exact_cache.get(), device->peers.get(),
           rng.next_u64());
+      if (device->cache) device->cache->attach_metrics(device->registry);
+      if (device->peers) device->peers->attach_metrics(device->registry);
+      device->pipeline->attach_metrics(device->registry);
       device->churn_rng = rng.fork();
       shard.device_indices.push_back(devices.size());
       shard_of.push_back(&shard);
@@ -277,6 +284,23 @@ struct ExperimentRunner::Impl {
         device.metrics.add_radio_energy_mj(
             shard_of[d]->medium->energy_mj(device.peers->id()));
       }
+      // Fold the legacy string-keyed counters into the device registry
+      // (namespaced) so one export carries everything. Histograms recorded
+      // live during the run; these counters are copied once, here, to avoid
+      // double counting.
+      if (device.cache) {
+        for (const auto& [key, count] : device.cache->counters().items()) {
+          device.registry.inc(device.registry.counter("cache/" + key), count);
+        }
+      }
+      if (device.peers) {
+        for (const auto& [key, count] : device.peers->counters().items()) {
+          device.registry.inc(device.registry.counter("p2p/" + key), count);
+        }
+      }
+      device.registry.inc(device.registry.counter("pipeline/dropped"),
+                          device.pipeline->counters().get("dropped"));
+      pooled_registry.merge(device.registry);
       pooled.merge(device.metrics);
       device_metrics.push_back(device.metrics);
     }
@@ -322,6 +346,10 @@ Counter ExperimentRunner::p2p_counters() const {
 
 std::size_t ExperimentRunner::edge_cache_size() const {
   return impl_->edge_cache ? impl_->edge_cache->size() : 0;
+}
+
+const MetricsRegistry& ExperimentRunner::metrics() const noexcept {
+  return impl_->pooled_registry;
 }
 
 const TraceRecorder& ExperimentRunner::trace() const { return impl_->trace; }

@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "src/features/extractor.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/sim/metrics.hpp"
 #include "src/sim/scenario.hpp"
 #include "src/sim/trace.hpp"
@@ -37,6 +38,13 @@ class ExperimentRunner {
 
   /// Entries held by the edge cache server (0 when not configured).
   std::size_t edge_cache_size() const;
+
+  /// Pooled observability registry (per-rung latency histograms, hit/miss
+  /// and source counters, cache/ann/p2p instruments), valid after run().
+  /// Devices record into private registries during the run; those are
+  /// merged here in global device order, so the export is bit-identical
+  /// for any num_threads.
+  const MetricsRegistry& metrics() const noexcept;
 
   /// Recorded per-frame trace (empty unless ScenarioConfig::record_trace).
   const TraceRecorder& trace() const;

@@ -78,15 +78,19 @@ TEST(ApproxCache, ThresholdScaleRelaxesMatch) {
   auto cache = make_cache();
   cache.insert(unit_at(0.0f), 5, 0.9f, 0);
   // 0.35 rad apart: just beyond max_distance 0.3 (chord ~0.35).
-  EXPECT_FALSE(cache.lookup(unit_at(0.35f), 1, 1.0f).vote.has_value());
-  EXPECT_TRUE(cache.lookup(unit_at(0.35f), 2, 1.5f).vote.has_value());
+  EXPECT_FALSE(
+      cache.lookup(unit_at(0.35f), 1, {.threshold_scale = 1.0f}).vote.has_value());
+  EXPECT_TRUE(
+      cache.lookup(unit_at(0.35f), 2, {.threshold_scale = 1.5f}).vote.has_value());
 }
 
 TEST(ApproxCache, ThresholdScaleTightensMatch) {
   auto cache = make_cache();
   cache.insert(unit_at(0.0f), 5, 0.9f, 0);
-  EXPECT_TRUE(cache.lookup(unit_at(0.25f), 1, 1.0f).vote.has_value());
-  EXPECT_FALSE(cache.lookup(unit_at(0.25f), 2, 0.5f).vote.has_value());
+  EXPECT_TRUE(
+      cache.lookup(unit_at(0.25f), 1, {.threshold_scale = 1.0f}).vote.has_value());
+  EXPECT_FALSE(
+      cache.lookup(unit_at(0.25f), 2, {.threshold_scale = 0.5f}).vote.has_value());
 }
 
 TEST(ApproxCache, MixedLabelsAbstain) {
@@ -195,8 +199,8 @@ TEST(ApproxCache, EntriesSinceFiltersAndSorts) {
   cache.insert(unit_at(2.0f), 3, 0.9f, 20);
   const auto since = cache.entries_since(15);
   ASSERT_EQ(since.size(), 2u);
-  EXPECT_EQ(since[0]->insert_time, 20);
-  EXPECT_EQ(since[1]->insert_time, 30);
+  EXPECT_EQ(since[0].insert_time, 20);
+  EXPECT_EQ(since[1].insert_time, 30);
 }
 
 TEST(ApproxCache, ForEachVisitsAll) {

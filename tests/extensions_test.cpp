@@ -308,7 +308,8 @@ TEST(Threshold, PeekVoteHasNoSideEffects) {
   ApproxCache cache = snapshot_cache();
   cache.insert({1, 0, 0, 0}, 7, 0.9f, 0);
   const auto before_hits = cache.counters().get("hit");
-  const auto vote = cache.peek_vote(FeatureVec{1, 0, 0, 0}, 1.0f);
+  const auto vote =
+      cache.peek_vote(FeatureVec{1, 0, 0, 0}, {.threshold_scale = 1.0f});
   ASSERT_TRUE(vote.has_value());
   EXPECT_EQ(vote->label, 7);
   EXPECT_EQ(cache.counters().get("hit"), before_hits);

@@ -18,6 +18,7 @@
 #include "src/ann/lsh.hpp"
 #include "src/core/pipeline.hpp"
 #include "src/features/minicnn.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/image/scene.hpp"
 #include "src/sim/runner.hpp"
 #include "src/util/rng.hpp"
@@ -141,6 +142,67 @@ TEST(LshHotPath, SteadyStateQueryPerformsZeroAllocations) {
   for (const auto& q : queries) index.query_into(q, 8, out);
   const std::size_t after = g_alloc_count.load(std::memory_order_relaxed);
   EXPECT_EQ(after - before, 0u);
+}
+
+TEST(CacheHotPath, SteadyStateTracedLookupPerformsZeroAllocations) {
+  // The full traced lookup path — LSH query, H-kNN vote, hit/miss counters,
+  // metrics recording, trace annotation — must be allocation-free once warm.
+  ApproxCacheConfig cfg;
+  cfg.capacity = 4096;
+  cfg.index = IndexKind::kLsh;
+  cfg.alsh.lsh.num_tables = 4;
+  cfg.alsh.lsh.hashes_per_table = 8;
+  cfg.alsh.lsh.bucket_width = 0.5f;
+  cfg.alsh.lsh.probes_per_table = 2;
+  cfg.hknn.max_distance = 0.4f;
+  ApproxCache cache{64, cfg, make_lru_policy()};
+  MetricsRegistry registry;
+  cache.attach_metrics(registry);
+
+  Rng rng{47};
+  std::vector<FeatureVec> stored;
+  for (int i = 0; i < 1000; ++i) {
+    FeatureVec v = random_vec(rng, 64);
+    normalize(v);
+    cache.insert(v, static_cast<Label>(i % 16), 0.9f, i);
+    stored.push_back(std::move(v));
+  }
+  // Perturbed stored vectors (hits) interleaved with fresh random ones
+  // (misses), so both outcome paths reach steady state during warm-up.
+  std::vector<FeatureVec> queries;
+  for (std::size_t i = 0; i < 32; ++i) {
+    FeatureVec q = stored[i * 7];
+    q[0] += 0.01f;
+    normalize(q);
+    queries.push_back(std::move(q));
+    FeatureVec r = random_vec(rng, 64);
+    normalize(r);
+    queries.push_back(std::move(r));
+  }
+
+  FrameTrace trace;
+  auto run_all = [&](SimTime base) {
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const SimTime now = base + static_cast<SimTime>(i);
+      trace.reset(now);
+      trace.begin_span(Rung::kLocalCache, now);
+      (void)cache.lookup(queries[i], now,
+                         {.threshold_scale = 1.0f, .trace = &trace});
+      trace.end_span(RungOutcome::kMiss, now);
+    }
+  };
+  run_all(2000);  // warm-up: scratch buffers and counter nodes get created
+
+  const std::size_t before = g_alloc_count.load(std::memory_order_relaxed);
+  run_all(3000);
+  const std::size_t after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u);
+  // Both paths actually ran.
+  EXPECT_GT(cache.counters().get("hit"), 0u);
+  EXPECT_GT(cache.counters().get("miss"), 0u);
+  const auto* hist = registry.find_histogram("cache/lookup_us");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 2 * queries.size());
 }
 
 TEST(LshHotPath, QueryIntoMatchesQuery) {

@@ -1,0 +1,305 @@
+// Tests for the observability subsystem: histogram bucketing and merge
+// semantics, deterministic JSON export across runner thread counts, and the
+// per-frame trace emitted by an instrumented pipeline.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <optional>
+
+#include "src/core/pipeline.hpp"
+#include "src/dnn/oracle.hpp"
+#include "src/dnn/zoo.hpp"
+#include "src/obs/frame_trace.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/report.hpp"
+#include "src/sim/runner.hpp"
+
+namespace apx {
+namespace {
+
+// ------------------------------------------------------------- histograms
+
+TEST(Metrics, HistogramBucketsFollowLeConvention) {
+  MetricsRegistry reg;
+  const std::array<double, 3> bounds{1.0, 10.0, 100.0};
+  const auto h = reg.histogram("h", bounds);
+  reg.record(h, 0.5);    // <= 1       -> bucket 0
+  reg.record(h, 1.0);    // == bound   -> bucket 0 (le convention)
+  reg.record(h, 5.0);    // <= 10      -> bucket 1
+  reg.record(h, 100.0);  // == last    -> bucket 2
+  reg.record(h, 1e6);    // overflow   -> bucket 3
+  const auto* hist = reg.find_histogram("h");
+  ASSERT_NE(hist, nullptr);
+  ASSERT_EQ(hist->buckets.size(), 4u);
+  EXPECT_EQ(hist->buckets[0], 2u);
+  EXPECT_EQ(hist->buckets[1], 1u);
+  EXPECT_EQ(hist->buckets[2], 1u);
+  EXPECT_EQ(hist->buckets[3], 1u);
+  EXPECT_EQ(hist->count, 5u);
+  EXPECT_DOUBLE_EQ(hist->min, 0.5);
+  EXPECT_DOUBLE_EQ(hist->max, 1e6);
+}
+
+TEST(Metrics, HistogramQuantileIsClampedAndMonotone) {
+  MetricsRegistry reg;
+  const std::array<double, 4> bounds{10.0, 20.0, 40.0, 80.0};
+  const auto h = reg.histogram("h", bounds);
+  for (int i = 0; i < 100; ++i) reg.record(h, 15.0);
+  const auto* hist = reg.find_histogram("h");
+  ASSERT_NE(hist, nullptr);
+  // All mass in one bucket: every quantile collapses to the sample range.
+  EXPECT_DOUBLE_EQ(hist->quantile(0.0), 15.0);
+  EXPECT_DOUBLE_EQ(hist->quantile(0.5), 15.0);
+  EXPECT_DOUBLE_EQ(hist->quantile(1.0), 15.0);
+  EXPECT_DOUBLE_EQ(hist->mean(), 15.0);
+}
+
+TEST(Metrics, CounterHandlesAreStablePerName) {
+  MetricsRegistry reg;
+  const auto a = reg.counter("x");
+  const auto b = reg.counter("y");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reg.counter("x"), a);  // re-registration returns the same slot
+  reg.inc(a, 2);
+  reg.inc(reg.counter("x"), 3);
+  EXPECT_EQ(reg.counter_value("x"), 5u);
+  EXPECT_EQ(reg.counter_value("never-registered"), 0u);
+}
+
+TEST(Metrics, MergeMatchesSingleRegistryRecording) {
+  // Recording split across two registries then merged must equal recording
+  // everything into one — the property the parallel runner relies on.
+  MetricsRegistry one, a, b;
+  const std::array<double, 2> bounds{1.0, 2.0};
+  const auto ho = one.histogram("h", bounds);
+  const auto ha = a.histogram("h", bounds);
+  const auto hb = b.histogram("h", bounds);
+  const auto co = one.counter("c");
+  const auto ca = a.counter("c");
+  for (int i = 0; i < 10; ++i) {
+    const double v = 0.3 * i;
+    one.record(ho, v);
+    if (i < 6) {
+      a.record(ha, v);
+    } else {
+      b.record(hb, v);
+    }
+  }
+  one.inc(co, 7);
+  a.inc(ca, 7);
+  // "b" never saw counter "c": merge must still line up by name.
+  a.merge(b);
+  EXPECT_EQ(a.to_json(), one.to_json());
+}
+
+TEST(Metrics, JsonExportIsSchemaShapedAndSorted) {
+  MetricsRegistry reg;
+  reg.inc(reg.counter("z/second"));
+  reg.inc(reg.counter("a/first"), 3);
+  reg.record(reg.histogram("lat", latency_us_bounds()), 123.0);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"schema\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  // Sorted by name: "a/first" must precede "z/second".
+  EXPECT_LT(json.find("a/first"), json.find("z/second"));
+}
+
+// ------------------------------------------------- runner export determinism
+
+TEST(Metrics, RunnerExportIsBitIdenticalAcrossThreadCounts) {
+  ScenarioConfig cfg = default_scenario();
+  cfg.num_devices = 4;
+  cfg.duration = 8 * kSecond;
+  cfg.seed = 4321;
+  cfg.pipeline = make_approx_video_config();  // no P2P: devices independent
+  ASSERT_FALSE(cfg.pipeline.enable_p2p);
+
+  cfg.num_threads = 1;
+  ExperimentRunner sequential{cfg};
+  (void)sequential.run();
+
+  cfg.num_threads = 4;
+  ExperimentRunner parallel{cfg};
+  (void)parallel.run();
+
+  const std::string seq_json = sequential.metrics().to_json();
+  EXPECT_FALSE(seq_json.empty());
+  EXPECT_EQ(seq_json, parallel.metrics().to_json());
+  // The run actually recorded pipeline activity, not an empty registry.
+  EXPECT_GT(sequential.metrics().counter_value(
+                source_metric(to_string(ResultSource::kFullInference))),
+            0u);
+}
+
+// ----------------------------------------------------------- frame traces
+
+constexpr int kClasses = 8;
+
+/// Single-device pipeline harness (mirrors core_test.cpp's).
+struct Harness {
+  EventSimulator sim;
+  SceneGenerator scenes;
+  std::unique_ptr<FeatureExtractor> extractor;
+  std::unique_ptr<RecognitionModel> model;
+  std::unique_ptr<ApproxCache> cache;
+  std::unique_ptr<ReusePipeline> pipeline;
+  MetricsRegistry registry;
+  PipelineConfig config;
+
+  explicit Harness(PipelineConfig cfg)
+      : scenes([] {
+          SceneGenerator::Config sc;
+          sc.num_classes = kClasses;
+          sc.image_size = 24;
+          sc.seed = 7;
+          return sc;
+        }()),
+        extractor(make_downsample_extractor(8)),
+        config(cfg) {
+    ModelProfile profile = mobilenet_v2_profile();
+    profile.top1_accuracy = 1.0;
+    model = make_oracle_model(profile, kClasses);
+    cfg.cache.index = IndexKind::kExact;
+    cache = std::make_unique<ApproxCache>(extractor->dim(), cfg.cache,
+                                          make_lru_policy());
+    cache->attach_metrics(registry);
+    pipeline = std::make_unique<ReusePipeline>(sim, cfg, *extractor, *model,
+                                               cache.get(), nullptr, nullptr,
+                                               /*seed=*/11);
+    pipeline->attach_metrics(registry);
+  }
+
+  Frame frame(int class_id) {
+    Frame f;
+    f.t = sim.now();
+    f.true_label = class_id;
+    f.image = scenes.render(class_id, ViewParams{});
+    return f;
+  }
+
+  RecognitionResult run_one(const Frame& f,
+                            MotionState motion = MotionState::kMinor) {
+    std::optional<RecognitionResult> out;
+    EXPECT_TRUE(pipeline->process(
+        f, motion, [&](const RecognitionResult& r) { out = r; }));
+    while (!out.has_value() && sim.step()) {
+    }
+    EXPECT_TRUE(out.has_value());
+    return out.value_or(RecognitionResult{});
+  }
+};
+
+PipelineConfig approx_base() {
+  PipelineConfig cfg = make_approx_local_config();
+  cfg.cache.hknn.max_distance = 0.3f;
+  return cfg;
+}
+
+Rung answering_rung(ResultSource source) {
+  switch (source) {
+    case ResultSource::kImuFastPath: return Rung::kImuGate;
+    case ResultSource::kTemporalReuse: return Rung::kTemporal;
+    case ResultSource::kLocalCacheHit: return Rung::kLocalCache;
+    case ResultSource::kPeerCacheHit: return Rung::kP2p;
+    case ResultSource::kFullInference: return Rung::kDnn;
+  }
+  return Rung::kDnn;
+}
+
+/// The trace invariant: spans closed, in ladder order, every rung before
+/// the answering one a miss, and the last span a hit on the rung implied by
+/// the frame's ResultSource.
+void expect_trace_matches(const FrameTrace& trace,
+                          const RecognitionResult& result) {
+  ASSERT_GT(trace.size(), 0u);
+  ASSERT_FALSE(trace.has_open_span());
+  EXPECT_EQ(trace.frame_time(), result.frame_time);
+  const auto spans = trace.spans();
+  for (std::size_t i = 0; i + 1 < spans.size(); ++i) {
+    EXPECT_LT(static_cast<int>(spans[i].rung),
+              static_cast<int>(spans[i + 1].rung))
+        << "ladder order violated at span " << i;
+    EXPECT_EQ(spans[i].outcome, RungOutcome::kMiss)
+        << "non-final span " << i << " must be a miss";
+    EXPECT_LE(spans[i].start, spans[i].end);
+  }
+  const TraceSpan& last = spans.back();
+  EXPECT_EQ(last.rung, answering_rung(result.source));
+  EXPECT_EQ(last.outcome, RungOutcome::kHit);
+}
+
+TEST(FrameTraceTest, ColdCacheFrameEndsAtDnn) {
+  Harness h{approx_base()};
+  const RecognitionResult r = h.run_one(h.frame(3));
+  ASSERT_EQ(r.source, ResultSource::kFullInference);
+  expect_trace_matches(h.pipeline->last_trace(), r);
+  // The local-cache rung was visited (and missed) on the way down.
+  bool saw_cache_miss = false;
+  for (const TraceSpan& s : h.pipeline->last_trace().spans()) {
+    if (s.rung == Rung::kLocalCache) {
+      saw_cache_miss = (s.outcome == RungOutcome::kMiss);
+    }
+  }
+  EXPECT_TRUE(saw_cache_miss);
+}
+
+TEST(FrameTraceTest, WarmCacheFrameEndsAtLocalCacheWithAnnotations) {
+  Harness h{approx_base()};
+  (void)h.run_one(h.frame(3), MotionState::kMajor);  // cold: DNN + insert
+  // Major motion keeps the temporal keyframe invalid, forcing the cache.
+  const RecognitionResult r = h.run_one(h.frame(3), MotionState::kMajor);
+  ASSERT_EQ(r.source, ResultSource::kLocalCacheHit);
+  const FrameTrace& trace = h.pipeline->last_trace();
+  expect_trace_matches(trace, r);
+  const TraceSpan& last = trace.spans().back();
+  EXPECT_GT(last.candidates, 0u);         // the lookup annotated its span
+  EXPECT_GE(last.nearest_distance, 0.0f);
+}
+
+TEST(FrameTraceTest, RegistryCountsAgreeWithSources) {
+  Harness h{approx_base()};
+  Counter sources;
+  for (int i = 0; i < 20; ++i) {
+    const RecognitionResult r = h.run_one(h.frame(i % 4));
+    expect_trace_matches(h.pipeline->last_trace(), r);
+    sources.inc(to_string(r.source));
+  }
+  // Per-source counters in the registry mirror the pipeline's Counter, and
+  // each source's count shows up as hits on its answering rung.
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < kResultSourceCount; ++s) {
+    const auto source = static_cast<ResultSource>(s);
+    const std::uint64_t n =
+        h.registry.counter_value(source_metric(to_string(source)));
+    EXPECT_EQ(n, sources.get(to_string(source))) << to_string(source);
+    EXPECT_GE(h.registry.counter_value(
+                  rung_outcome_metric(answering_rung(source), RungOutcome::kHit)),
+              n)
+        << to_string(source);
+    total += n;
+  }
+  EXPECT_EQ(total, 20u);
+  // Rung latency histograms saw every local-cache visit.
+  const auto* cache_hist =
+      h.registry.find_histogram(rung_latency_metric(Rung::kLocalCache));
+  ASSERT_NE(cache_hist, nullptr);
+  EXPECT_GT(cache_hist->count, 0u);
+  // And the per-rung human summary renders non-trivially.
+  EXPECT_NE(per_rung_summary(h.registry).find("local-cache"),
+            std::string::npos);
+}
+
+TEST(FrameTraceTest, TraceResetsPerFrame) {
+  Harness h{approx_base()};
+  (void)h.run_one(h.frame(1));
+  const std::size_t first = h.pipeline->last_trace().size();
+  (void)h.run_one(h.frame(2), MotionState::kMajor);
+  // A fresh frame starts a fresh trace, not an append.
+  EXPECT_LE(h.pipeline->last_trace().size(), first + 1);
+  EXPECT_FALSE(h.pipeline->last_trace().has_open_span());
+}
+
+}  // namespace
+}  // namespace apx

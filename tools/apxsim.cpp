@@ -14,6 +14,7 @@
 #include <map>
 #include <string>
 
+#include "src/obs/report.hpp"
 #include "src/sim/runner.hpp"
 #include "src/util/table.hpp"
 
@@ -62,6 +63,9 @@ void usage() {
       "  --compare          also run the no-cache baseline, print reduction\n"
       "  --csv              emit one CSV row (with header) instead of a table\n"
       "  --trace-out FILE   record a binary trace (analyze with apxtrace)\n"
+      "  --metrics          print the per-rung latency breakdown and the\n"
+      "                     full metrics registry summary\n"
+      "  --metrics-out FILE write the metrics registry as JSON\n"
       "  --help             this text");
 }
 
@@ -94,7 +98,7 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (key == "quantize-wire" || key == "real-classifier" ||
-        key == "compare" || key == "csv") {
+        key == "compare" || key == "csv" || key == "metrics") {
       args.values[key] = "1";
     } else if (i + 1 < argc) {
       args.values[key] = argv[++i];
@@ -188,6 +192,18 @@ int main(int argc, char** argv) {
 
   ExperimentRunner runner{cfg};
   const ExperimentMetrics m = runner.run();
+  const std::string metrics_out = args.get("metrics-out", "");
+  if (!metrics_out.empty()) {
+    std::ofstream out{metrics_out};
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+      return 1;
+    }
+    out << runner.metrics().to_json() << '\n';
+    std::fprintf(stderr, "metrics: %zu counters, %zu histograms -> %s\n",
+                 runner.metrics().counter_count(),
+                 runner.metrics().histogram_count(), metrics_out.c_str());
+  }
   if (!trace_out.empty()) {
     const auto bytes = runner.trace().serialize();
     std::ofstream out{trace_out, std::ios::binary};
@@ -243,6 +259,13 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(count),
                 100.0 * static_cast<double>(count) /
                     static_cast<double>(m.frames()));
+  }
+  if (args.has("metrics")) {
+    const std::string rungs = per_rung_summary(runner.metrics());
+    if (!rungs.empty()) {
+      std::printf("\nper-rung breakdown:\n%s", rungs.c_str());
+    }
+    std::printf("\nmetrics registry:\n%s", runner.metrics().summary().c_str());
   }
   return 0;
 }

@@ -2,6 +2,7 @@
 # Tier-1 flow plus sanitizer sweeps.
 #
 #   tools/check.sh            # tier-1: default build + full ctest
+#                             # + release apxsim metrics-export smoke check
 #   tools/check.sh sanitize   # + asan-ubsan over the whole suite
 #                             # + tsan over the concurrency tests
 #
@@ -14,6 +15,40 @@ cd "$(dirname "$0")/.."
 cmake --preset default
 cmake --build --preset default -j
 ctest --preset default -j
+
+# Metrics-export smoke check: run the release-preset driver on the full
+# system, then validate the JSON shape against the checked-in schema.
+cmake --preset release
+cmake --build --preset release -j --target apxsim
+metrics_json="build-release/metrics.json"
+./build-release/tools/apxsim --config full --duration 15 --metrics \
+  --metrics-out "$metrics_json" > /dev/null
+if command -v python3 > /dev/null; then
+  python3 -m json.tool "$metrics_json" > /dev/null
+  python3 - "$metrics_json" tools/metrics_schema.json <<'PY'
+import json, sys
+metrics = json.load(open(sys.argv[1]))
+schema = json.load(open(sys.argv[2]))
+missing = [k for k in schema["top_level"] if k not in metrics]
+assert not missing, f"missing top-level keys: {missing}"
+assert metrics["schema"] == schema["schema"], metrics["schema"]
+missing = [k for k in schema["required_counters"]
+           if k not in metrics["counters"]]
+assert not missing, f"missing counters: {missing}"
+missing = [k for k in schema["required_histograms"]
+           if k not in metrics["histograms"]]
+assert not missing, f"missing histograms: {missing}"
+for name, hist in metrics["histograms"].items():
+    bad = [f for f in schema["histogram_fields"] if f not in hist]
+    assert not bad, f"histogram {name} missing fields: {bad}"
+    assert len(hist["buckets"]) == len(hist["bounds"]) + 1, name
+    assert sum(hist["buckets"]) == hist["count"], name
+print(f"metrics schema ok: {len(metrics['counters'])} counters, "
+      f"{len(metrics['histograms'])} histograms")
+PY
+else
+  echo "python3 not found; skipping metrics JSON schema validation" >&2
+fi
 
 if [[ "${1:-}" == "sanitize" ]]; then
   cmake --preset asan-ubsan
