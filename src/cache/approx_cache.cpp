@@ -109,6 +109,12 @@ bool ApproxCache::remove(VecId id) {
   return true;
 }
 
+void ApproxCache::clear() {
+  for (const auto& [id, _] : entries_) index_->remove(id);
+  entries_.clear();
+  counters_.inc("clear");
+}
+
 const CacheEntry* ApproxCache::find(VecId id) const {
   const auto it = entries_.find(id);
   return it == entries_.end() ? nullptr : &it->second;

@@ -77,6 +77,11 @@ class ApproxCache {
   /// Removes an entry; returns whether it existed.
   bool remove(VecId id);
 
+  /// Removes every entry (simulated process crash / app data wipe). Ids are
+  /// not reused: the id counter keeps running, so snapshots and provenance
+  /// from before the wipe can never alias fresh entries.
+  void clear();
+
   /// Entry access (nullptr when absent). Pointer invalidated by mutation.
   const CacheEntry* find(VecId id) const;
 

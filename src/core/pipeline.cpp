@@ -181,7 +181,11 @@ void ReusePipeline::run_local_cache_rung() {
         return;
       }
       trace_.end_span(RungOutcome::kMiss, sim_->now());
-      if (config_.enable_p2p && peers_ != nullptr) {
+      // The backoff gate keeps a partitioned device from paying the P2P
+      // timeout every frame: after repeated degraded rounds the rung is
+      // skipped entirely and the frame falls straight through to the DNN.
+      if (config_.enable_p2p && peers_ != nullptr &&
+          peers_->should_attempt(sim_->now())) {
         run_p2p_rung();
       } else {
         run_inference_rung();

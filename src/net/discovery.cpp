@@ -24,16 +24,20 @@ DiscoveryService::DiscoveryService(EventSimulator& sim, NodeId self,
 void DiscoveryService::start() {
   if (running_) return;
   running_ = true;
-  beacon();
+  beacon(++generation_);
 }
 
-void DiscoveryService::beacon() {
-  if (!running_) return;
+void DiscoveryService::beacon(std::uint64_t generation) {
+  // A beacon scheduled before stop() may fire after a restart; without the
+  // generation stamp it would re-schedule alongside the fresh chain and
+  // every stop/start cycle would add one more beacon per interval.
+  if (!running_ || generation != generation_) return;
   HelloMsg msg;
   msg.sender = self_;
   msg.cache_size = cache_size_fn_();
   broadcast_fn_(encode(msg));
-  sim_->schedule_after(params_.beacon_interval, [this] { beacon(); });
+  sim_->schedule_after(params_.beacon_interval,
+                       [this, generation] { beacon(generation); });
 }
 
 bool DiscoveryService::on_hello(const HelloMsg& msg) {

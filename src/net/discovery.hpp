@@ -33,11 +33,18 @@ class DiscoveryService {
                    const DiscoveryParams& params, BroadcastFn broadcast_fn,
                    CacheSizeFn cache_size_fn);
 
-  /// Begins periodic beaconing (first beacon fires immediately).
+  /// Begins periodic beaconing (first beacon fires immediately). start()
+  /// after stop() re-arms a single fresh beacon chain: stale scheduled
+  /// beacons from before the stop are generation-stamped and can neither
+  /// fire nor re-schedule, so stop/start cycles (peer crash/restart) never
+  /// accumulate duplicate chains.
   void start();
 
   /// Stops future beacons (already-scheduled ones become no-ops).
   void stop() noexcept { running_ = false; }
+
+  /// Drops every known neighbour (a crashed device loses its soft state).
+  void forget_all() { peers_.clear(); }
 
   /// Feeds a received HELLO. Returns true when the sender was not already
   /// a live neighbour (first contact, or re-appearance after expiry) — the
@@ -55,7 +62,7 @@ class DiscoveryService {
   const DiscoveryParams& params() const noexcept { return params_; }
 
  private:
-  void beacon();
+  void beacon(std::uint64_t generation);
 
   struct PeerInfo {
     SimTime last_seen = 0;
@@ -69,6 +76,8 @@ class DiscoveryService {
   CacheSizeFn cache_size_fn_;
   std::map<NodeId, PeerInfo> peers_;
   bool running_ = false;
+  /// Bumped by every start(); orphans beacons scheduled before a stop().
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace apx

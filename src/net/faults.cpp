@@ -1,0 +1,207 @@
+#include "src/net/faults.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace apx {
+
+bool FaultPlan::any() const noexcept {
+  return burst_loss > 0.0 || spike_prob > 0.0 ||
+         partition != PartitionMode::kNone || crash_mean_uptime > 0 ||
+         corrupt_prob > 0.0;
+}
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+double parse_num(const std::string& clause, const std::string& field) {
+  char* end = nullptr;
+  const double v = std::strtod(field.c_str(), &end);
+  if (field.empty() || end != field.c_str() + field.size()) {
+    throw std::invalid_argument("fault spec: bad number '" + field +
+                                "' in clause '" + clause + "'");
+  }
+  return v;
+}
+
+SimDuration seconds(const std::string& clause, const std::string& field) {
+  return static_cast<SimDuration>(parse_num(clause, field) * kSecond);
+}
+
+}  // namespace
+
+FaultPlan parse_fault_spec(const std::string& spec) {
+  FaultPlan plan;
+  for (const std::string& clause : split(spec, ',')) {
+    if (clause.empty()) continue;
+    const std::vector<std::string> f = split(clause, ':');
+    const std::string& kind = f[0];
+    if (kind == "burst" && (f.size() == 2 || f.size() == 3)) {
+      plan.burst_loss = parse_num(clause, f[1]);
+      if (f.size() == 3) plan.burst_mean_len = parse_num(clause, f[2]);
+      if (plan.burst_loss < 0.0 || plan.burst_loss > 0.95 ||
+          plan.burst_mean_len < 1.0) {
+        throw std::invalid_argument("fault spec: burst loss must be in "
+                                    "[0, 0.95] with mean length >= 1");
+      }
+    } else if (kind == "spike" && f.size() == 3) {
+      plan.spike_prob = parse_num(clause, f[1]);
+      plan.spike_extra =
+          static_cast<SimDuration>(parse_num(clause, f[2]) * kMillisecond);
+      if (plan.spike_prob < 0.0 || plan.spike_prob > 1.0 ||
+          plan.spike_extra <= 0) {
+        throw std::invalid_argument("fault spec: bad spike clause");
+      }
+    } else if (kind == "partition" && (f.size() == 4 || f.size() == 5)) {
+      if (f[1] == "split") {
+        plan.partition = PartitionMode::kSplit;
+      } else if (f[1] == "full") {
+        plan.partition = PartitionMode::kFull;
+      } else {
+        throw std::invalid_argument("fault spec: partition mode must be "
+                                    "'split' or 'full'");
+      }
+      plan.partition_start = seconds(clause, f[2]);
+      plan.partition_duration = seconds(clause, f[3]);
+      if (f.size() == 5) plan.partition_period = seconds(clause, f[4]);
+      if (plan.partition_duration <= 0 ||
+          (plan.partition_period != 0 &&
+           plan.partition_period <= plan.partition_duration)) {
+        throw std::invalid_argument(
+            "fault spec: partition needs duration > 0 and period > duration");
+      }
+    } else if (kind == "crash" && f.size() == 3) {
+      plan.crash_mean_uptime = seconds(clause, f[1]);
+      plan.crash_downtime = seconds(clause, f[2]);
+      if (plan.crash_mean_uptime <= 0 || plan.crash_downtime <= 0) {
+        throw std::invalid_argument("fault spec: crash needs positive times");
+      }
+    } else if (kind == "corrupt" && f.size() == 2) {
+      plan.corrupt_prob = parse_num(clause, f[1]);
+      if (plan.corrupt_prob < 0.0 || plan.corrupt_prob > 1.0) {
+        throw std::invalid_argument("fault spec: corrupt prob in [0, 1]");
+      }
+    } else {
+      throw std::invalid_argument("fault spec: unknown clause '" + clause +
+                                  "'");
+    }
+  }
+  return plan;
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan, std::uint64_t seed)
+    : plan_(plan), rng_(seed) {
+  if (plan_.burst_loss > 0.0) {
+    // Bad state loses everything, so the stationary bad-state probability
+    // must equal the target loss: enter/(enter + exit) = loss.
+    ge_exit_ = 1.0 / plan_.burst_mean_len;
+    ge_enter_ = plan_.burst_loss * ge_exit_ / (1.0 - plan_.burst_loss);
+  }
+}
+
+bool FaultInjector::in_partition_window(SimTime now) const noexcept {
+  if (plan_.partition == PartitionMode::kNone || now < plan_.partition_start) {
+    return false;
+  }
+  const SimTime since = now - plan_.partition_start;
+  if (plan_.partition_period > 0) {
+    return since % plan_.partition_period < plan_.partition_duration;
+  }
+  return since < plan_.partition_duration;
+}
+
+bool FaultInjector::partitioned(NodeId a, NodeId b, SimTime now) {
+  if (!in_partition_window(now)) return false;
+  const bool cut = plan_.partition == PartitionMode::kFull || (a % 2) != (b % 2);
+  if (cut) counters_.inc("partition_drop");
+  return cut;
+}
+
+bool FaultInjector::burst_lost(NodeId to) {
+  if (plan_.burst_loss <= 0.0) return false;
+  if (to >= ge_state_.size()) ge_state_.resize(to + 1, 0);
+  std::uint8_t& state = ge_state_[to];
+  state = rng_.chance(state == 0 ? ge_enter_ : 1.0 - ge_exit_) ? 1 : 0;
+  if (state == 1) {
+    counters_.inc("burst_drop");
+    return true;
+  }
+  return false;
+}
+
+SimDuration FaultInjector::delay_spike() {
+  if (plan_.spike_prob <= 0.0 || !rng_.chance(plan_.spike_prob)) return 0;
+  counters_.inc("delay_spike");
+  return static_cast<SimDuration>(
+      rng_.exponential(1.0 / static_cast<double>(plan_.spike_extra)));
+}
+
+bool FaultInjector::maybe_corrupt(std::vector<std::uint8_t>& payload) {
+  if (plan_.corrupt_prob <= 0.0 || payload.empty() ||
+      !rng_.chance(plan_.corrupt_prob)) {
+    return false;
+  }
+  counters_.inc("corrupted");
+  if (rng_.chance(0.25)) {
+    // Truncation: keep a random prefix (possibly empty).
+    payload.resize(rng_.uniform_u64(payload.size()));
+    return true;
+  }
+  const std::uint64_t flips = 1 + rng_.uniform_u64(8);
+  for (std::uint64_t i = 0; i < flips; ++i) {
+    const std::size_t pos = rng_.uniform_u64(payload.size());
+    payload[pos] ^= static_cast<std::uint8_t>(1u << rng_.uniform_u64(8));
+  }
+  return true;
+}
+
+const std::vector<CrashEvent>& FaultInjector::plan_crashes(
+    std::size_t num_devices, SimDuration duration) {
+  if (crashes_planned_) return crashes_;
+  crashes_planned_ = true;
+  if (plan_.crash_mean_uptime <= 0) return crashes_;
+  const double rate = 1.0 / static_cast<double>(plan_.crash_mean_uptime);
+  for (std::size_t d = 0; d < num_devices; ++d) {
+    // Each device gets its own forked stream so schedules do not shift when
+    // another device's crash count changes.
+    Rng device_rng = rng_.fork();
+    SimTime t = 0;
+    for (;;) {
+      t += static_cast<SimDuration>(device_rng.exponential(rate));
+      if (t >= duration) break;
+      CrashEvent ev;
+      ev.device = d;
+      ev.down_at = t;
+      ev.up_at = t + plan_.crash_downtime;
+      crashes_.push_back(ev);
+      t = ev.up_at;
+    }
+  }
+  std::sort(crashes_.begin(), crashes_.end(),
+            [](const CrashEvent& a, const CrashEvent& b) {
+              return a.down_at < b.down_at ||
+                     (a.down_at == b.down_at && a.device < b.device);
+            });
+  return crashes_;
+}
+
+const std::vector<std::string>& FaultInjector::counter_keys() {
+  static const std::vector<std::string> keys = {
+      "burst_drop", "partition_drop", "delay_spike",
+      "corrupted",  "crash",          "restart"};
+  return keys;
+}
+
+}  // namespace apx

@@ -1,0 +1,157 @@
+#pragma once
+// Deterministic fault injection for the device-to-device substrate.
+//
+// The happy-path medium models i.i.d. loss only; real infrastructure-less
+// deployments live with bursty loss, delay spikes, radio partitions, peer
+// crashes and malformed traffic. A FaultPlan describes which of those to
+// inject and a FaultInjector turns the plan plus a seed into concrete,
+// bit-reproducible decisions the WirelessMedium / PeerCacheService / runner
+// consult. Everything is driven off the event simulation, so a chaos run
+// with the same seed replays byte-identically — which is what makes the
+// chaos/soak suite (tests/faults_test.cpp) assertable.
+//
+// Fault classes:
+//   * burst loss    — Gilbert–Elliott two-state chain per receiver: a node
+//                     alternates between a good state (no extra loss) and a
+//                     bad state (every message lost), tuned so the overall
+//                     loss rate matches `burst_loss`;
+//   * delay spikes  — a per-delivery chance of an extra latency spike
+//                     (channel contention / driver hiccup);
+//   * partitions    — the shared cell splits (by node-id parity) or shatters
+//                     (every node isolated) for a window, then heals;
+//                     optionally periodic;
+//   * crash/restart — devices crash (cache wiped, radio off) and come back
+//                     after a fixed downtime; the schedule is precomputed
+//                     from the seed so it is independent of event order;
+//   * corruption    — a per-delivery chance that payload bytes are bit-
+//                     flipped or truncated in flight; decoders must surface
+//                     this as CodecError drops, never undefined behaviour.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/net/event_sim.hpp"
+#include "src/net/medium.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/stats.hpp"
+
+namespace apx {
+
+/// How a partition window divides the (single shared) cell.
+enum class PartitionMode : std::uint8_t {
+  kNone = 0,
+  kSplit,  ///< two halves by node-id parity; halves cannot hear each other
+  kFull,   ///< every node isolated (worst case: no P2P at all)
+};
+
+/// Declarative description of the faults to inject. Value type; lives in
+/// ScenarioConfig so a chaos scenario stays a pure function of its config.
+struct FaultPlan {
+  // --- burst loss (Gilbert–Elliott) ---
+  /// Target overall loss rate in [0, 0.95]; 0 disables the chain.
+  double burst_loss = 0.0;
+  /// Mean messages lost per burst (bad-state dwell length), >= 1.
+  double burst_mean_len = 8.0;
+
+  // --- delay spikes ---
+  double spike_prob = 0.0;  ///< per delivery; 0 disables
+  SimDuration spike_extra = 50 * kMillisecond;  ///< mean extra delay
+
+  // --- partition windows ---
+  PartitionMode partition = PartitionMode::kNone;
+  SimTime partition_start = 0;
+  SimDuration partition_duration = 0;
+  /// When > 0, the window repeats every `partition_period` (heal, then
+  /// partition again); must exceed partition_duration.
+  SimDuration partition_period = 0;
+
+  // --- crash/restart ---
+  /// Mean up-time between crashes per device (exponential); 0 disables.
+  SimDuration crash_mean_uptime = 0;
+  /// Fixed downtime per crash.
+  SimDuration crash_downtime = 5 * kSecond;
+
+  // --- corruption ---
+  double corrupt_prob = 0.0;  ///< per delivery; 0 disables
+
+  /// Whether any fault class is active.
+  bool any() const noexcept;
+};
+
+/// Parses a `--faults` spec: comma-separated clauses, times in seconds.
+///
+///   burst:LOSS[:MEANLEN]           e.g. burst:0.2  burst:0.3:16
+///   spike:PROB:EXTRA_MS            e.g. spike:0.05:40
+///   partition:MODE:START:DUR[:PERIOD]   MODE = split | full
+///   crash:MEAN_UP:DOWN             e.g. crash:30:5
+///   corrupt:PROB                   e.g. corrupt:0.02
+///
+/// Throws std::invalid_argument on malformed specs.
+FaultPlan parse_fault_spec(const std::string& spec);
+
+/// One planned crash of one device.
+struct CrashEvent {
+  std::size_t device = 0;
+  SimTime down_at = 0;
+  SimTime up_at = 0;
+};
+
+/// Seed-driven decision engine for a FaultPlan. One injector per event
+/// world (runner shard); not thread-safe, like everything else shard-local.
+///
+/// Counters: "burst_drop", "partition_drop", "delay_spike", "corrupted",
+/// "crash", "restart".
+class FaultInjector {
+ public:
+  FaultInjector(const FaultPlan& plan, std::uint64_t seed);
+
+  // --- medium hooks (consulted per delivery, at send time) ---
+
+  /// True when `a` and `b` sit on opposite sides of an active partition.
+  bool partitioned(NodeId a, NodeId b, SimTime now);
+
+  /// Advances `to`'s Gilbert–Elliott chain one step; true = message lost.
+  bool burst_lost(NodeId to);
+
+  /// Extra delivery delay; 0 most of the time, an exponential spike with
+  /// probability spike_prob.
+  SimDuration delay_spike();
+
+  /// With probability corrupt_prob, mutates `payload` in flight (bit flips
+  /// or truncation) and returns true. Never grows the payload.
+  bool maybe_corrupt(std::vector<std::uint8_t>& payload);
+
+  // --- crash schedule (consumed by the runner at construction) ---
+
+  /// Precomputes the crash/restart schedule for `num_devices` devices over
+  /// `duration`, sorted by down time. Idempotent per injector.
+  const std::vector<CrashEvent>& plan_crashes(std::size_t num_devices,
+                                              SimDuration duration);
+
+  /// Bookkeeping for the runner's crash/restart events.
+  void note_crash() { counters_.inc("crash"); }
+  void note_restart() { counters_.inc("restart"); }
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+  const Counter& counters() const noexcept { return counters_; }
+
+  /// Every counter key the injector can emit (schema stability: exports
+  /// carry them as zeros even in fault-free runs).
+  static const std::vector<std::string>& counter_keys();
+
+ private:
+  bool in_partition_window(SimTime now) const noexcept;
+
+  FaultPlan plan_;
+  Rng rng_;
+  /// Gilbert–Elliott transition probabilities derived from the plan.
+  double ge_enter_ = 0.0;  ///< good -> bad
+  double ge_exit_ = 0.0;   ///< bad -> good
+  std::vector<std::uint8_t> ge_state_;  ///< per receiver; 0 good, 1 bad
+  std::vector<CrashEvent> crashes_;
+  bool crashes_planned_ = false;
+  Counter counters_;
+};
+
+}  // namespace apx

@@ -1,6 +1,9 @@
 #include "src/net/medium.hpp"
 
 #include <stdexcept>
+#include <utility>
+
+#include "src/net/faults.hpp"
 
 namespace apx {
 
@@ -49,12 +52,25 @@ SimDuration WirelessMedium::transmission_delay(std::size_t bytes) {
 
 void WirelessMedium::deliver(NodeId from, NodeId to,
                              const std::vector<std::uint8_t>& payload) {
+  if (faults_ != nullptr && faults_->partitioned(from, to, sim_->now())) {
+    counters_.inc("dropped_partition");
+    return;
+  }
+  if (faults_ != nullptr && faults_->burst_lost(to)) {
+    counters_.inc("dropped_burst");
+    return;
+  }
   if (rng_.chance(params_.loss_prob)) {
     counters_.inc("dropped_loss");
     return;
   }
-  const SimDuration delay = transmission_delay(payload.size());
-  sim_->schedule_after(delay, [this, from, to, payload] {
+  SimDuration delay = transmission_delay(payload.size());
+  std::vector<std::uint8_t> data = payload;
+  if (faults_ != nullptr) {
+    delay += faults_->delay_spike();
+    if (faults_->maybe_corrupt(data)) counters_.inc("corrupted_in_flight");
+  }
+  sim_->schedule_after(delay, [this, from, to, payload = std::move(data)] {
     // Receiver may have moved; radio range is checked at send time only
     // (the cell granularity makes mid-flight departures negligible).
     nodes_.at(to).energy_mj +=

@@ -17,6 +17,8 @@
 
 namespace apx {
 
+class FaultInjector;
+
 /// Network-visible device identifier.
 using NodeId = std::uint32_t;
 
@@ -61,8 +63,14 @@ class WirelessMedium {
   /// Radio energy spent by `node` so far, in millijoules.
   double energy_mj(NodeId node) const;
 
+  /// Routes every delivery decision through `faults` (burst loss, partition
+  /// cuts, delay spikes, in-flight corruption). Pass nullptr to detach. The
+  /// injector must outlive the medium while attached.
+  void attach_faults(FaultInjector* faults) noexcept { faults_ = faults; }
+
   /// Counters: "tx", "rx", "dropped_loss", "dropped_range", "tx_bytes",
-  /// "rx_bytes".
+  /// "rx_bytes"; with faults attached also "dropped_burst",
+  /// "dropped_partition", "corrupted_in_flight".
   const Counter& counters() const noexcept { return counters_; }
   const MediumParams& params() const noexcept { return params_; }
   std::size_t node_count() const noexcept { return nodes_.size(); }
@@ -83,6 +91,7 @@ class WirelessMedium {
   Rng rng_;
   std::vector<Node> nodes_;
   Counter counters_;
+  FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace apx

@@ -29,15 +29,36 @@ PeerCacheService::PeerCacheService(EventSimulator& sim, WirelessMedium& medium,
 void PeerCacheService::start() {
   if (running_) return;
   running_ = true;
+  ++generation_;
   last_advert_scan_ = sim_->now();
+  // A restart begins a fresh protocol life: no backoff debt carries over.
+  degraded_streak_ = 0;
+  backoff_level_ = 0;
+  suppressed_until_ = 0;
   discovery_.start();
   if (params_.advert_enabled) {
-    sim_->schedule_after(params_.advert_interval, [this] { advert_tick(); });
+    sim_->schedule_after(params_.advert_interval,
+                         [this, g = generation_] { advert_tick(g); });
   }
+}
+
+void PeerCacheService::stop() {
+  if (!running_) return;
+  running_ = false;
+  discovery_.stop();
+  discovery_.forget_all();
+  // Fail pending lookups in request order (deterministic regardless of the
+  // hash map's iteration order). Callbacks may re-enter the service.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(pending_.size());
+  for (const auto& [id, _] : pending_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (const std::uint64_t id : ids) complete_lookup(id);
 }
 
 void PeerCacheService::on_message(NodeId from,
                                   const std::vector<std::uint8_t>& payload) {
+  if (!running_) return;  // a crashed endpoint's radio hears nothing
   try {
     switch (peek_type(payload)) {
       case MsgType::kHello: {
@@ -100,20 +121,60 @@ void PeerCacheService::complete_lookup(std::uint64_t request_id) {
   // Move out before erase: the callback may start another lookup.
   PendingLookup pending = std::move(it->second);
   pending_.erase(it);
+  const SimDuration round = sim_->now() - pending.start;
+  // A round that ends with answers still missing was bounded by the
+  // timeout (or cut short by a crash): the degraded signal that feeds both
+  // the p2p_degraded observability and the rung backoff.
+  note_round_outcome(pending.received < pending.expected, sim_->now());
   if (metrics_ != nullptr) {
-    metrics_->record(round_us_hist_,
-                     static_cast<double>(sim_->now() - pending.start));
+    metrics_->record(round_us_hist_, static_cast<double>(round));
+    if (pending.received < pending.expected) {
+      metrics_->record(degraded_round_us_hist_, static_cast<double>(round));
+    }
   }
   pending.cb(std::move(pending.collected));
+}
+
+void PeerCacheService::note_round_outcome(bool degraded, SimTime now) {
+  if (!degraded) {
+    degraded_streak_ = 0;
+    backoff_level_ = 0;
+    suppressed_until_ = 0;
+    return;
+  }
+  counters_.inc("degraded");
+  if (params_.backoff_after == 0) return;
+  ++degraded_streak_;
+  if (degraded_streak_ < params_.backoff_after) return;
+  // Exponential growth, capped; each further degraded round after the
+  // threshold extends the suppression at the next level.
+  SimDuration window = params_.backoff_base;
+  for (std::uint32_t i = 0; i < backoff_level_ && window < params_.backoff_max;
+       ++i) {
+    window *= 2;
+  }
+  window = std::min(window, params_.backoff_max);
+  ++backoff_level_;
+  suppressed_until_ = now + window;
+}
+
+bool PeerCacheService::should_attempt(SimTime now) {
+  if (now >= suppressed_until_) return true;
+  counters_.inc("backoff_skip");
+  return false;
 }
 
 void PeerCacheService::attach_metrics(MetricsRegistry& metrics) {
   metrics_ = &metrics;
   round_us_hist_ = metrics.histogram("p2p/round_us", latency_us_bounds());
+  degraded_round_us_hist_ =
+      metrics.histogram("p2p/degraded_round_us", latency_us_bounds());
   metrics.counter("p2p/lookup_sent");
   metrics.counter("p2p/response_sent");
   metrics.counter("p2p/response_recv");
   metrics.counter("p2p/merged");
+  metrics.counter("p2p/degraded");
+  metrics.counter("p2p/backoff_skip");
 }
 
 void PeerCacheService::push_hotset(NodeId newcomer) {
@@ -210,6 +271,19 @@ bool PeerCacheService::merge_entry(const WireEntry& entry) {
     counters_.inc("bad_message");
     return false;
   }
+  // A corrupted payload can decode "successfully" into garbage floats; a
+  // NaN feature would defeat every distance comparison downstream and sit
+  // in the cache poisoning votes forever. Reject non-finite values here.
+  for (const float x : entry.feature) {
+    if (!std::isfinite(x)) {
+      counters_.inc("bad_message");
+      return false;
+    }
+  }
+  if (!std::isfinite(entry.confidence)) {
+    counters_.inc("bad_message");
+    return false;
+  }
   if (entry.hop_count >= params_.max_hops) {
     counters_.inc("merge_hops");
     return false;
@@ -233,8 +307,10 @@ bool PeerCacheService::merge_entry(const WireEntry& entry) {
   return true;
 }
 
-void PeerCacheService::advert_tick() {
-  if (!running_) return;
+void PeerCacheService::advert_tick(std::uint64_t generation) {
+  // Generation stamp: a tick scheduled before stop() must not revive (or
+  // duplicate) the chain after a restart re-arms its own tick.
+  if (!running_ || generation != generation_) return;
   const SimTime since = last_advert_scan_;
   last_advert_scan_ = sim_->now();
   // Gossip only locally computed results; re-advertising merged entries
@@ -268,7 +344,8 @@ void PeerCacheService::advert_tick() {
     counters_.inc("advert_sent");
     counters_.inc("advert_entries", msg.entries.size());
   }
-  sim_->schedule_after(params_.advert_interval, [this] { advert_tick(); });
+  sim_->schedule_after(params_.advert_interval,
+                       [this, generation] { advert_tick(generation); });
 }
 
 }  // namespace apx

@@ -48,6 +48,15 @@ struct PeerCacheParams {
   /// the `hotset_push_max` most-accessed local entries so it starts warm —
   /// valuable under range churn. 0 disables.
   std::size_t hotset_push_max = 0;
+  /// After this many consecutive degraded lookup rounds (rounds that hit
+  /// the timeout with answers missing), the P2P rung backs off: lookups are
+  /// suppressed for an exponentially growing window, so a partitioned or
+  /// loss-swamped device converges to standalone latency instead of paying
+  /// the timeout on every frame. Any completed (non-degraded) round resets
+  /// the backoff. 0 disables.
+  std::uint32_t backoff_after = 3;
+  SimDuration backoff_base = 2 * kSecond;  ///< first suppression window
+  SimDuration backoff_max = 30 * kSecond;  ///< window growth cap
 };
 
 /// P2P collaboration endpoint for one device.
@@ -60,13 +69,29 @@ class PeerCacheService {
                    ApproxCache& cache, const PeerCacheParams& params,
                    int cell = 0);
 
-  /// Starts beaconing and (if enabled) the advertisement timer.
+  /// Starts beaconing and (if enabled) the advertisement timer. Callable
+  /// again after stop() (peer restart): timers re-arm exactly once — stale
+  /// scheduled ticks from before the stop are generation-stamped no-ops.
   void start();
+
+  /// Simulates a crash of this endpoint: stops beaconing and adverts, wipes
+  /// the neighbour table, fails every pending lookup (callbacks fire with
+  /// no entries, in request order) and ignores incoming traffic until the
+  /// next start(). The local cache is NOT touched — the owner decides
+  /// whether the crash wiped it.
+  void stop();
+
+  bool running() const noexcept { return running_; }
 
   /// Broadcasts a lookup for `query`; `cb` fires exactly once, with every
   /// entry collected by completion (possibly none). With no live
   /// neighbours, `cb` fires via the event loop immediately.
   void async_lookup(const FeatureVec& query, LookupCallback cb);
+
+  /// Backoff gate for the pipeline's P2P rung: false while lookups are
+  /// suppressed after `backoff_after` consecutive degraded rounds (counts
+  /// the skip). True (and cheap) when backoff is disabled or healthy.
+  bool should_attempt(SimTime now);
 
   NodeId id() const noexcept { return self_; }
   DiscoveryService& discovery() noexcept { return discovery_; }
@@ -74,12 +99,13 @@ class PeerCacheService {
 
   /// Counters: "lookup_sent", "response_sent", "response_recv", "merged",
   /// "merge_dup", "merge_hops", "advert_sent", "advert_entries",
-  /// "bad_message".
+  /// "bad_message", "degraded", "backoff_skip".
   const Counter& counters() const noexcept { return counters_; }
 
-  /// Registers the "p2p/round_us" lookup round-trip histogram (plus the
-  /// counters the runner later copies, as zeros, for schema stability).
-  /// The registry must outlive the service.
+  /// Registers the "p2p/round_us" lookup round-trip histogram and the
+  /// "p2p/degraded_round_us" histogram of rounds that hit the timeout with
+  /// answers missing (plus the counters the runner later copies, as zeros,
+  /// for schema stability). The registry must outlive the service.
   void attach_metrics(MetricsRegistry& metrics);
 
  private:
@@ -90,8 +116,9 @@ class PeerCacheService {
   void handle_advert(const EntryAdvertMsg& msg);
   /// Merges one wire entry into the local cache; returns whether it joined.
   bool merge_entry(const WireEntry& entry);
-  void advert_tick();
+  void advert_tick(std::uint64_t generation);
   void complete_lookup(std::uint64_t request_id);
+  void note_round_outcome(bool degraded, SimTime now);
 
   struct PendingLookup {
     LookupCallback cb;
@@ -111,9 +138,16 @@ class PeerCacheService {
   std::uint64_t next_request_id_ = 1;
   SimTime last_advert_scan_ = 0;
   bool running_ = false;
+  /// Bumped by every start(); orphans advert ticks scheduled pre-stop().
+  std::uint64_t generation_ = 0;
+  // Backoff state: consecutive degraded rounds and the suppression window.
+  std::uint32_t degraded_streak_ = 0;
+  std::uint32_t backoff_level_ = 0;
+  SimTime suppressed_until_ = 0;
   Counter counters_;
   MetricsRegistry* metrics_ = nullptr;
   std::uint32_t round_us_hist_ = 0;
+  std::uint32_t degraded_round_us_hist_ = 0;
 };
 
 }  // namespace apx

@@ -72,6 +72,7 @@ struct ExperimentRunner::Impl {
   struct Shard {
     EventSimulator sim;
     std::unique_ptr<WirelessMedium> medium;
+    std::unique_ptr<FaultInjector> faults;
     std::vector<std::size_t> device_indices;
   };
 
@@ -116,6 +117,18 @@ struct ExperimentRunner::Impl {
       auto shard = std::make_unique<Shard>();
       shard->medium = std::make_unique<WirelessMedium>(
           shard->sim, config.medium, medium_seed);
+      if (config.faults.any()) {
+        // Derived arithmetically from the medium seed (no extra master
+        // draw), so enabling faults never shifts the per-device RNG
+        // streams of the fault-free portion of a run. Shards are seeded
+        // identically — their worlds cannot interact, so identical
+        // injector streams keep sequential and parallel modes matching.
+        shard->faults = std::make_unique<FaultInjector>(
+            config.faults, medium_seed ^ 0xfa017c0de5eedULL);
+        shard->faults->plan_crashes(
+            static_cast<std::size_t>(config.num_devices), config.duration);
+        shard->medium->attach_faults(shard->faults.get());
+      }
       shards.push_back(std::move(shard));
     }
     extractor = make_extractor(config.extractor);
@@ -212,6 +225,36 @@ struct ExperimentRunner::Impl {
     });
   }
 
+  /// Simulated process crash: the device's cache is wiped, its P2P endpoint
+  /// goes silent (pending lookups fail into the local/DNN fallback) and its
+  /// radio leaves the air. The pipeline itself keeps running — the app
+  /// restarts cold, exactly the FoggyCache-style churn regime.
+  void crash_device(std::size_t index) {
+    Device& device = *devices[index];
+    Shard& shard = *shard_of[index];
+    shard.faults->note_crash();
+    if (device.cache) device.cache->clear();
+    if (device.peers) {
+      device.peers->stop();
+      shard.medium->set_cell(device.peers->id(),
+                             2000 + static_cast<int>(index));
+    }
+  }
+
+  /// Restart after a crash: back on the air (rejoining the shared cell —
+  /// any in-progress churn excursion is forgotten), beaconing resumes, and
+  /// neighbours' first-contact hot-set pushes warm the wiped cache.
+  void restart_device(std::size_t index) {
+    Device& device = *devices[index];
+    Shard& shard = *shard_of[index];
+    shard.faults->note_restart();
+    if (device.peers) {
+      shard.medium->set_cell(device.peers->id(),
+                             config.co_located ? 0 : static_cast<int>(index));
+      device.peers->start();
+    }
+  }
+
   void schedule_device_frames(std::size_t index) {
     Device& device = *devices[index];
     const SimTime frame_time = device.stream->next_frame_time();
@@ -252,6 +295,19 @@ struct ExperimentRunner::Impl {
         schedule_churn(d, /*present=*/true);
       }
       schedule_device_frames(d);
+    }
+    if (shard.faults != nullptr) {
+      // The schedule was precomputed at construction (idempotent call), so
+      // the timeline is independent of event execution order.
+      for (const CrashEvent& ev : shard.faults->plan_crashes(
+               static_cast<std::size_t>(config.num_devices),
+               config.duration)) {
+        if (shard_of[ev.device] != &shard) continue;
+        shard.sim.schedule_at(ev.down_at,
+                              [this, d = ev.device] { crash_device(d); });
+        shard.sim.schedule_at(ev.up_at,
+                              [this, d = ev.device] { restart_device(d); });
+      }
     }
     shard.sim.run_until(config.duration + 5 * kSecond);  // drain in-flight
   }
@@ -303,6 +359,17 @@ struct ExperimentRunner::Impl {
       pooled_registry.merge(device.registry);
       pooled.merge(device.metrics);
       device_metrics.push_back(device.metrics);
+    }
+    // Fault counters are shard-level, not per-device. Register every key
+    // unconditionally so the export schema is identical for chaos and
+    // fault-free runs (zeros in the latter).
+    for (const std::string& key : FaultInjector::counter_keys()) {
+      const auto id = pooled_registry.counter("faults/" + key);
+      for (const auto& shard : shards) {
+        if (shard->faults != nullptr) {
+          pooled_registry.inc(id, shard->faults->counters().get(key));
+        }
+      }
     }
     return pooled;
   }

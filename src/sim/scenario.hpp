@@ -6,6 +6,7 @@
 #include "src/core/config.hpp"
 #include "src/dnn/zoo.hpp"
 #include "src/image/scene.hpp"
+#include "src/net/faults.hpp"
 #include "src/video/stream.hpp"
 
 namespace apx {
@@ -66,6 +67,11 @@ struct ScenarioConfig {
   // --- network ---
   MediumParams medium;
   PeerCacheParams peer;
+  /// Deterministic fault injection (burst loss, delay spikes, partitions,
+  /// crash/restart, corruption). Default-constructed = no faults; the
+  /// injector is seeded from the scenario seed, so chaos runs stay
+  /// bit-reproducible. See net/faults.hpp and `apxsim --faults`.
+  FaultPlan faults;
 
   // --- infrastructure baseline ---
   /// Adds an edge cache server to the shared cell: a device-less node with

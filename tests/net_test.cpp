@@ -423,6 +423,52 @@ TEST(Discovery, FreshHelloRefreshesExpiry) {
   EXPECT_EQ(svc.neighbors().size(), 1u);
 }
 
+TEST(Discovery, StopThenRestartRunsExactlyOneBeaconChain) {
+  // Regression: restarting before the stale scheduled beacon fires used to
+  // leave TWO live beacon chains (the stale tick saw running_ == true and
+  // rescheduled itself). Generation stamps orphan it instead.
+  DiscoveryHarness h;
+  DiscoveryService svc = h.make();
+  svc.start();                 // beacon at t=0, next queued at t=interval
+  h.sim.run_until(1);
+  svc.stop();
+  svc.start();                 // beacon at t=1, stale tick still queued
+  const SimTime horizon = h.params.beacon_interval * 3 + 2;
+  h.sim.run_until(horizon);
+  // One chain: t=0, t=1, then every interval from t=1. A duplicate chain
+  // would roughly double this.
+  EXPECT_EQ(h.sent.size(), 5u);
+}
+
+TEST(Discovery, RepeatedStopStartCyclesStayIdempotent) {
+  DiscoveryHarness h;
+  DiscoveryService svc = h.make();
+  for (int i = 0; i < 5; ++i) {
+    svc.start();
+    svc.stop();
+  }
+  svc.start();
+  h.sent.clear();
+  const SimTime from = h.sim.now();
+  h.sim.run_until(from + h.params.beacon_interval * 4);
+  // Exactly one beacon per interval survives all the churn.
+  EXPECT_EQ(h.sent.size(), 4u);
+}
+
+TEST(Discovery, ForgetAllEmptiesNeighborTable) {
+  DiscoveryHarness h;
+  DiscoveryService svc = h.make();
+  for (const NodeId id : {1u, 2u, 3u}) {
+    HelloMsg hello;
+    hello.sender = id;
+    svc.on_hello(hello);
+  }
+  ASSERT_EQ(svc.neighbors().size(), 3u);
+  svc.forget_all();
+  EXPECT_TRUE(svc.neighbors().empty());
+  EXPECT_EQ(svc.peer_cache_size(1), 0u);
+}
+
 TEST(Discovery, NeighborsSortedById) {
   DiscoveryHarness h;
   DiscoveryService svc = h.make();

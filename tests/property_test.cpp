@@ -192,6 +192,88 @@ TEST_P(CacheFuzz, SnapshotBitFlipsNeverCrash) {
   }
 }
 
+TEST_P(CacheFuzz, EvictionPlusSnapshotPreservesEntriesAndVotes) {
+  // 200 randomized insert/evict/lookup schedules; after each, a snapshot
+  // save/load round trip must preserve the exact entry set (label +
+  // feature) and answer H-kNN probes identically to the original cache.
+  Rng rng{GetParam() ^ 0xe51cULL};
+  for (int schedule = 0; schedule < 200; ++schedule) {
+    ApproxCacheConfig cfg;
+    cfg.capacity = 6 + rng.uniform_u64(20);
+    cfg.index = IndexKind::kExact;
+    ApproxCache cache{8, cfg, rng.chance(0.5)
+                                  ? make_lru_policy()
+                                  : make_utility_policy()};
+    std::vector<VecId> ids;
+    SimTime now = 0;
+    const int ops = 30 + static_cast<int>(rng.uniform_u64(40));
+    for (int op = 0; op < ops; ++op) {
+      now += 1 + static_cast<SimTime>(rng.uniform_u64(2000));
+      const double dice = rng.uniform();
+      if (dice < 0.6) {
+        // Inserting past capacity exercises eviction on most schedules.
+        ids.push_back(cache.insert(
+            random_unit(rng, 8), static_cast<Label>(rng.uniform_u64(12)),
+            static_cast<float>(rng.uniform()), now,
+            rng.chance(0.3) ? EntryOrigin::kPeer : EntryOrigin::kLocal));
+      } else if (dice < 0.75 && !ids.empty()) {
+        (void)cache.remove(ids[rng.uniform_u64(ids.size())]);
+      } else {
+        (void)cache.lookup(random_unit(rng, 8), now);  // touches voters
+      }
+    }
+
+    const auto bytes = save_snapshot(cache, now);
+    ApproxCache restored{8, cfg, make_lru_policy()};
+    ASSERT_EQ(load_snapshot(restored, bytes, now), cache.size());
+    ASSERT_EQ(restored.size(), cache.size());
+
+    // Identical entry set: same multiset of (label, feature).
+    using Key = std::pair<Label, FeatureVec>;
+    std::multiset<Key> a, b;
+    cache.for_each(
+        [&a](const CacheEntry& e) { a.emplace(e.label, e.feature); });
+    restored.for_each(
+        [&b](const CacheEntry& e) { b.emplace(e.label, e.feature); });
+    ASSERT_EQ(a, b) << "schedule " << schedule;
+
+    // Identical H-kNN behaviour on random probes.
+    for (int probe = 0; probe < 5; ++probe) {
+      const FeatureVec q = random_unit(rng, 8);
+      const auto va = cache.peek_vote(q);
+      const auto vb = restored.peek_vote(q);
+      ASSERT_EQ(va.has_value(), vb.has_value()) << "schedule " << schedule;
+      if (va.has_value()) {
+        EXPECT_EQ(va->label, vb->label);
+        EXPECT_EQ(va->voters, vb->voters);
+        EXPECT_FLOAT_EQ(va->nearest_distance, vb->nearest_distance);
+      }
+    }
+  }
+}
+
+TEST_P(CacheFuzz, ClearEmptiesCacheAndIndexButKeepsIdsFresh) {
+  Rng rng{GetParam() ^ 0xc1eaULL};
+  ApproxCacheConfig cfg;
+  cfg.capacity = 32;
+  cfg.index = IndexKind::kExact;
+  ApproxCache cache{8, cfg, make_lru_policy()};
+  std::vector<VecId> before;
+  for (int i = 0; i < 20; ++i) {
+    before.push_back(cache.insert(random_unit(rng, 8),
+                                  static_cast<Label>(i % 5), 0.9f, i));
+  }
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.nearest_distance(random_unit(rng, 8)).has_value());
+  EXPECT_FALSE(cache.lookup(random_unit(rng, 8), 100).vote.has_value());
+  // Ids are never reused after a wipe: stale provenance cannot alias.
+  const VecId fresh =
+      cache.insert(random_unit(rng, 8), 1, 0.9f, 101);
+  for (const VecId old : before) EXPECT_NE(fresh, old);
+  EXPECT_GT(fresh, before.back());
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, CacheFuzz, ::testing::Values(10u, 20u, 30u));
 
 // ---------------------------------------------------------- LSH property

@@ -12,6 +12,7 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <stdexcept>
 #include <string>
 
 #include "src/obs/report.hpp"
@@ -57,6 +58,15 @@ void usage() {
       "  --capacity N       cache entries per device (default 512)\n"
       "  --churn S          mean in/out-of-range period, seconds (default off)\n"
       "  --loss F           radio loss probability (default 0.01)\n"
+      "  --faults SPEC      deterministic fault injection; comma-separated\n"
+      "                     clauses, times in seconds:\n"
+      "                       burst:LOSS[:MEANLEN]  Gilbert-Elliott burst loss\n"
+      "                       spike:PROB:EXTRA_MS   delay spikes\n"
+      "                       partition:MODE:START:DUR[:PERIOD]\n"
+      "                                             MODE = split | full\n"
+      "                       crash:MEAN_UP:DOWN    crash/restart cycle\n"
+      "                       corrupt:PROB          in-flight corruption\n"
+      "                     e.g. --faults burst:0.2:8,crash:30:5\n"
       "  --quantize-wire    ship features 8-bit quantized\n"
       "  --real-classifier  centroid classifier instead of the oracle\n"
       "  --seed N           RNG seed (default 1)\n"
@@ -135,6 +145,14 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.num("capacity", 512));
   cfg.seed = static_cast<std::uint64_t>(args.num("seed", 1));
   cfg.medium.loss_prob = args.num("loss", 0.01);
+  if (args.has("faults")) {
+    try {
+      cfg.faults = parse_fault_spec(args.get("faults", ""));
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "bad --faults spec: %s\n", e.what());
+      return 2;
+    }
+  }
   cfg.peer.quantize_wire_features = args.has("quantize-wire");
   cfg.use_real_classifier = args.has("real-classifier");
   if (args.has("churn")) {
