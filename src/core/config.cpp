@@ -1,51 +1,48 @@
 #include "src/core/config.hpp"
 
+#include "src/core/rungs/ladder.hpp"
+
 namespace apx {
+namespace {
 
-PipelineConfig make_nocache_config() {
+/// Builds a preset from its ladder spec, then clears the spec string so the
+/// result stays flag-driven: tests and callers toggle individual enable_*
+/// bits on presets, and the pipeline re-derives the identical ladder from
+/// the flags (LadderSpec::from_config).
+PipelineConfig preset(const char* spec) {
   PipelineConfig cfg;
-  cfg.cache_mode = CacheMode::kNone;
-  cfg.enable_imu_gate = false;
-  cfg.enable_imu_fastpath = false;
-  cfg.enable_temporal = false;
-  cfg.enable_p2p = false;
+  apply_ladder(cfg, LadderSpec::parse(spec));
+  cfg.ladder.clear();
   return cfg;
 }
 
-PipelineConfig make_exactcache_config() {
-  PipelineConfig cfg = make_nocache_config();
-  cfg.cache_mode = CacheMode::kExact;
-  return cfg;
-}
+}  // namespace
 
-PipelineConfig make_approx_local_config() {
-  PipelineConfig cfg = make_nocache_config();
-  cfg.cache_mode = CacheMode::kApprox;
-  return cfg;
-}
+PipelineConfig make_nocache_config() { return preset("dnn"); }
 
-PipelineConfig make_approx_imu_config() {
-  PipelineConfig cfg = make_approx_local_config();
-  cfg.enable_imu_gate = true;
-  cfg.enable_imu_fastpath = true;
-  return cfg;
-}
+PipelineConfig make_exactcache_config() { return preset("exact,dnn"); }
+
+PipelineConfig make_approx_local_config() { return preset("local,dnn"); }
+
+PipelineConfig make_approx_imu_config() { return preset("imu,local,dnn"); }
 
 PipelineConfig make_approx_video_config() {
-  PipelineConfig cfg = make_approx_imu_config();
-  cfg.enable_temporal = true;
-  return cfg;
+  return preset("imu,temporal,local,dnn");
 }
 
 PipelineConfig make_full_system_config() {
-  PipelineConfig cfg = make_approx_video_config();
-  cfg.enable_p2p = true;
-  return cfg;
+  return preset("imu,temporal,local,p2p,dnn");
 }
 
 PipelineConfig make_adaptive_config() {
   PipelineConfig cfg = make_full_system_config();
   cfg.enable_adaptive_threshold = true;
+  return cfg;
+}
+
+PipelineConfig make_ladder_config(std::string_view spec) {
+  PipelineConfig cfg;
+  apply_ladder(cfg, LadderSpec::parse(spec));
   return cfg;
 }
 

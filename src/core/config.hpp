@@ -1,7 +1,11 @@
 #pragma once
-// Pipeline configuration: which reuse signals are active and their cost
+// Pipeline configuration: which reuse rungs are active and their cost
 // constants. The evaluation's named configurations (NoCache, ExactCache,
-// Approx-Local, +IMU, +Video, full system) are all instances of this.
+// Approx-Local, +IMU, +Video, full system) are all instances of this —
+// each one is a ladder spec (see core/rungs/ladder.hpp for the grammar).
+
+#include <string>
+#include <string_view>
 
 #include "src/cache/approx_cache.hpp"
 #include "src/core/threshold_controller.hpp"
@@ -19,13 +23,42 @@ enum class CacheMode {
   kApprox,  ///< the approximate cache (the paper's system)
 };
 
+/// Warm-tier rung: a capacity-bounded bank of 8-bit-quantized per-class
+/// prototypes (dnn/centroid + ann/quantize) scanned linearly before the
+/// A-LSH lookup. Far cheaper than the local cache rung (no index walk, no
+/// H-kNN vote) and answers the "seen this class recently and clearly"
+/// frames at a fraction of the cost.
+struct WarmTierParams {
+  std::size_t max_prototypes = 256;  ///< bank capacity (one per label)
+  /// A prototype answers only after this many DNN-validated observations
+  /// (young means are still noisy).
+  std::uint32_t min_support = 3;
+  /// Absolute acceptance distance; 0 derives it from the local cache's
+  /// H-kNN threshold as hknn.max_distance * distance_scale.
+  float max_distance = 0.0f;
+  /// Warm matches must be tighter than A-LSH matches: the derived
+  /// threshold is scaled down by this factor.
+  float distance_scale = 0.8f;
+  /// Simulated scan cost: fixed overhead + one distance per prototype.
+  SimDuration base_latency = 50;          // 50 us
+  SimDuration per_prototype_latency = 1;  // 1 us per prototype
+};
+
 /// Full pipeline configuration.
 struct PipelineConfig {
+  /// Declarative reuse-ladder spec ("imu,temporal,local,p2p,dnn"). When
+  /// non-empty it is authoritative: the pipeline parses it and overwrites
+  /// the per-rung flags below to match (see apply_ladder). When empty, the
+  /// ladder is derived from the flags — the presets ship this way so tests
+  /// and callers can keep toggling individual enable_* bits.
+  std::string ladder;
+
   CacheMode cache_mode = CacheMode::kApprox;
 
   bool enable_imu_gate = true;      ///< motion-scaled thresholds
   bool enable_imu_fastpath = true;  ///< stationary -> inherit last result
   bool enable_temporal = true;      ///< frame-diff keyframe reuse
+  bool enable_warm_tier = false;    ///< quantized prototype scan before local
   bool enable_p2p = true;           ///< peer lookup before DNN fallback
   /// Feedback-tune the similarity threshold from DNN-validated frames
   /// (extension beyond the poster; see threshold_controller.hpp).
@@ -35,6 +68,7 @@ struct PipelineConfig {
   MotionEstimatorParams motion;
   MotionGateParams gate;
   TemporalReuseParams temporal;
+  WarmTierParams warm;
   ThresholdControllerParams threshold;
 
   /// Stationary fast path inherits the last result at most this long.
@@ -45,13 +79,19 @@ struct PipelineConfig {
   double cpu_active_power_mw = 2000.0;
 };
 
-/// The named configurations T1/T2/F4/T3 sweep (DESIGN.md §3).
-PipelineConfig make_nocache_config();
-PipelineConfig make_exactcache_config();
-PipelineConfig make_approx_local_config();   ///< cache only, no IMU/video/P2P
-PipelineConfig make_approx_imu_config();     ///< + IMU gate & fast path
-PipelineConfig make_approx_video_config();   ///< + temporal reuse
-PipelineConfig make_full_system_config();    ///< everything incl. P2P
+/// The named configurations T1/T2/F4/T3 sweep (DESIGN.md §3). Each is a
+/// ladder spec with the spec string cleared (flag-driven; see `ladder`).
+PipelineConfig make_nocache_config();        ///< "dnn"
+PipelineConfig make_exactcache_config();     ///< "exact,dnn"
+PipelineConfig make_approx_local_config();   ///< "local,dnn"
+PipelineConfig make_approx_imu_config();     ///< "imu,local,dnn"
+PipelineConfig make_approx_video_config();   ///< "imu,temporal,local,dnn"
+PipelineConfig make_full_system_config();    ///< "imu,temporal,local,p2p,dnn"
 PipelineConfig make_adaptive_config();       ///< full + adaptive threshold
+
+/// Config from an explicit ladder spec (`apxsim --ladder ...`). Unlike the
+/// presets this keeps `ladder` set, so the spec stays authoritative.
+/// Throws std::invalid_argument on a malformed spec.
+PipelineConfig make_ladder_config(std::string_view spec);
 
 }  // namespace apx

@@ -4,21 +4,9 @@
 #include <stdexcept>
 #include <utility>
 
-#include "src/obs/metrics.hpp"
 #include "src/obs/report.hpp"
 
 namespace apx {
-
-const char* to_string(ResultSource source) noexcept {
-  switch (source) {
-    case ResultSource::kImuFastPath: return "imu-fastpath";
-    case ResultSource::kTemporalReuse: return "temporal";
-    case ResultSource::kLocalCacheHit: return "local-cache";
-    case ResultSource::kPeerCacheHit: return "peer-cache";
-    case ResultSource::kFullInference: return "inference";
-  }
-  return "?";
-}
 
 ReusePipeline::ReusePipeline(EventSimulator& sim, const PipelineConfig& config,
                              const FeatureExtractor& extractor,
@@ -33,281 +21,143 @@ ReusePipeline::ReusePipeline(EventSimulator& sim, const PipelineConfig& config,
       exact_cache_(exact_cache),
       peers_(peers),
       rng_(seed),
-      temporal_(config.temporal),
-      gate_(config.gate),
       threshold_(config.threshold) {
-  if (config.cache_mode == CacheMode::kApprox && cache == nullptr) {
+  if (!config_.ladder.empty()) {
+    // The declarative spec is authoritative; sync the flags to it so
+    // flag-reading rungs and callers can never observe a divergent config.
+    spec_ = LadderSpec::parse(config_.ladder);
+    apply_ladder(config_, spec_);
+  } else {
+    spec_ = LadderSpec::from_config(config_);
+  }
+  if (spec_.has("local") && cache_ == nullptr) {
     throw std::invalid_argument("ReusePipeline: approx mode needs a cache");
   }
-  if (config.cache_mode == CacheMode::kExact && exact_cache == nullptr) {
+  if (spec_.has("exact") && exact_cache_ == nullptr) {
     throw std::invalid_argument("ReusePipeline: exact mode needs a cache");
   }
+  const RungBuildContext build_ctx{&config_, &spec_,      extractor_, model_,
+                                   cache_,   exact_cache_, peers_};
+  rungs_ = build_ladder(spec_, build_ctx);
+  register_instruments(owned_metrics_);
 }
 
 bool ReusePipeline::process(const Frame& frame, MotionState motion,
                             Callback done) {
   assert(done);
   if (busy_) {
-    counters_.inc("dropped");
+    metrics_->inc(dropped_counter_);
     return false;
   }
   busy_ = true;
   ++epoch_;
-  inflight_.emplace();
-  inflight_->frame = frame;
-  inflight_->motion = motion;
-  inflight_->done = std::move(done);
+  ctx_.emplace();
+  ctx_->frame = frame;
+  ctx_->motion = motion;
+  ctx_->done = std::move(done);
   trace_.reset(frame.t);
-
-  // Rung 0 — IMU: consult the motion estimate, decide gating, and take the
-  // stationary fast path when the last result is still fresh.
-  const std::uint64_t epoch = epoch_;
-  const bool imu_active =
-      config_.enable_imu_gate || config_.enable_imu_fastpath;
-  const SimDuration imu_cost = imu_active ? config_.imu_check_latency : 0;
-  if (imu_active) trace_.begin_span(Rung::kImuGate, sim_->now());
-  spend(imu_cost);
-  sim_->schedule_after(imu_cost, [this, epoch] {
-    if (epoch != epoch_ || !busy_) return;
-    GateDecision gate{true, 1.0f};
-    if (config_.enable_imu_gate) gate = gate_.decide(inflight_->motion);
-    if (config_.enable_adaptive_threshold) {
-      // The motion gate and the feedback controller compose: the gate is a
-      // per-frame modulation, the controller a slow per-deployment trim.
-      gate.threshold_scale *= threshold_.scale();
-    }
-    inflight_->gate = gate;
-
-    if (config_.enable_imu_fastpath &&
-        inflight_->motion == MotionState::kStationary &&
-        last_result_.has_value() && last_result_->label != kNoLabel &&
-        sim_->now() - last_result_time_ <= config_.imu_fastpath_max_age) {
-      trace_.end_span(RungOutcome::kHit, sim_->now());
-      complete(ResultSource::kImuFastPath, last_result_->label,
-               last_result_->confidence);
-      return;
-    }
-    trace_.end_span(RungOutcome::kMiss, sim_->now());
-    run_temporal_rung();
-  });
+  ctx_->rung_index = 0;
+  rungs_.front()->run(*this);
   return true;
 }
 
-void ReusePipeline::run_temporal_rung() {
-  if (!config_.enable_temporal) {
-    run_cache_rung();
-    return;
-  }
-  if (!inflight_->gate.allow_temporal_reuse) {
-    // Major motion: the previous keyframe no longer describes the scene.
-    temporal_.invalidate();
-    run_cache_rung();
-    return;
-  }
-  const TemporalCheck check = temporal_.check(inflight_->frame.image);
-  trace_.begin_span(Rung::kTemporal, sim_->now());
-  spend(check.latency);
+void ReusePipeline::schedule(SimDuration delay, std::function<void()> fn) {
   const std::uint64_t epoch = epoch_;
-  sim_->schedule_after(check.latency, [this, epoch, check] {
+  sim_->schedule_after(delay, [this, epoch, fn = std::move(fn)] {
     if (epoch != epoch_ || !busy_) return;
-    if (check.reusable && last_result_.has_value() &&
-        last_result_->label != kNoLabel) {
-      trace_.end_span(RungOutcome::kHit, sim_->now());
-      complete(ResultSource::kTemporalReuse, last_result_->label,
-               last_result_->confidence);
-      return;
-    }
-    trace_.end_span(RungOutcome::kMiss, sim_->now());
-    run_cache_rung();
+    fn();
   });
 }
 
-void ReusePipeline::run_cache_rung() {
-  switch (config_.cache_mode) {
-    case CacheMode::kNone:
-      run_inference_rung();
-      return;
-    case CacheMode::kExact: {
-      trace_.begin_span(Rung::kLocalCache, sim_->now());
-      spend(extractor_->latency());
-      const std::uint64_t epoch = epoch_;
-      sim_->schedule_after(extractor_->latency(), [this, epoch] {
-        if (epoch != epoch_ || !busy_) return;
-        inflight_->features = extractor_->extract(inflight_->frame.image);
-        inflight_->features_ready = true;
-        const auto hit = exact_cache_->lookup(inflight_->features);
-        const SimDuration cost = exact_cache_->lookup_latency();
-        spend(cost);
-        const std::uint64_t epoch2 = epoch_;
-        sim_->schedule_after(cost, [this, epoch2, hit] {
-          if (epoch2 != epoch_ || !busy_) return;
-          if (hit.has_value()) {
-            trace_.end_span(RungOutcome::kHit, sim_->now());
-            complete(ResultSource::kLocalCacheHit, *hit, 1.0f);
-          } else {
-            trace_.end_span(RungOutcome::kMiss, sim_->now());
-            run_inference_rung();
-          }
-        });
-      });
+void ReusePipeline::advance() {
+  assert(busy_ && ctx_.has_value());
+  ++ctx_->rung_index;
+  assert(ctx_->rung_index < rungs_.size());
+  rungs_[ctx_->rung_index]->run(*this);
+}
+
+void ReusePipeline::register_instruments(MetricsRegistry& metrics) {
+  rung_instruments_.clear();
+  source_counters_.clear();
+  const auto add_rung = [&](std::string_view name) {
+    if (rung_instruments_.find(name) != rung_instruments_.end()) return;
+    RungInstruments instruments;
+    instruments.latency_us =
+        metrics.histogram(rung_latency_metric(name), latency_us_bounds());
+    instruments.hit =
+        metrics.counter(rung_outcome_metric(name, RungOutcome::kHit));
+    instruments.miss =
+        metrics.counter(rung_outcome_metric(name, RungOutcome::kMiss));
+    rung_instruments_.emplace(std::string(name), instruments);
+  };
+  const auto add_source = [&](const char* name) {
+    if (source_counters_.find(std::string_view{name}) !=
+        source_counters_.end()) {
       return;
     }
-    case CacheMode::kApprox:
-      run_local_cache_rung();
-      return;
+    source_counters_.emplace(name, metrics.counter(source_metric(name)));
+  };
+  // Schema baseline first (every pipeline exports these, whatever its
+  // ladder), then whatever extra rungs/sources this ladder brings.
+  for (const char* name : schema_rung_names()) add_rung(name);
+  for (const auto& rung : rungs_) add_rung(to_string(rung->trace_rung()));
+  for (const char* name : schema_source_names()) add_source(name);
+  for (const auto& rung : rungs_) {
+    if (const char* extra = rung->extra_source()) add_source(extra);
   }
-}
-
-void ReusePipeline::run_local_cache_rung() {
-  trace_.begin_span(Rung::kLocalCache, sim_->now());
-  spend(extractor_->latency());
-  const std::uint64_t epoch = epoch_;
-  sim_->schedule_after(extractor_->latency(), [this, epoch] {
-    if (epoch != epoch_ || !busy_) return;
-    inflight_->features = extractor_->extract(inflight_->frame.image);
-    inflight_->features_ready = true;
-    const CacheLookupResult res = cache_->lookup(
-        inflight_->features, sim_->now(),
-        {.threshold_scale = inflight_->gate.threshold_scale,
-         .trace = &trace_});
-    spend(res.latency);
-    const std::uint64_t epoch2 = epoch_;
-    sim_->schedule_after(res.latency, [this, epoch2, vote = res.vote] {
-      if (epoch2 != epoch_ || !busy_) return;
-      if (vote.has_value()) {
-        trace_.end_span(RungOutcome::kHit, sim_->now());
-        complete(ResultSource::kLocalCacheHit, vote->label,
-                 vote->homogeneity);
-        return;
-      }
-      trace_.end_span(RungOutcome::kMiss, sim_->now());
-      // The backoff gate keeps a partitioned device from paying the P2P
-      // timeout every frame: after repeated degraded rounds the rung is
-      // skipped entirely and the frame falls straight through to the DNN.
-      if (config_.enable_p2p && peers_ != nullptr &&
-          peers_->should_attempt(sim_->now())) {
-        run_p2p_rung();
-      } else {
-        run_inference_rung();
-      }
-    });
-  });
-}
-
-void ReusePipeline::run_p2p_rung() {
-  trace_.begin_span(Rung::kP2p, sim_->now());
-  const std::uint64_t epoch = epoch_;
-  peers_->async_lookup(
-      inflight_->features, [this, epoch](std::vector<WireEntry> entries) {
-        if (epoch != epoch_ || !busy_) return;
-        if (entries.empty()) {
-          trace_.end_span(RungOutcome::kMiss, sim_->now());
-          run_inference_rung();
-          return;
-        }
-        // Responses were merged into the local cache by the peer service;
-        // re-run the homogenized vote over the enriched neighbourhood.
-        const CacheLookupResult res = cache_->lookup(
-            inflight_->features, sim_->now(),
-            {.threshold_scale = inflight_->gate.threshold_scale,
-             .trace = &trace_});
-        spend(res.latency);
-        const std::uint64_t epoch2 = epoch_;
-        sim_->schedule_after(res.latency, [this, epoch2, vote = res.vote] {
-          if (epoch2 != epoch_ || !busy_) return;
-          if (vote.has_value()) {
-            trace_.end_span(RungOutcome::kHit, sim_->now());
-            complete(ResultSource::kPeerCacheHit, vote->label,
-                     vote->homogeneity);
-          } else {
-            trace_.end_span(RungOutcome::kMiss, sim_->now());
-            run_inference_rung();
-          }
-        });
-      });
-}
-
-void ReusePipeline::run_inference_rung() {
-  trace_.begin_span(Rung::kDnn, sim_->now());
-  const SimDuration latency = model_->sample_latency(rng_);
-  inflight_->dnn_energy = model_->energy_mj();
-  const std::uint64_t epoch = epoch_;
-  sim_->schedule_after(latency, [this, epoch] {
-    if (epoch != epoch_ || !busy_) return;
-    const Prediction pred = model_->infer(
-        inflight_->frame.image, inflight_->frame.true_label, rng_);
-    if (config_.enable_adaptive_threshold &&
-        config_.cache_mode == CacheMode::kApprox &&
-        inflight_->features_ready) {
-      // Validation event: the DNN ran, so compare it against the cache's
-      // hypothetical vote just past the current threshold edge.
-      const auto vote = cache_->peek_vote(
-          inflight_->features,
-          {.threshold_scale = threshold_.observation_scale()});
-      if (vote.has_value()) threshold_.observe(vote->label == pred.label);
-    }
-    if (config_.cache_mode == CacheMode::kApprox &&
-        inflight_->features_ready) {
-      cache_->insert(inflight_->features, pred.label, pred.confidence,
-                     sim_->now());
-    } else if (config_.cache_mode == CacheMode::kExact &&
-               inflight_->features_ready) {
-      exact_cache_->insert(inflight_->features, pred.label);
-    }
-    // The DNN always answers: its span is a hit by construction.
-    trace_.end_span(RungOutcome::kHit, sim_->now());
-    complete(ResultSource::kFullInference, pred.label, pred.confidence);
-  });
+  dropped_counter_ = metrics.counter("pipeline/dropped");
 }
 
 void ReusePipeline::attach_metrics(MetricsRegistry& metrics) {
+  metrics.merge(owned_metrics_);
   metrics_ = &metrics;
-  for (std::size_t r = 0; r < kRungCount; ++r) {
-    const Rung rung = static_cast<Rung>(r);
-    rung_latency_hist_[r] =
-        metrics.histogram(rung_latency_metric(rung), latency_us_bounds());
-    rung_hit_counter_[r] =
-        metrics.counter(rung_outcome_metric(rung, RungOutcome::kHit));
-    rung_miss_counter_[r] =
-        metrics.counter(rung_outcome_metric(rung, RungOutcome::kMiss));
-  }
-  for (std::size_t s = 0; s < kResultSourceCount; ++s) {
-    source_counter_[s] = metrics.counter(
-        source_metric(to_string(static_cast<ResultSource>(s))));
-  }
+  register_instruments(metrics);
 }
 
-double ReusePipeline::compute_energy(ResultSource /*source*/) const {
+const Counter& ReusePipeline::counters() const {
+  counters_view_ = Counter{};
+  for (const auto& [name, id] : source_counters_) {
+    const std::uint64_t value = metrics_->value(id);
+    if (value != 0) counters_view_.inc(name, value);
+  }
+  const std::uint64_t dropped = metrics_->value(dropped_counter_);
+  if (dropped != 0) counters_view_.inc("dropped", dropped);
+  return counters_view_;
+}
+
+double ReusePipeline::compute_energy() const {
   // CPU-active time converts at the configured power draw; DNN runs carry
   // their own calibrated energy figure on top.
-  const double cpu_mj = to_ms(inflight_->compute_latency) *
+  const double cpu_mj = to_ms(ctx_->compute_latency) *
                         config_.cpu_active_power_mw / 1000.0;
-  return cpu_mj + inflight_->dnn_energy;
+  return cpu_mj + ctx_->dnn_energy;
 }
 
-void ReusePipeline::complete(ResultSource source, Label label,
-                             float confidence) {
-  assert(busy_ && inflight_.has_value());
+void ReusePipeline::finish(ResultSource source, Label label,
+                           float confidence) {
+  assert(busy_ && ctx_.has_value());
   RecognitionResult result;
-  result.frame_time = inflight_->frame.t;
+  result.frame_time = ctx_->frame.t;
   result.completion_time = sim_->now();
   result.latency = result.completion_time - result.frame_time;
   result.label = label;
-  result.true_label = inflight_->frame.true_label;
+  result.true_label = ctx_->frame.true_label;
   result.correct = (label == result.true_label);
   result.source = source;
-  result.compute_energy_mj = compute_energy(source);
-  counters_.inc(to_string(source));
-  if (metrics_ != nullptr) {
-    for (const TraceSpan& span : trace_.spans()) {
-      const auto r = static_cast<std::size_t>(span.rung);
-      metrics_->record(rung_latency_hist_[r],
-                       static_cast<double>(span.end - span.start));
-      metrics_->inc(span.outcome == RungOutcome::kHit ? rung_hit_counter_[r]
-                                                      : rung_miss_counter_[r]);
-    }
-    metrics_->inc(source_counter_[static_cast<std::size_t>(source)]);
+  result.compute_energy_mj = compute_energy();
+  for (const TraceSpan& span : trace_.spans()) {
+    const auto it =
+        rung_instruments_.find(std::string_view{to_string(span.rung)});
+    assert(it != rung_instruments_.end());
+    metrics_->record(it->second.latency_us,
+                     static_cast<double>(span.end - span.start));
+    metrics_->inc(span.outcome == RungOutcome::kHit ? it->second.hit
+                                                    : it->second.miss);
   }
+  const auto source_it =
+      source_counters_.find(std::string_view{to_string(source)});
+  assert(source_it != source_counters_.end());
+  metrics_->inc(source_it->second);
 
   last_result_ = Prediction{label, confidence};
   // The fast path must not refresh its own freshness clock: a result is
@@ -317,17 +167,12 @@ void ReusePipeline::complete(ResultSource source, Label label,
   if (source != ResultSource::kImuFastPath) {
     last_result_time_ = sim_->now();
   }
-  // A keyframe is any frame whose result came from actually looking at the
-  // image; temporal reuse chains from it, and the IMU fast path never
-  // refreshes it (it never inspects pixels).
-  if (source == ResultSource::kLocalCacheHit ||
-      source == ResultSource::kPeerCacheHit ||
-      source == ResultSource::kFullInference) {
-    temporal_.set_keyframe(inflight_->frame.image);
-  }
+  // Every rung observes the outcome while the context is still alive
+  // (keyframe refresh, warm-tier learning, ...).
+  for (const auto& rung : rungs_) rung->on_result(*this, result);
 
-  Callback done = std::move(inflight_->done);
-  inflight_.reset();
+  Callback done = std::move(ctx_->done);
+  ctx_.reset();
   busy_ = false;
   done(result);
 }

@@ -1,31 +1,41 @@
 #pragma once
-// ReusePipeline — the poster's contribution. For each frame it tries the
+// ReusePipeline — the poster's contribution. For each frame it walks the
 // reuse ladder cheapest-first and only runs the DNN when every rung fails:
 //
 //   frame -> [IMU fast path] -> [temporal keyframe reuse]
+//         -> [quantized warm tier (optional)]
 //         -> [feature extraction -> local approximate cache (A-LSH + H-kNN)]
 //         -> [P2P lookup, merge, re-vote] -> full DNN inference
 //
+// The ladder is data, not code: a vector of ReuseRung plugins built from a
+// LadderSpec (core/rungs/ladder.hpp) — either the declarative string in
+// PipelineConfig::ladder or the spec derived from the config's enable_*
+// flags. The pipeline itself is only the driver: frame admission, the
+// epoch-guarded scheduling seam, metrics plumbing and result delivery.
 // Each rung pays its simulated on-device cost; the P2P rung additionally
-// waits for the network round (event-driven). Results are delivered through
-// a completion callback because the P2P and inference stages are
+// waits for the network round (event-driven). Results are delivered
+// through a completion callback because the P2P and inference stages are
 // asynchronous in simulated time.
 
-#include <array>
 #include <functional>
+#include <map>
+#include <memory>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "src/cache/exact_cache.hpp"
 #include "src/core/config.hpp"
 #include "src/core/result.hpp"
+#include "src/core/rungs/ladder.hpp"
+#include "src/core/rungs/rung.hpp"
 #include "src/features/extractor.hpp"
 #include "src/net/event_sim.hpp"
 #include "src/obs/frame_trace.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/video/stream.hpp"
 
 namespace apx {
-
-class MetricsRegistry;
 
 /// Per-device recognition pipeline with computation reuse.
 ///
@@ -37,6 +47,11 @@ class ReusePipeline {
  public:
   using Callback = std::function<void(const RecognitionResult&)>;
 
+  /// Resolves the ladder (config.ladder when set, else derived from the
+  /// enable_* flags) and builds the rung chain. Throws
+  /// std::invalid_argument when the spec is malformed or needs a
+  /// collaborator that was not provided (local without `cache`, exact
+  /// without `exact_cache`).
   ReusePipeline(EventSimulator& sim, const PipelineConfig& config,
                 const FeatureExtractor& extractor, RecognitionModel& model,
                 ApproxCache* cache, ExactCache* exact_cache,
@@ -49,10 +64,15 @@ class ReusePipeline {
 
   bool busy() const noexcept { return busy_; }
 
-  /// Lifetime counters: one key per ResultSource name plus "dropped".
-  const Counter& counters() const noexcept { return counters_; }
+  /// Lifetime counters: one key per ResultSource name plus "dropped" —
+  /// a view rebuilt from the metrics registry (the single source of
+  /// truth); keys that never fired are absent.
+  const Counter& counters() const;
 
   const PipelineConfig& config() const noexcept { return config_; }
+
+  /// The resolved ladder composition this pipeline runs.
+  const LadderSpec& ladder() const noexcept { return spec_; }
 
   /// The adaptive threshold state (meaningful when the feature is enabled).
   const ThresholdController& threshold_controller() const noexcept {
@@ -61,8 +81,10 @@ class ReusePipeline {
 
   /// Registers per-rung latency histograms, per-rung hit/miss counters and
   /// per-source counters (see obs/report.hpp for the naming scheme) and
-  /// starts recording every completed frame's trace into them. The registry
-  /// must outlive the pipeline.
+  /// starts recording every completed frame's trace into them. Counts
+  /// accumulated before the attach (in the pipeline's internal registry)
+  /// are merged in, so nothing is lost. The registry must outlive the
+  /// pipeline.
   void attach_metrics(MetricsRegistry& metrics);
 
   /// Trace of the most recently completed frame (rungs visited, in order).
@@ -70,27 +92,59 @@ class ReusePipeline {
   /// next process() call resets it.
   const FrameTrace& last_trace() const noexcept { return trace_; }
 
+  // ----------------------------------------------------- rung-facing API
+  // Everything below exists for ReuseRung implementations; application
+  // code has no reason to call it.
+
+  EventSimulator& sim() noexcept { return *sim_; }
+  Rng& rng() noexcept { return rng_; }
+  FrameTrace& trace() noexcept { return trace_; }
+
+  /// The in-flight frame. Only valid while busy().
+  FrameContext& frame_ctx() noexcept { return *ctx_; }
+
+  /// Mutable adaptive-threshold controller (IMU trim, DNN validation).
+  ThresholdController& threshold() noexcept { return threshold_; }
+
+  /// Last delivered result (feeds the IMU fast path and temporal reuse).
+  const std::optional<Prediction>& last_result() const noexcept {
+    return last_result_;
+  }
+  SimTime last_result_time() const noexcept { return last_result_time_; }
+
+  /// Adds `d` to the frame's CPU-active time (excludes DNN and radio).
+  void spend(SimDuration d) { ctx_->compute_latency += d; }
+
+  /// Epoch of the in-flight frame; live(epoch) tells a callback whether
+  /// that frame is still the one being processed.
+  std::uint64_t epoch() const noexcept { return epoch_; }
+  bool live(std::uint64_t epoch) const noexcept {
+    return epoch == epoch_ && busy_;
+  }
+
+  /// Schedules `fn` after `delay` of simulated time, epoch-guarded: it is
+  /// silently dropped when the frame completed or was superseded meanwhile.
+  void schedule(SimDuration delay, std::function<void()> fn);
+
+  /// Hands the frame to the next rung down the ladder (synchronously).
+  void advance();
+
+  /// Completes the in-flight frame: builds the RecognitionResult, records
+  /// metrics and trace spans, runs every rung's on_result hook, then fires
+  /// the completion callback.
+  void finish(ResultSource source, Label label, float confidence);
+
  private:
-  struct InFlight {
-    Frame frame;
-    MotionState motion = MotionState::kMajor;
-    Callback done;
-    GateDecision gate;                ///< set by the IMU rung
-    SimDuration compute_latency = 0;  ///< accumulated CPU-active time
-    double dnn_energy = 0.0;          ///< energy of a DNN run, when one ran
-    FeatureVec features;              ///< filled by the cache rung
-    bool features_ready = false;
+  struct RungInstruments {
+    MetricsRegistry::HistogramId latency_us = 0;
+    MetricsRegistry::CounterId hit = 0;
+    MetricsRegistry::CounterId miss = 0;
   };
 
-  void complete(ResultSource source, Label label, float confidence);
-  /// Adds `d` to the frame's CPU-active time (excludes DNN and radio).
-  void spend(SimDuration d) { inflight_->compute_latency += d; }
-  void run_temporal_rung();
-  void run_cache_rung();
-  void run_local_cache_rung();
-  void run_p2p_rung();
-  void run_inference_rung();
-  double compute_energy(ResultSource source) const;
+  /// (Re-)registers every instrument on `metrics`: the schema-baseline rung
+  /// and source names plus whatever extra rungs/sources this ladder adds.
+  void register_instruments(MetricsRegistry& metrics);
+  double compute_energy() const;
 
   EventSimulator* sim_;
   PipelineConfig config_;
@@ -101,27 +155,31 @@ class ReusePipeline {
   PeerCacheService* peers_;
   Rng rng_;
 
-  TemporalReuseDetector temporal_;
-  MotionGate gate_;
   ThresholdController threshold_;
 
+  LadderSpec spec_;
+  std::vector<std::unique_ptr<ReuseRung>> rungs_;
+
   bool busy_ = false;
-  std::optional<InFlight> inflight_;
+  std::optional<FrameContext> ctx_;
   std::uint64_t epoch_ = 0;  ///< guards stale async callbacks
 
   // Last delivered result (feeds the IMU fast path).
   std::optional<Prediction> last_result_;
   SimTime last_result_time_ = 0;
-  /// Energy actually attributed to DNN runs is the model's own figure; the
-  /// rest of the pipeline converts busy time via cpu_active_power_mw.
-  Counter counters_;
 
   FrameTrace trace_;
-  MetricsRegistry* metrics_ = nullptr;
-  std::array<std::uint32_t, kRungCount> rung_latency_hist_{};
-  std::array<std::uint32_t, kRungCount> rung_hit_counter_{};
-  std::array<std::uint32_t, kRungCount> rung_miss_counter_{};
-  std::array<std::uint32_t, kResultSourceCount> source_counter_{};
+  /// Single source of truth for pipeline counters. Until attach_metrics()
+  /// the internal registry records everything; attaching merges it into
+  /// the external one and re-points the instruments there.
+  MetricsRegistry owned_metrics_;
+  MetricsRegistry* metrics_ = &owned_metrics_;
+  std::map<std::string, RungInstruments, std::less<>> rung_instruments_;
+  std::map<std::string, MetricsRegistry::CounterId, std::less<>>
+      source_counters_;
+  MetricsRegistry::CounterId dropped_counter_ = 0;
+  /// Legacy-shaped view rebuilt by counters() on demand.
+  mutable Counter counters_view_;
 };
 
 }  // namespace apx

@@ -1,0 +1,17 @@
+#include "src/core/result.hpp"
+
+namespace apx {
+
+const char* to_string(ResultSource source) noexcept {
+  switch (source) {
+    case ResultSource::kImuFastPath: return "imu-fastpath";
+    case ResultSource::kTemporalReuse: return "temporal";
+    case ResultSource::kLocalCacheHit: return "local-cache";
+    case ResultSource::kPeerCacheHit: return "peer-cache";
+    case ResultSource::kFullInference: return "inference";
+    case ResultSource::kWarmCacheHit: return "warm-cache";
+  }
+  return "?";
+}
+
+}  // namespace apx

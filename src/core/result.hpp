@@ -2,6 +2,8 @@
 // Per-frame recognition outcome with full reuse provenance — the unit every
 // experiment aggregates over.
 
+#include <functional>
+
 #include "src/dnn/model.hpp"
 #include "src/util/clock.hpp"
 
@@ -14,9 +16,10 @@ enum class ResultSource : std::uint8_t {
   kLocalCacheHit = 2, ///< approximate cache hit from locally held entries
   kPeerCacheHit = 3,  ///< hit enabled by a P2P lookup round-trip
   kFullInference = 4, ///< the DNN ran
+  kWarmCacheHit = 5,  ///< quantized warm-tier prototype match
 };
 
-inline constexpr std::size_t kResultSourceCount = 5;
+inline constexpr std::size_t kResultSourceCount = 6;
 
 /// Printable name ("imu-fastpath", "temporal", ...).
 const char* to_string(ResultSource source) noexcept;

@@ -1,0 +1,43 @@
+#include "src/core/rungs/dnn.hpp"
+
+#include "src/core/pipeline.hpp"
+#include "src/dnn/model.hpp"
+
+namespace apx {
+
+void DnnRung::run(ReusePipeline& host) {
+  host.trace().begin_span(Rung::kDnn, host.sim().now());
+  const SimDuration latency = model_->sample_latency(host.rng());
+  host.frame_ctx().dnn_energy = model_->energy_mj();
+  host.schedule(latency, [this, &host] {
+    FrameContext& ctx = host.frame_ctx();
+    const Prediction pred =
+        model_->infer(ctx.frame.image, ctx.frame.true_label, host.rng());
+    if (host.config().enable_adaptive_threshold && cache_ != nullptr &&
+        ctx.features_ready) {
+      // Validation event: the DNN ran, so compare it against the cache's
+      // hypothetical vote just past the current threshold edge.
+      const auto vote = cache_->peek_vote(
+          ctx.features,
+          {.threshold_scale = host.threshold().observation_scale()});
+      if (vote.has_value()) {
+        host.threshold().observe(vote->label == pred.label);
+      }
+    }
+    if (cache_ != nullptr && ctx.features_ready) {
+      cache_->insert(ctx.features, pred.label, pred.confidence,
+                     host.sim().now());
+    } else if (exact_ != nullptr && ctx.features_ready) {
+      exact_->insert(ctx.features, pred.label);
+    }
+    // The DNN always answers: its span is a hit by construction.
+    host.trace().end_span(RungOutcome::kHit, host.sim().now());
+    host.finish(ResultSource::kFullInference, pred.label, pred.confidence);
+  });
+}
+
+std::unique_ptr<ReuseRung> make_dnn_rung(const RungBuildContext& ctx) {
+  return std::make_unique<DnnRung>(ctx);
+}
+
+}  // namespace apx

@@ -1,0 +1,35 @@
+#pragma once
+// Bottom rung: full DNN inference. Always answers (its span is a hit by
+// construction), feeds fresh results back into whichever cache rungs are
+// in the ladder, and drives the adaptive-threshold controller's
+// validation events.
+
+#include "src/cache/approx_cache.hpp"
+#include "src/cache/exact_cache.hpp"
+#include "src/core/rungs/ladder.hpp"
+#include "src/core/rungs/rung.hpp"
+
+namespace apx {
+
+class DnnRung final : public ReuseRung {
+ public:
+  /// Cache pointers are wired only when the corresponding rung is in the
+  /// ladder — results feed the rungs that exist, nothing else.
+  explicit DnnRung(const RungBuildContext& ctx)
+      : model_(ctx.model),
+        cache_(ctx.spec->has("local") ? ctx.cache : nullptr),
+        exact_(ctx.spec->has("exact") ? ctx.exact_cache : nullptr) {}
+
+  std::string_view name() const noexcept override { return "dnn"; }
+  Rung trace_rung() const noexcept override { return Rung::kDnn; }
+  void run(ReusePipeline& host) override;
+
+ private:
+  RecognitionModel* model_;
+  ApproxCache* cache_;
+  ExactCache* exact_;
+};
+
+std::unique_ptr<ReuseRung> make_dnn_rung(const RungBuildContext& ctx);
+
+}  // namespace apx

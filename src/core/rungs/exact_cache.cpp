@@ -1,0 +1,40 @@
+#include "src/core/rungs/exact_cache.hpp"
+
+#include "src/core/pipeline.hpp"
+#include "src/features/extractor.hpp"
+
+namespace apx {
+
+void ExactCacheRung::run(ReusePipeline& host) {
+  host.trace().begin_span(Rung::kLocalCache, host.sim().now());
+  const SimDuration extract_cost =
+      host.frame_ctx().features_ready ? 0 : extractor_->latency();
+  host.spend(extract_cost);
+  host.schedule(extract_cost, [this, &host] {
+    FrameContext& ctx = host.frame_ctx();
+    if (!ctx.features_ready) {
+      ctx.features = extractor_->extract(ctx.frame.image);
+      ctx.features_ready = true;
+    }
+    const auto hit = exact_->lookup(ctx.features);
+    const SimDuration cost = exact_->lookup_latency();
+    host.spend(cost);
+    host.schedule(cost, [&host, hit] {
+      if (hit.has_value()) {
+        host.trace().end_span(RungOutcome::kHit, host.sim().now());
+        // An exact match is a perfect key collision: full confidence.
+        host.finish(ResultSource::kLocalCacheHit, *hit, 1.0f);
+        return;
+      }
+      host.trace().end_span(RungOutcome::kMiss, host.sim().now());
+      host.advance();
+    });
+  });
+}
+
+std::unique_ptr<ReuseRung> make_exact_cache_rung(
+    const RungBuildContext& ctx) {
+  return std::make_unique<ExactCacheRung>(ctx);
+}
+
+}  // namespace apx

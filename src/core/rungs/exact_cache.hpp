@@ -1,0 +1,28 @@
+#pragma once
+// Exact-match memoization rung (the conventional baseline the poster
+// argues against). Reports under the local-cache trace rung: to the
+// per-rung breakdown both are "the cache lookup" — one lookup path, two
+// rung types.
+
+#include "src/cache/exact_cache.hpp"
+#include "src/core/rungs/rung.hpp"
+
+namespace apx {
+
+class ExactCacheRung final : public ReuseRung {
+ public:
+  explicit ExactCacheRung(const RungBuildContext& ctx)
+      : extractor_(ctx.extractor), exact_(ctx.exact_cache) {}
+
+  std::string_view name() const noexcept override { return "exact"; }
+  Rung trace_rung() const noexcept override { return Rung::kLocalCache; }
+  void run(ReusePipeline& host) override;
+
+ private:
+  const FeatureExtractor* extractor_;
+  ExactCache* exact_;
+};
+
+std::unique_ptr<ReuseRung> make_exact_cache_rung(const RungBuildContext& ctx);
+
+}  // namespace apx

@@ -1,0 +1,45 @@
+#include "src/core/rungs/imu_gate.hpp"
+
+#include "src/core/pipeline.hpp"
+
+namespace apx {
+
+void ImuGateRung::run(ReusePipeline& host) {
+  const PipelineConfig& cfg = host.config();
+  const bool active = cfg.enable_imu_gate || cfg.enable_imu_fastpath;
+  const SimDuration cost = active ? cfg.imu_check_latency : 0;
+  if (active) host.trace().begin_span(Rung::kImuGate, host.sim().now());
+  host.spend(cost);
+  host.schedule(cost, [this, &host] {
+    const PipelineConfig& config = host.config();
+    FrameContext& ctx = host.frame_ctx();
+    GateDecision gate{true, 1.0f};
+    if (config.enable_imu_gate) gate = gate_.decide(ctx.motion);
+    if (config.enable_adaptive_threshold) {
+      // The motion gate and the feedback controller compose: the gate is a
+      // per-frame modulation, the controller a slow per-deployment trim.
+      gate.threshold_scale *= host.threshold().scale();
+    }
+    ctx.gate = gate;
+
+    if (config.enable_imu_fastpath &&
+        ctx.motion == MotionState::kStationary &&
+        host.last_result().has_value() &&
+        host.last_result()->label != kNoLabel &&
+        host.sim().now() - host.last_result_time() <=
+            config.imu_fastpath_max_age) {
+      host.trace().end_span(RungOutcome::kHit, host.sim().now());
+      host.finish(ResultSource::kImuFastPath, host.last_result()->label,
+                  host.last_result()->confidence);
+      return;
+    }
+    host.trace().end_span(RungOutcome::kMiss, host.sim().now());
+    host.advance();
+  });
+}
+
+std::unique_ptr<ReuseRung> make_imu_gate_rung(const RungBuildContext& ctx) {
+  return std::make_unique<ImuGateRung>(ctx);
+}
+
+}  // namespace apx

@@ -1,0 +1,29 @@
+#pragma once
+// Entry rung: consults the motion estimate, derives the frame's gate
+// decision (temporal-reuse permission + threshold scale, composed with the
+// adaptive-threshold trim) and takes the stationary fast path when the
+// last result is still fresh. Present in EVERY ladder — when both IMU
+// features are disabled it runs inert (zero cost, no span) but still
+// performs the admission hop and publishes a neutral gate decision.
+
+#include "src/core/rungs/rung.hpp"
+#include "src/imu/gate.hpp"
+
+namespace apx {
+
+class ImuGateRung final : public ReuseRung {
+ public:
+  explicit ImuGateRung(const RungBuildContext& ctx)
+      : gate_(ctx.config->gate) {}
+
+  std::string_view name() const noexcept override { return "imu"; }
+  Rung trace_rung() const noexcept override { return Rung::kImuGate; }
+  void run(ReusePipeline& host) override;
+
+ private:
+  MotionGate gate_;
+};
+
+std::unique_ptr<ReuseRung> make_imu_gate_rung(const RungBuildContext& ctx);
+
+}  // namespace apx

@@ -1,0 +1,171 @@
+#include "src/core/rungs/ladder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/core/rungs/dnn.hpp"
+#include "src/core/rungs/exact_cache.hpp"
+#include "src/core/rungs/imu_gate.hpp"
+#include "src/core/rungs/local_cache.hpp"
+#include "src/core/rungs/p2p.hpp"
+#include "src/core/rungs/temporal.hpp"
+#include "src/core/rungs/warm_tier.hpp"
+
+namespace apx {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && s.front() == ' ') s.remove_prefix(1);
+  while (!s.empty() && s.back() == ' ') s.remove_suffix(1);
+  return s;
+}
+
+[[noreturn]] void bad_spec(std::string_view text, const std::string& why) {
+  throw std::invalid_argument("ladder spec '" + std::string(text) +
+                              "': " + why);
+}
+
+}  // namespace
+
+LadderSpec LadderSpec::parse(std::string_view text) {
+  const RungRegistry& registry = RungRegistry::instance();
+  LadderSpec spec;
+  int last_rank = -1;
+  std::size_t pos = 0;
+  while (true) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string_view::npos) comma = text.size();
+    const std::string_view token = trim(text.substr(pos, comma - pos));
+    if (token.empty()) bad_spec(text, "empty rung token");
+    const RungRegistry::Entry* entry = registry.find(token);
+    if (entry == nullptr) {
+      bad_spec(text, "unknown rung '" + std::string(token) + "'");
+    }
+    if (spec.has(token)) {
+      bad_spec(text, "duplicate rung '" + std::string(token) + "'");
+    }
+    if (entry->rank <= last_rank) {
+      // Covers both cheapest-first order violations and mutually exclusive
+      // same-rank rungs (local + exact: one cache-lookup slot).
+      bad_spec(text, "rung '" + std::string(token) +
+                         "' out of ladder order (cheapest first, at most "
+                         "one cache rung)");
+    }
+    last_rank = entry->rank;
+    spec.tokens.emplace_back(token);
+    if (comma == text.size()) break;
+    pos = comma + 1;
+  }
+  if (spec.tokens.back() != "dnn") {
+    bad_spec(text, "must end with 'dnn' (the unconditional answerer)");
+  }
+  if (spec.has("p2p") && !spec.has("local")) {
+    bad_spec(text,
+             "'p2p' requires 'local' (the P2P rung re-votes the local "
+             "approximate cache)");
+  }
+  return spec;
+}
+
+LadderSpec LadderSpec::from_config(const PipelineConfig& config) {
+  LadderSpec spec;
+  if (config.enable_imu_gate || config.enable_imu_fastpath) {
+    spec.tokens.emplace_back("imu");
+  }
+  if (config.enable_temporal) spec.tokens.emplace_back("temporal");
+  if (config.enable_warm_tier) spec.tokens.emplace_back("warm");
+  if (config.cache_mode == CacheMode::kApprox) {
+    spec.tokens.emplace_back("local");
+    if (config.enable_p2p) spec.tokens.emplace_back("p2p");
+  } else if (config.cache_mode == CacheMode::kExact) {
+    spec.tokens.emplace_back("exact");
+  }
+  spec.tokens.emplace_back("dnn");
+  return spec;
+}
+
+std::string LadderSpec::to_string() const {
+  std::string out;
+  for (const std::string& token : tokens) {
+    if (!out.empty()) out += ',';
+    out += token;
+  }
+  return out;
+}
+
+bool LadderSpec::has(std::string_view token) const noexcept {
+  return std::find(tokens.begin(), tokens.end(), token) != tokens.end();
+}
+
+void apply_ladder(PipelineConfig& config, const LadderSpec& spec) {
+  const bool imu = spec.has("imu");
+  config.enable_imu_gate = imu;
+  config.enable_imu_fastpath = imu;
+  config.enable_temporal = spec.has("temporal");
+  config.enable_warm_tier = spec.has("warm");
+  config.enable_p2p = spec.has("p2p");
+  config.cache_mode = spec.has("local")   ? CacheMode::kApprox
+                      : spec.has("exact") ? CacheMode::kExact
+                                          : CacheMode::kNone;
+  config.ladder = spec.to_string();
+}
+
+RungRegistry::RungRegistry() {
+  add("imu", 0, &make_imu_gate_rung);
+  add("temporal", 1, &make_temporal_rung);
+  add("warm", 2, &make_warm_tier_rung);
+  add("local", 3, &make_local_cache_rung);
+  add("exact", 3, &make_exact_cache_rung);
+  add("p2p", 4, &make_p2p_rung);
+  add("dnn", 5, &make_dnn_rung);
+}
+
+RungRegistry& RungRegistry::instance() {
+  static RungRegistry registry;
+  return registry;
+}
+
+void RungRegistry::add(std::string name, int rank, Factory factory) {
+  if (find(name) != nullptr) {
+    throw std::logic_error("RungRegistry: duplicate rung '" + name + "'");
+  }
+  entries_.push_back(Entry{std::move(name), rank, factory});
+}
+
+const RungRegistry::Entry* RungRegistry::find(
+    std::string_view name) const noexcept {
+  for (const Entry& entry : entries_) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> RungRegistry::names() const {
+  std::vector<const Entry*> sorted;
+  sorted.reserve(entries_.size());
+  for (const Entry& entry : entries_) sorted.push_back(&entry);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Entry* a, const Entry* b) {
+                     return a->rank < b->rank;
+                   });
+  std::vector<std::string> out;
+  out.reserve(sorted.size());
+  for (const Entry* entry : sorted) out.push_back(entry->name);
+  return out;
+}
+
+std::vector<std::unique_ptr<ReuseRung>> build_ladder(
+    const LadderSpec& spec, const RungBuildContext& ctx) {
+  const RungRegistry& registry = RungRegistry::instance();
+  std::vector<std::unique_ptr<ReuseRung>> rungs;
+  rungs.reserve(spec.tokens.size() + 1);
+  rungs.push_back(registry.find("imu")->factory(ctx));
+  for (const std::string& token : spec.tokens) {
+    if (token == "imu") continue;  // the entry rung above covers it
+    rungs.push_back(registry.find(token)->factory(ctx));
+  }
+  return rungs;
+}
+
+}  // namespace apx

@@ -1,0 +1,89 @@
+#pragma once
+// Declarative ladder specs and the rung registry/factory.
+//
+// Grammar: a spec is a comma-separated list of rung tokens, cheapest rung
+// first, ending in "dnn":
+//
+//   spec  := token ("," token)*
+//   token := "imu" | "temporal" | "warm" | "local" | "exact" | "p2p" | "dnn"
+//
+// Validation (LadderSpec::parse throws std::invalid_argument):
+//   * every token must be registered, non-empty, and appear at most once;
+//   * tokens must appear in strictly increasing ladder rank — this both
+//     enforces cheapest-first order and rejects "local" + "exact" together
+//     (they share the cache-lookup rank: one lookup path, two rung types);
+//   * the spec must end with "dnn" (the ladder's unconditional answerer);
+//   * "p2p" requires "local" (the P2P rung re-votes the approximate cache).
+//
+// The named make_*_config() presets are ladder specs (see config.cpp), and
+// `apxsim --ladder imu,temporal,warm,local,p2p,dnn` runs any valid spec.
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/rungs/rung.hpp"
+
+namespace apx {
+
+/// A parsed, validated ladder composition.
+struct LadderSpec {
+  std::vector<std::string> tokens;  ///< rank order, ends with "dnn"
+
+  /// Parses and validates a spec string (grammar above); throws
+  /// std::invalid_argument with a actionable message on any violation.
+  static LadderSpec parse(std::string_view text);
+
+  /// Derives the spec equivalent to a flag-driven config — the inverse of
+  /// apply_ladder, used when PipelineConfig::ladder is empty.
+  static LadderSpec from_config(const PipelineConfig& config);
+
+  /// Canonical comma-joined form (round-trips through parse()).
+  std::string to_string() const;
+
+  bool has(std::string_view token) const noexcept;
+};
+
+/// Makes `spec` authoritative on `config`: overwrites every rung-coupled
+/// field (enable_* flags, cache_mode) to match the spec and stores the
+/// canonical spec string in config.ladder. Provisioning code (sim/runner)
+/// keys off those flags, so they can never drift from the ladder.
+void apply_ladder(PipelineConfig& config, const LadderSpec& spec);
+
+/// Token -> (ladder rank, factory). Built-in rungs self-register in the
+/// singleton's constructor; extensions may add() more before any parse.
+class RungRegistry {
+ public:
+  using Factory = std::unique_ptr<ReuseRung> (*)(const RungBuildContext&);
+
+  struct Entry {
+    std::string name;
+    int rank = 0;  ///< ladder position class; specs must strictly increase
+    Factory factory = nullptr;
+  };
+
+  static RungRegistry& instance();
+
+  /// Registers a rung type; throws std::logic_error on a duplicate name.
+  void add(std::string name, int rank, Factory factory);
+
+  const Entry* find(std::string_view name) const noexcept;
+
+  /// Registered tokens in rank order (ties in registration order).
+  std::vector<std::string> names() const;
+
+ private:
+  RungRegistry();
+
+  std::vector<Entry> entries_;
+};
+
+/// Instantiates the rung chain for `spec`. The IMU rung doubles as the
+/// frame-admission hop, so it is always first — even for specs without
+/// "imu", where it runs inert (zero cost, no span); this keeps the event
+/// schedule identical across every configuration.
+std::vector<std::unique_ptr<ReuseRung>> build_ladder(
+    const LadderSpec& spec, const RungBuildContext& ctx);
+
+}  // namespace apx

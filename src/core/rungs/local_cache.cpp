@@ -1,0 +1,42 @@
+#include "src/core/rungs/local_cache.hpp"
+
+#include "src/core/pipeline.hpp"
+#include "src/features/extractor.hpp"
+
+namespace apx {
+
+void LocalCacheRung::run(ReusePipeline& host) {
+  host.trace().begin_span(Rung::kLocalCache, host.sim().now());
+  const SimDuration extract_cost =
+      host.frame_ctx().features_ready ? 0 : extractor_->latency();
+  host.spend(extract_cost);
+  host.schedule(extract_cost, [this, &host] {
+    FrameContext& ctx = host.frame_ctx();
+    if (!ctx.features_ready) {
+      ctx.features = extractor_->extract(ctx.frame.image);
+      ctx.features_ready = true;
+    }
+    const CacheLookupResult res = cache_->lookup(
+        ctx.features, host.sim().now(),
+        {.threshold_scale = ctx.gate.threshold_scale,
+         .trace = &host.trace()});
+    host.spend(res.latency);
+    host.schedule(res.latency, [&host, vote = res.vote] {
+      if (vote.has_value()) {
+        host.trace().end_span(RungOutcome::kHit, host.sim().now());
+        host.finish(ResultSource::kLocalCacheHit, vote->label,
+                    vote->homogeneity);
+        return;
+      }
+      host.trace().end_span(RungOutcome::kMiss, host.sim().now());
+      host.advance();
+    });
+  });
+}
+
+std::unique_ptr<ReuseRung> make_local_cache_rung(
+    const RungBuildContext& ctx) {
+  return std::make_unique<LocalCacheRung>(ctx);
+}
+
+}  // namespace apx

@@ -1,0 +1,27 @@
+#pragma once
+// Local approximate-cache rung: feature extraction (skipped when an
+// upstream rung already extracted) followed by the A-LSH + H-kNN lookup,
+// with the gate's threshold scale applied per call.
+
+#include "src/cache/approx_cache.hpp"
+#include "src/core/rungs/rung.hpp"
+
+namespace apx {
+
+class LocalCacheRung final : public ReuseRung {
+ public:
+  explicit LocalCacheRung(const RungBuildContext& ctx)
+      : extractor_(ctx.extractor), cache_(ctx.cache) {}
+
+  std::string_view name() const noexcept override { return "local"; }
+  Rung trace_rung() const noexcept override { return Rung::kLocalCache; }
+  void run(ReusePipeline& host) override;
+
+ private:
+  const FeatureExtractor* extractor_;
+  ApproxCache* cache_;
+};
+
+std::unique_ptr<ReuseRung> make_local_cache_rung(const RungBuildContext& ctx);
+
+}  // namespace apx

@@ -1,0 +1,29 @@
+#pragma once
+// P2P rung: broadcast a lookup to nearby peers, merge their answers into
+// the local approximate cache, and re-run the homogenized vote over the
+// enriched neighbourhood. Skipped (no span, no cost) while the peer
+// service's degradation backoff suppresses lookups.
+
+#include "src/cache/approx_cache.hpp"
+#include "src/core/rungs/rung.hpp"
+#include "src/p2p/peer_cache.hpp"
+
+namespace apx {
+
+class P2pRung final : public ReuseRung {
+ public:
+  explicit P2pRung(const RungBuildContext& ctx)
+      : cache_(ctx.cache), peers_(ctx.peers) {}
+
+  std::string_view name() const noexcept override { return "p2p"; }
+  Rung trace_rung() const noexcept override { return Rung::kP2p; }
+  void run(ReusePipeline& host) override;
+
+ private:
+  ApproxCache* cache_;
+  PeerCacheService* peers_;
+};
+
+std::unique_ptr<ReuseRung> make_p2p_rung(const RungBuildContext& ctx);
+
+}  // namespace apx

@@ -1,0 +1,29 @@
+#pragma once
+// Temporal keyframe-reuse rung: a cheap frame-diff against the last
+// pixel-inspecting result's keyframe. Owns the TemporalReuseDetector —
+// keyframe refresh happens in on_result (any source that actually looked
+// at the image), and major motion invalidates the chain.
+
+#include "src/core/rungs/rung.hpp"
+#include "src/video/locality.hpp"
+
+namespace apx {
+
+class TemporalRung final : public ReuseRung {
+ public:
+  explicit TemporalRung(const RungBuildContext& ctx)
+      : temporal_(ctx.config->temporal) {}
+
+  std::string_view name() const noexcept override { return "temporal"; }
+  Rung trace_rung() const noexcept override { return Rung::kTemporal; }
+  void run(ReusePipeline& host) override;
+  void on_result(ReusePipeline& host,
+                 const RecognitionResult& result) override;
+
+ private:
+  TemporalReuseDetector temporal_;
+};
+
+std::unique_ptr<ReuseRung> make_temporal_rung(const RungBuildContext& ctx);
+
+}  // namespace apx

@@ -1,0 +1,93 @@
+#include "src/core/rungs/warm_tier.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/core/pipeline.hpp"
+#include "src/features/extractor.hpp"
+#include "src/util/vecmath.hpp"
+
+namespace apx {
+
+void WarmTierRung::run(ReusePipeline& host) {
+  if (quantized_.empty()) {
+    // Cold bank: nothing to scan, pay nothing (the downstream cache rung
+    // will do the extraction).
+    host.advance();
+    return;
+  }
+  const WarmTierParams& params = host.config().warm;
+  host.trace().begin_span(Rung::kWarm, host.sim().now());
+  const FrameContext& ctx = host.frame_ctx();
+  const SimDuration extract_cost =
+      ctx.features_ready ? 0 : extractor_->latency();
+  const SimDuration cost =
+      extract_cost + params.base_latency +
+      params.per_prototype_latency *
+          static_cast<SimDuration>(quantized_.size());
+  host.spend(cost);
+  host.schedule(cost, [this, &host] {
+    FrameContext& frame = host.frame_ctx();
+    if (!frame.features_ready) {
+      frame.features = extractor_->extract(frame.frame.image);
+      frame.features_ready = true;
+    }
+    Label best = kNoLabel;
+    float best_distance = std::numeric_limits<float>::max();
+    std::uint32_t best_support = 0;
+    for (const auto& [label, proto] : quantized_) {
+      const float d = l2(frame.features, proto.recon);
+      if (d < best_distance) {
+        best_distance = d;
+        best = label;
+        best_support = proto.support;
+      }
+    }
+    const WarmTierParams& p = host.config().warm;
+    const float base_limit =
+        p.max_distance > 0.0f
+            ? p.max_distance
+            : host.config().cache.hknn.max_distance * p.distance_scale;
+    const float limit = base_limit * frame.gate.threshold_scale;
+    host.trace().annotate_lookup(
+        static_cast<std::uint32_t>(quantized_.size()), best_distance);
+    if (best != kNoLabel && best_distance <= limit &&
+        best_support >= p.min_support) {
+      const float confidence =
+          limit > 0.0f
+              ? std::clamp(1.0f - best_distance / limit, 0.0f, 1.0f)
+              : 0.0f;
+      host.trace().end_span(RungOutcome::kHit, host.sim().now());
+      host.finish(ResultSource::kWarmCacheHit, best, confidence);
+      return;
+    }
+    host.trace().end_span(RungOutcome::kMiss, host.sim().now());
+    host.advance();
+  });
+}
+
+void WarmTierRung::on_result(ReusePipeline& host,
+                             const RecognitionResult& result) {
+  // Only DNN-validated frames teach the bank: reuse hits echoing a cached
+  // label must not inflate their own prototype's support.
+  if (result.source != ResultSource::kFullInference) return;
+  const FrameContext& ctx = host.frame_ctx();
+  if (!ctx.features_ready || result.label == kNoLabel) return;
+  const CentroidBank::ObserveOutcome outcome =
+      bank_.observe(ctx.features, result.label);
+  if (outcome.evicted != kNoLabel) quantized_.erase(outcome.evicted);
+  if (outcome.updated != kNoLabel) {
+    const CentroidBank::Prototype* proto = bank_.find(outcome.updated);
+    QuantizedProto q;
+    q.codes = quantize(proto->mean);
+    q.recon = dequantize(q.codes);
+    q.support = proto->support;
+    quantized_[outcome.updated] = std::move(q);
+  }
+}
+
+std::unique_ptr<ReuseRung> make_warm_tier_rung(const RungBuildContext& ctx) {
+  return std::make_unique<WarmTierRung>(ctx);
+}
+
+}  // namespace apx

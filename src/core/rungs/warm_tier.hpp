@@ -1,0 +1,54 @@
+#pragma once
+// Warm-tier rung: answers from 8-bit-quantized per-class prototypes
+// (ann/quantize codes over dnn/centroid running means) with a linear scan —
+// a tier between temporal reuse (no pixels beyond a diff) and the local
+// approximate cache (feature extraction + A-LSH walk + H-kNN vote). The
+// scan is O(#labels), not O(#cached entries), and matching against the
+// stored *reconstructions* keeps the answer honest to what the 8-bit codes
+// actually preserve.
+//
+// Learning is result-driven: on_result folds every DNN-validated frame
+// into the label's running mean and re-quantizes that prototype. A
+// prototype only answers once it has min_support observations and the
+// query lands within the (gate-scaled) acceptance distance.
+
+#include <map>
+
+#include "src/ann/quantize.hpp"
+#include "src/core/rungs/rung.hpp"
+#include "src/dnn/centroid.hpp"
+
+namespace apx {
+
+class WarmTierRung final : public ReuseRung {
+ public:
+  explicit WarmTierRung(const RungBuildContext& ctx)
+      : extractor_(ctx.extractor),
+        bank_(ctx.config->warm.max_prototypes) {}
+
+  std::string_view name() const noexcept override { return "warm"; }
+  Rung trace_rung() const noexcept override { return Rung::kWarm; }
+  const char* extra_source() const noexcept override { return "warm-cache"; }
+  void run(ReusePipeline& host) override;
+  void on_result(ReusePipeline& host,
+                 const RecognitionResult& result) override;
+
+  std::size_t prototype_count() const noexcept { return quantized_.size(); }
+
+ private:
+  /// A prototype as the rung actually matches it: the 8-bit codes plus the
+  /// cached reconstruction (so the scan allocates nothing).
+  struct QuantizedProto {
+    QuantizedVec codes;
+    FeatureVec recon;
+    std::uint32_t support = 0;
+  };
+
+  const FeatureExtractor* extractor_;
+  CentroidBank bank_;
+  std::map<Label, QuantizedProto> quantized_;  ///< label order: deterministic
+};
+
+std::unique_ptr<ReuseRung> make_warm_tier_rung(const RungBuildContext& ctx);
+
+}  // namespace apx

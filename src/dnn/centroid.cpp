@@ -58,4 +58,45 @@ Prediction CentroidClassifier::infer(const Image& img, Label /*true_label*/,
   return {best, confidence};
 }
 
+CentroidBank::CentroidBank(std::size_t max_prototypes)
+    : max_(max_prototypes == 0 ? 1 : max_prototypes) {}
+
+CentroidBank::ObserveOutcome CentroidBank::observe(
+    std::span<const float> features, Label label) {
+  ObserveOutcome outcome;
+  if (label == kNoLabel) return outcome;
+  auto it = protos_.find(label);
+  if (it == protos_.end()) {
+    if (protos_.size() >= max_) {
+      // Evict the weakest prototype; label-order iteration makes the tie
+      // break (smallest label) deterministic.
+      auto victim = protos_.begin();
+      for (auto cand = protos_.begin(); cand != protos_.end(); ++cand) {
+        if (cand->second.support < victim->second.support) victim = cand;
+      }
+      outcome.evicted = victim->first;
+      protos_.erase(victim);
+    }
+    Prototype proto;
+    proto.mean.assign(features.begin(), features.end());
+    proto.support = 1;
+    protos_.emplace(label, std::move(proto));
+    outcome.updated = label;
+    return outcome;
+  }
+  Prototype& proto = it->second;
+  ++proto.support;
+  const float w = 1.0f / static_cast<float>(proto.support);
+  for (std::size_t i = 0; i < proto.mean.size(); ++i) {
+    proto.mean[i] += (features[i] - proto.mean[i]) * w;
+  }
+  outcome.updated = label;
+  return outcome;
+}
+
+const CentroidBank::Prototype* CentroidBank::find(Label label) const noexcept {
+  const auto it = protos_.find(label);
+  return it == protos_.end() ? nullptr : &it->second;
+}
+
 }  // namespace apx

@@ -1,10 +1,17 @@
 #pragma once
-// A real (non-oracle) classifier: nearest class centroid in MiniCnn
-// embedding space, trained on rendered samples. Slower than the oracle but
-// exercises the genuine image -> feature -> decision path end to end; used
-// by the examples and by correctness tests.
+// Centroid machinery over feature embeddings:
+//   * CentroidClassifier — a real (non-oracle) classifier: nearest class
+//     centroid in MiniCnn embedding space, trained on rendered samples.
+//     Slower than the oracle but exercises the genuine image -> feature ->
+//     decision path end to end; used by the examples and correctness tests.
+//   * CentroidBank — online per-class running-mean prototypes learned from
+//     DNN-validated frames. The warm-tier rung quantizes these prototypes
+//     (ann/quantize) and answers near-matches without an A-LSH lookup.
 
+#include <map>
 #include <memory>
+#include <optional>
+#include <span>
 
 #include "src/dnn/model.hpp"
 #include "src/features/minicnn.hpp"
@@ -41,6 +48,47 @@ class CentroidClassifier final : public RecognitionModel {
   ModelProfile profile_;
   MiniCnn cnn_;
   std::vector<FeatureVec> centroids_;
+};
+
+/// Online bank of per-class prototypes: one running-mean embedding per
+/// label, learned one observation at a time. Capacity-bounded: admitting a
+/// new label when full evicts the lowest-support prototype (ties break
+/// toward the smallest label — the bank iterates in label order, so its
+/// behaviour is deterministic).
+class CentroidBank {
+ public:
+  struct Prototype {
+    FeatureVec mean;
+    std::uint32_t support = 0;  ///< observations folded into `mean`
+  };
+
+  /// What one observe() changed: the label whose prototype was created or
+  /// updated, and the label evicted to make room (kNoLabel when none was).
+  struct ObserveOutcome {
+    Label updated = kNoLabel;
+    Label evicted = kNoLabel;
+  };
+
+  explicit CentroidBank(std::size_t max_prototypes);
+
+  /// Folds one observation into the label's running mean (creating the
+  /// prototype, evicting if at capacity). No-op for kNoLabel.
+  ObserveOutcome observe(std::span<const float> features, Label label);
+
+  /// The label's prototype; nullptr when absent. Invalidated by observe().
+  const Prototype* find(Label label) const noexcept;
+
+  std::size_t size() const noexcept { return protos_.size(); }
+  std::size_t capacity() const noexcept { return max_; }
+
+  /// All prototypes, in label order.
+  const std::map<Label, Prototype>& prototypes() const noexcept {
+    return protos_;
+  }
+
+ private:
+  std::size_t max_;
+  std::map<Label, Prototype> protos_;
 };
 
 }  // namespace apx

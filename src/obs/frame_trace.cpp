@@ -9,6 +9,7 @@ const char* to_string(Rung rung) noexcept {
     case Rung::kLocalCache: return "local-cache";
     case Rung::kP2p: return "p2p";
     case Rung::kDnn: return "dnn";
+    case Rung::kWarm: return "warm";
   }
   return "?";
 }

@@ -6,9 +6,9 @@
 // that actually ran (IMU gate, temporal check, local cache, P2P round, DNN)
 // instead of inferring it from pooled counters.
 //
-// A FrameTrace is a fixed-capacity value type (the ladder has at most five
-// rungs) so tracing adds no heap allocations to the frame hot path; the
-// pipeline owns one and reuses it for every frame it processes.
+// A FrameTrace is a fixed-capacity value type (a ladder visits at most
+// kMaxSpans rungs) so tracing adds no heap allocations to the frame hot
+// path; the pipeline owns one and reuses it for every frame it processes.
 
 #include <array>
 #include <cstdint>
@@ -25,11 +25,13 @@ enum class Rung : std::uint8_t {
   kLocalCache = 2,  ///< feature extraction + approximate cache lookup
   kP2p = 3,         ///< peer lookup round + re-vote
   kDnn = 4,         ///< full inference
+  kWarm = 5,        ///< quantized warm-tier prototype scan
 };
 
-inline constexpr std::size_t kRungCount = 5;
+inline constexpr std::size_t kRungCount = 6;
 
-/// Printable rung name ("imu-gate", "temporal", "local-cache", "p2p", "dnn").
+/// Printable rung name ("imu-gate", "temporal", "local-cache", "p2p",
+/// "dnn", "warm").
 const char* to_string(Rung rung) noexcept;
 
 /// How a visited rung ended: it either answered the frame or passed it down.

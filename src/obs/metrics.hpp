@@ -60,6 +60,12 @@ class MetricsRegistry {
   }
   void record(HistogramId id, double value) noexcept;
 
+  /// Current value of a registered counter (handle variant of
+  /// counter_value(); no name lookup).
+  std::uint64_t value(CounterId id) const noexcept {
+    return counters_[id].value;
+  }
+
   /// Value of counter `name`; 0 when never registered.
   std::uint64_t counter_value(const std::string& name) const noexcept;
 

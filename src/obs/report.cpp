@@ -5,16 +5,40 @@
 namespace apx {
 
 std::string rung_latency_metric(Rung rung) {
-  return std::string("pipeline/rung_us/") + to_string(rung);
+  return rung_latency_metric(std::string_view{to_string(rung)});
+}
+
+std::string rung_latency_metric(std::string_view rung_name) {
+  return std::string("pipeline/rung_us/") + std::string(rung_name);
 }
 
 std::string rung_outcome_metric(Rung rung, RungOutcome outcome) {
+  return rung_outcome_metric(std::string_view{to_string(rung)}, outcome);
+}
+
+std::string rung_outcome_metric(std::string_view rung_name,
+                                RungOutcome outcome) {
   return std::string("pipeline/rung_") + to_string(outcome) + "/" +
-         to_string(rung);
+         std::string(rung_name);
 }
 
 std::string source_metric(const char* source_name) {
   return std::string("pipeline/source/") + source_name;
+}
+
+std::span<const char* const> schema_rung_names() noexcept {
+  // The pre-plugin pipeline registered exactly these five rungs for every
+  // configuration; goldens pin that export shape, so the baseline is fixed.
+  static constexpr const char* kNames[] = {"imu-gate", "temporal",
+                                           "local-cache", "p2p", "dnn"};
+  return kNames;
+}
+
+std::span<const char* const> schema_source_names() noexcept {
+  static constexpr const char* kNames[] = {"imu-fastpath", "temporal",
+                                           "local-cache", "peer-cache",
+                                           "inference"};
+  return kNames;
 }
 
 std::string per_rung_summary(const MetricsRegistry& metrics) {

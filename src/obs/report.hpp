@@ -3,7 +3,9 @@
 // Instruments (core/pipeline.cpp) and reporters (runner, apxsim, examples)
 // both go through these helpers so the metric names cannot drift apart.
 
+#include <span>
 #include <string>
+#include <string_view>
 
 #include "src/obs/frame_trace.hpp"
 #include "src/obs/metrics.hpp"
@@ -13,13 +15,25 @@ namespace apx {
 /// Histogram of simulated latency (us) spent in `rung` per visiting frame:
 /// "pipeline/rung_us/<rung>".
 std::string rung_latency_metric(Rung rung);
+std::string rung_latency_metric(std::string_view rung_name);
 
 /// Counter of rung visits that ended with `outcome`:
 /// "pipeline/rung_<outcome>/<rung>".
 std::string rung_outcome_metric(Rung rung, RungOutcome outcome);
+std::string rung_outcome_metric(std::string_view rung_name,
+                                RungOutcome outcome);
 
 /// Counter of frames answered by `source` ("pipeline/source/<source>").
 std::string source_metric(const char* source_name);
+
+/// The rung names every pipeline registers unconditionally, whatever its
+/// ladder — the stable baseline of the metrics export schema. Ladder rungs
+/// outside this set (e.g. "warm") add their instruments on top.
+std::span<const char* const> schema_rung_names() noexcept;
+
+/// The result-source names every pipeline registers unconditionally
+/// (schema baseline; extra sources ride on the rungs that produce them).
+std::span<const char* const> schema_source_names() noexcept;
 
 /// Renders the per-rung latency/hit breakdown table from a registry filled
 /// by an instrumented pipeline (empty string when nothing was recorded).

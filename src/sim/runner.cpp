@@ -95,6 +95,12 @@ struct ExperimentRunner::Impl {
     if (config.num_devices < 1) {
       throw std::invalid_argument("ScenarioConfig: num_devices < 1");
     }
+    // A declarative ladder spec is authoritative: sync the enable_* flags
+    // to it up front so provisioning (cache, peers, parallel gating) sees
+    // the same composition the pipelines will run.
+    if (!config.pipeline.ladder.empty()) {
+      apply_ladder(config.pipeline, LadderSpec::parse(config.pipeline.ladder));
+    }
     // Devices may only run concurrently when nothing couples them: no P2P
     // traffic, no edge super-peer, and no shared frame trace. Everything
     // else they touch (scenes, popularity, extractor) is immutable after
@@ -354,8 +360,8 @@ struct ExperimentRunner::Impl {
           device.registry.inc(device.registry.counter("p2p/" + key), count);
         }
       }
-      device.registry.inc(device.registry.counter("pipeline/dropped"),
-                          device.pipeline->counters().get("dropped"));
+      // Pipeline counters (sources, dropped) live directly in the device
+      // registry since attach_metrics — nothing to copy.
       pooled_registry.merge(device.registry);
       pooled.merge(device.metrics);
       device_metrics.push_back(device.metrics);

@@ -1,0 +1,95 @@
+// Golden-file equivalence: the metrics-registry JSON export for every named
+// pipeline configuration at fixed seeds must stay byte-identical across
+// refactors. The committed files under tests/golden/ were generated from
+// pre-refactor main (before the rung plugin architecture); any divergence in
+// RNG draw order, event scheduling, metric naming or JSON formatting shows
+// up as a byte diff here.
+//
+// Regenerate (only when an intentional behaviour change is being made):
+//   APX_UPDATE_GOLDEN=1 ./build/tests/golden_test
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/sim/runner.hpp"
+
+#ifndef APX_GOLDEN_DIR
+#error "APX_GOLDEN_DIR must be defined by the build"
+#endif
+
+namespace apx {
+namespace {
+
+struct GoldenCase {
+  const char* name;           ///< named config (apxsim --config vocabulary)
+  PipelineConfig (*make)();
+  std::uint64_t seed;
+};
+
+// The T1/T2/F4/T3 evaluation sweeps all iterate these named configurations
+// over the shared live-video workload; two seeds guard against a lucky
+// coincidence at one RNG stream.
+const GoldenCase kCases[] = {
+    {"nocache", make_nocache_config, 1},   {"nocache", make_nocache_config, 23},
+    {"exact", make_exactcache_config, 1},  {"exact", make_exactcache_config, 23},
+    {"local", make_approx_local_config, 1},
+    {"local", make_approx_local_config, 23},
+    {"imu", make_approx_imu_config, 1},    {"imu", make_approx_imu_config, 23},
+    {"video", make_approx_video_config, 1},
+    {"video", make_approx_video_config, 23},
+    {"full", make_full_system_config, 1},  {"full", make_full_system_config, 23},
+    {"adaptive", make_adaptive_config, 1}, {"adaptive", make_adaptive_config, 23},
+};
+
+/// Small but complete instance of the evaluation workload: co-located
+/// devices, Zipf popularity, CNN feature keys. Fixed forever — changing any
+/// of this invalidates the committed goldens.
+ScenarioConfig golden_scenario(const GoldenCase& c) {
+  ScenarioConfig cfg = default_scenario();
+  cfg.pipeline = c.make();
+  cfg.num_devices = 3;
+  cfg.duration = 10 * kSecond;
+  cfg.scene.num_classes = 16;
+  cfg.seed = c.seed;
+  return cfg;
+}
+
+std::string golden_path(const GoldenCase& c) {
+  return std::string(APX_GOLDEN_DIR) + "/" + c.name + "_s" +
+         std::to_string(c.seed) + ".json";
+}
+
+/// Same framing apxsim --metrics-out uses: JSON export + trailing newline.
+std::string export_metrics(const GoldenCase& c) {
+  ExperimentRunner runner{golden_scenario(c)};
+  runner.run();
+  return runner.metrics().to_json() + "\n";
+}
+
+TEST(Golden, MetricsExportsMatchPreRefactorMain) {
+  const bool update = std::getenv("APX_UPDATE_GOLDEN") != nullptr;
+  for (const GoldenCase& c : kCases) {
+    SCOPED_TRACE(std::string(c.name) + " seed " + std::to_string(c.seed));
+    const std::string got = export_metrics(c);
+    const std::string path = golden_path(c);
+    if (update) {
+      std::ofstream out{path, std::ios::binary};
+      ASSERT_TRUE(out) << "cannot write " << path;
+      out << got;
+      continue;
+    }
+    std::ifstream in{path, std::ios::binary};
+    ASSERT_TRUE(in) << "missing golden file " << path
+                    << " (run with APX_UPDATE_GOLDEN=1 to generate)";
+    std::ostringstream want;
+    want << in.rdbuf();
+    EXPECT_EQ(got, want.str()) << "metrics export diverged from " << path;
+  }
+}
+
+}  // namespace
+}  // namespace apx

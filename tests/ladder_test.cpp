@@ -1,0 +1,345 @@
+// Ladder composition: spec parsing/round-tripping, rejection of malformed
+// specs, spec-built vs preset-built equivalence, the warm-tier rung end to
+// end, and the ablation property that adding rungs never increases the
+// fraction of frames answered by full DNN inference.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/cache/eviction.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/core/rungs/ladder.hpp"
+#include "src/dnn/oracle.hpp"
+#include "src/dnn/zoo.hpp"
+#include "src/obs/report.hpp"
+#include "src/sim/runner.hpp"
+
+namespace apx {
+namespace {
+
+// ------------------------------------------------------- parse / round-trip
+
+TEST(LadderSpecTest, ParsesAndRoundTripsCanonicalSpecs) {
+  const char* specs[] = {
+      "dnn",
+      "exact,dnn",
+      "local,dnn",
+      "imu,local,dnn",
+      "imu,temporal,local,dnn",
+      "imu,temporal,local,p2p,dnn",
+      "imu,temporal,warm,local,p2p,dnn",
+      "warm,dnn",
+      "temporal,exact,dnn",
+  };
+  for (const char* text : specs) {
+    SCOPED_TRACE(text);
+    const LadderSpec spec = LadderSpec::parse(text);
+    EXPECT_EQ(spec.to_string(), text);
+    EXPECT_EQ(LadderSpec::parse(spec.to_string()).to_string(), text);
+    EXPECT_TRUE(spec.has("dnn"));
+  }
+}
+
+TEST(LadderSpecTest, TrimsWhitespaceAroundTokens) {
+  const LadderSpec spec = LadderSpec::parse(" imu , temporal ,local, dnn ");
+  EXPECT_EQ(spec.to_string(), "imu,temporal,local,dnn");
+}
+
+TEST(LadderSpecTest, RejectsMalformedSpecs) {
+  const char* bad[] = {
+      "",                    // empty spec
+      ",dnn",                // empty token
+      "imu,,dnn",            // empty token
+      "bogus,dnn",           // unknown rung
+      "local,local,dnn",     // duplicate rung
+      "imu,local",           // must end with dnn
+      "dnn,local",           // out of ladder order
+      "local,temporal,dnn",  // out of ladder order
+      "local,exact,dnn",     // two cache rungs (shared rank)
+      "exact,local,dnn",     // two cache rungs (shared rank)
+      "p2p,dnn",             // p2p requires local
+      "imu,temporal,p2p,dnn",  // p2p requires local
+      "dnn,dnn",             // duplicate + order
+  };
+  for (const char* text : bad) {
+    SCOPED_TRACE(text);
+    EXPECT_THROW((void)LadderSpec::parse(text), std::invalid_argument);
+  }
+}
+
+TEST(LadderSpecTest, ErrorsNameTheSpecAndTheViolation) {
+  try {
+    (void)LadderSpec::parse("p2p,dnn");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("p2p,dnn"), std::string::npos) << what;
+  }
+}
+
+// ------------------------------------------------ flags <-> spec duality
+
+TEST(LadderSpecTest, ApplyLadderThenFromConfigRoundTrips) {
+  const char* specs[] = {
+      "dnn",       "exact,dnn",
+      "local,dnn", "imu,temporal,warm,local,p2p,dnn",
+  };
+  for (const char* text : specs) {
+    SCOPED_TRACE(text);
+    const PipelineConfig cfg = make_ladder_config(text);
+    EXPECT_EQ(cfg.ladder, text);
+    EXPECT_EQ(LadderSpec::from_config(cfg).to_string(), text);
+  }
+}
+
+TEST(LadderSpecTest, ApplyLadderSyncsProvisioningFlags) {
+  const PipelineConfig warm =
+      make_ladder_config("imu,temporal,warm,local,p2p,dnn");
+  EXPECT_TRUE(warm.enable_imu_gate);
+  EXPECT_TRUE(warm.enable_temporal);
+  EXPECT_TRUE(warm.enable_warm_tier);
+  EXPECT_TRUE(warm.enable_p2p);
+  EXPECT_EQ(warm.cache_mode, CacheMode::kApprox);
+
+  const PipelineConfig exact = make_ladder_config("exact,dnn");
+  EXPECT_FALSE(exact.enable_imu_gate);
+  EXPECT_FALSE(exact.enable_temporal);
+  EXPECT_FALSE(exact.enable_warm_tier);
+  EXPECT_FALSE(exact.enable_p2p);
+  EXPECT_EQ(exact.cache_mode, CacheMode::kExact);
+
+  const PipelineConfig bare = make_ladder_config("dnn");
+  EXPECT_EQ(bare.cache_mode, CacheMode::kNone);
+  EXPECT_FALSE(bare.enable_p2p);
+}
+
+TEST(LadderSpecTest, PresetsDeriveTheirDocumentedSpecs) {
+  EXPECT_EQ(LadderSpec::from_config(make_nocache_config()).to_string(),
+            "dnn");
+  EXPECT_EQ(LadderSpec::from_config(make_exactcache_config()).to_string(),
+            "exact,dnn");
+  EXPECT_EQ(LadderSpec::from_config(make_approx_local_config()).to_string(),
+            "local,dnn");
+  EXPECT_EQ(LadderSpec::from_config(make_approx_imu_config()).to_string(),
+            "imu,local,dnn");
+  EXPECT_EQ(LadderSpec::from_config(make_approx_video_config()).to_string(),
+            "imu,temporal,local,dnn");
+  EXPECT_EQ(LadderSpec::from_config(make_full_system_config()).to_string(),
+            "imu,temporal,local,p2p,dnn");
+}
+
+// -------------------------------------------------- registry introspection
+
+TEST(RungRegistryTest, NamesComeBackInRankOrder) {
+  const std::vector<std::string> names = RungRegistry::instance().names();
+  ASSERT_GE(names.size(), 7u);
+  EXPECT_EQ(names.front(), "imu");
+  EXPECT_EQ(names.back(), "dnn");
+  const auto rank = [&](std::string_view n) {
+    return RungRegistry::instance().find(n)->rank;
+  };
+  for (std::size_t i = 0; i + 1 < names.size(); ++i) {
+    EXPECT_LE(rank(names[i]), rank(names[i + 1]));
+  }
+}
+
+// ------------------------------------- spec-built == preset-built property
+
+ScenarioConfig small_scenario(std::uint64_t seed) {
+  ScenarioConfig cfg = default_scenario();
+  cfg.num_devices = 2;
+  cfg.duration = 5 * kSecond;
+  cfg.scene.num_classes = 8;
+  cfg.seed = seed;
+  return cfg;
+}
+
+std::string run_to_json(const ScenarioConfig& cfg) {
+  ExperimentRunner runner{cfg};
+  runner.run();
+  return runner.metrics().to_json();
+}
+
+TEST(LadderEquivalenceTest, SpecBuiltMatchesPresetBuiltByteForByte) {
+  struct Pair {
+    const char* spec;
+    PipelineConfig (*preset)();
+  };
+  const Pair pairs[] = {
+      {"dnn", make_nocache_config},
+      {"exact,dnn", make_exactcache_config},
+      {"local,dnn", make_approx_local_config},
+      {"imu,local,dnn", make_approx_imu_config},
+      {"imu,temporal,local,dnn", make_approx_video_config},
+      {"imu,temporal,local,p2p,dnn", make_full_system_config},
+  };
+  for (const Pair& p : pairs) {
+    SCOPED_TRACE(p.spec);
+    ScenarioConfig via_preset = small_scenario(3);
+    via_preset.pipeline = p.preset();
+    ScenarioConfig via_spec = small_scenario(3);
+    via_spec.pipeline = make_ladder_config(p.spec);
+    EXPECT_EQ(run_to_json(via_preset), run_to_json(via_spec));
+  }
+}
+
+// ------------------------------------------------------- invalid ladders
+
+TEST(LadderEquivalenceTest, RunnerRejectsMalformedLadderStrings) {
+  ScenarioConfig cfg = small_scenario(1);
+  cfg.pipeline.ladder = "local";  // missing dnn
+  EXPECT_THROW((void)ExperimentRunner{cfg}, std::invalid_argument);
+}
+
+// ------------------------------------------------------- warm tier, e2e
+
+TEST(WarmTierTest, WarmLadderExportsItsOwnCountersAndHistogram) {
+  ScenarioConfig cfg = small_scenario(7);
+  cfg.pipeline = make_ladder_config("imu,temporal,warm,local,p2p,dnn");
+  ExperimentRunner runner{cfg};
+  runner.run();
+  const MetricsRegistry& m = runner.metrics();
+  const std::uint64_t hits =
+      m.counter_value(rung_outcome_metric("warm", RungOutcome::kHit));
+  const std::uint64_t misses =
+      m.counter_value(rung_outcome_metric("warm", RungOutcome::kMiss));
+  EXPECT_GT(hits + misses, 0u) << "warm rung never ran";
+  const auto* hist = m.find_histogram(rung_latency_metric("warm"));
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, hits + misses);
+  // The source counter exists (equal to the rung's hits by construction).
+  EXPECT_EQ(m.counter_value(source_metric("warm-cache")), hits);
+  // And the baseline schema is still present alongside the extras.
+  EXPECT_GT(m.counter_value(source_metric("inference")), 0u);
+}
+
+TEST(WarmTierTest, BaselineExportsCarryNoWarmKeys) {
+  ScenarioConfig cfg = small_scenario(7);
+  cfg.pipeline = make_full_system_config();
+  ExperimentRunner runner{cfg};
+  runner.run();
+  const std::string json = runner.metrics().to_json();
+  EXPECT_EQ(json.find("warm"), std::string::npos)
+      << "warm metrics leaked into a ladder without the warm rung";
+}
+
+// Single-device harness driving frames straight into a pipeline, so the
+// warm tier's learn-then-answer cycle is observable deterministically.
+struct WarmHarness {
+  static constexpr int kClasses = 8;
+
+  EventSimulator sim;
+  SceneGenerator scenes;
+  std::unique_ptr<FeatureExtractor> extractor;
+  std::unique_ptr<RecognitionModel> model;
+  std::unique_ptr<ApproxCache> cache;
+  std::unique_ptr<ReusePipeline> pipeline;
+
+  explicit WarmHarness(PipelineConfig cfg)
+      : scenes([] {
+          SceneGenerator::Config sc;
+          sc.num_classes = kClasses;
+          sc.image_size = 24;
+          sc.seed = 7;
+          return sc;
+        }()),
+        extractor(make_downsample_extractor(8)) {
+    ModelProfile profile = mobilenet_v2_profile();
+    profile.top1_accuracy = 1.0;
+    model = make_oracle_model(profile, kClasses);
+    cfg.cache.index = IndexKind::kExact;
+    cfg.cache.hknn.max_distance = 0.3f;
+    cache = std::make_unique<ApproxCache>(extractor->dim(), cfg.cache,
+                                          make_lru_policy());
+    pipeline = std::make_unique<ReusePipeline>(sim, cfg, *extractor, *model,
+                                               cache.get(), nullptr, nullptr,
+                                               /*seed=*/11);
+  }
+
+  RecognitionResult run_one(int class_id) {
+    Frame f;
+    f.t = sim.now();
+    f.true_label = class_id;
+    f.image = scenes.render(class_id, ViewParams{});
+    std::optional<RecognitionResult> out;
+    EXPECT_TRUE(pipeline->process(
+        f, MotionState::kMajor, [&](const RecognitionResult& r) { out = r; }));
+    while (!out.has_value() && sim.step()) {
+    }
+    return out.value_or(RecognitionResult{});
+  }
+};
+
+TEST(WarmTierTest, LearnsFromInferenceThenAnswersBeforeLocalCache) {
+  PipelineConfig cfg = make_ladder_config("warm,local,dnn");
+  cfg.warm.min_support = 1;  // answer after a single validated observation
+  WarmHarness h{cfg};
+  // Cold frame: warm has no prototypes, local cache is empty -> full DNN;
+  // the result trains the warm tier's class prototype.
+  const RecognitionResult cold = h.run_one(3);
+  EXPECT_EQ(cold.source, ResultSource::kFullInference);
+  // Same view again: the quantized prototype answers before the cache does.
+  const RecognitionResult warm = h.run_one(3);
+  EXPECT_EQ(warm.source, ResultSource::kWarmCacheHit);
+  EXPECT_EQ(warm.label, 3);
+  // An untrained class still falls through past the warm rung.
+  const RecognitionResult other = h.run_one(5);
+  EXPECT_EQ(other.source, ResultSource::kFullInference);
+}
+
+TEST(WarmTierTest, MinSupportGatesAnswering) {
+  PipelineConfig cfg = make_ladder_config("warm,dnn");
+  cfg.warm.min_support = 100;  // unreachable in this test
+  WarmHarness h{cfg};
+  (void)h.run_one(3);
+  // Warm never answers under min_support, even for an identical view. (In a
+  // warm,dnn ladder nothing extracts features before the DNN, so the warm
+  // tier cannot learn at all — it must stay inert, not crash.)
+  const RecognitionResult again = h.run_one(3);
+  EXPECT_EQ(again.source, ResultSource::kFullInference);
+}
+
+// --------------------------------------------------------- ablation sweep
+
+TEST(LadderAblationTest, AddingRungsNeverIncreasesDnnFraction) {
+  // Every step adds one pure reuse rung (answers only when confident,
+  // passes the frame through unchanged otherwise), so the fraction of
+  // frames that reach full inference must be non-increasing. The IMU rung
+  // is held constant across the sweep: it is admission control, not reuse —
+  // its fastpath and threshold scaling deliberately alter downstream
+  // dynamics, so "adding imu" is not a monotone-reuse step. Gate threshold
+  // scaling is pinned to 1.0 for the same reason.
+  const char* sweep[] = {
+      "imu,dnn",
+      "imu,local,dnn",
+      "imu,temporal,local,dnn",
+      "imu,temporal,warm,local,dnn",
+      "imu,temporal,warm,local,p2p,dnn",
+  };
+  double prev = 1.0;
+  for (const char* spec : sweep) {
+    SCOPED_TRACE(spec);
+    ScenarioConfig cfg = small_scenario(11);
+    cfg.duration = 10 * kSecond;
+    cfg.pipeline = make_ladder_config(spec);
+    cfg.pipeline.gate.stationary_scale = 1.0f;
+    cfg.pipeline.gate.minor_scale = 1.0f;
+    cfg.pipeline.gate.major_scale = 1.0f;
+    ExperimentRunner runner{cfg};
+    const ExperimentMetrics m = runner.run();
+    const double frac =
+        static_cast<double>(m.sources().get("inference")) /
+        static_cast<double>(m.frames());
+    EXPECT_LE(frac, prev + 1e-9) << "DNN fraction went up when adding a rung";
+    prev = frac;
+  }
+  EXPECT_LT(prev, 1.0) << "the full ladder reused nothing";
+}
+
+}  // namespace
+}  // namespace apx

@@ -204,6 +204,7 @@ Rung answering_rung(ResultSource source) {
     case ResultSource::kLocalCacheHit: return Rung::kLocalCache;
     case ResultSource::kPeerCacheHit: return Rung::kP2p;
     case ResultSource::kFullInference: return Rung::kDnn;
+    case ResultSource::kWarmCacheHit: return Rung::kWarm;
   }
   return Rung::kDnn;
 }

@@ -42,6 +42,11 @@ void usage() {
       "\n"
       "  --config NAME      nocache | exact | local | imu | video | full |\n"
       "                     adaptive (default: full)\n"
+      "  --ladder SPEC      explicit reuse-ladder composition instead of a\n"
+      "                     preset: comma-separated rungs, cheapest first,\n"
+      "                     ending in dnn. Rungs: imu temporal warm local\n"
+      "                     exact p2p dnn. e.g.\n"
+      "                       --ladder imu,temporal,warm,local,p2p,dnn\n"
       "  --devices N        co-located devices (default 4)\n"
       "  --duration S       simulated seconds (default 60)\n"
       "  --classes N        object classes (default 64)\n"
@@ -118,13 +123,32 @@ int main(int argc, char** argv) {
     }
   }
 
-  bool config_ok = false;
-  const std::string config_name = args.get("config", "full");
-  ScenarioConfig cfg = default_scenario();
-  cfg.pipeline = config_by_name(config_name, config_ok);
-  if (!config_ok) {
-    std::fprintf(stderr, "unknown --config %s\n", config_name.c_str());
+  if (args.has("config") && args.has("ladder")) {
+    std::fprintf(stderr, "--config and --ladder are mutually exclusive\n");
     return 2;
+  }
+  ScenarioConfig cfg = default_scenario();
+  std::string config_name = args.get("config", "full");
+  if (args.has("ladder")) {
+    const std::string spec = args.get("ladder", "");
+    try {
+      cfg.pipeline = make_ladder_config(spec);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "bad --ladder spec: %s\n", e.what());
+      return 2;
+    }
+    // '+'-joined so the name stays a single CSV field.
+    config_name = "ladder:" + spec;
+    for (char& c : config_name) {
+      if (c == ',') c = '+';
+    }
+  } else {
+    bool config_ok = false;
+    cfg.pipeline = config_by_name(config_name, config_ok);
+    if (!config_ok) {
+      std::fprintf(stderr, "unknown --config %s\n", config_name.c_str());
+      return 2;
+    }
   }
 
   cfg.num_devices = static_cast<int>(args.num("devices", 4));

@@ -2,7 +2,9 @@
 # Tier-1 flow plus sanitizer sweeps.
 #
 #   tools/check.sh            # tier-1: default build + full ctest
-#                             # + release apxsim metrics-export smoke check
+#                             # + release apxsim ladder-matrix smoke check
+#                             #   (every preset + the warm-tier ladder,
+#                             #    metrics schema validated per export)
 #   tools/check.sh sanitize   # + asan-ubsan over the whole suite
 #                             # + tsan over the concurrency tests
 #
@@ -16,14 +18,19 @@ cmake --preset default
 cmake --build --preset default -j
 ctest --preset default -j
 
-# Metrics-export smoke check: run the release-preset driver on the full
-# system, then validate the JSON shape against the checked-in schema.
+# Ladder-matrix smoke check: run the release-preset driver over every
+# named preset plus the warm-tier ladder (2-device scenario), validating
+# each JSON export against the checked-in schema. The `full` leg keeps the
+# original longer duration as the primary metrics-export smoke check.
 cmake --preset release
 cmake --build --preset release -j --target apxsim
-metrics_json="build-release/metrics.json"
-./build-release/tools/apxsim --config full --duration 15 --metrics \
-  --metrics-out "$metrics_json" > /dev/null
-if command -v python3 > /dev/null; then
+
+validate_metrics() {
+  local metrics_json="$1"
+  if ! command -v python3 > /dev/null; then
+    echo "python3 not found; skipping metrics JSON schema validation" >&2
+    return 0
+  fi
   python3 -m json.tool "$metrics_json" > /dev/null
   python3 - "$metrics_json" tools/metrics_schema.json <<'PY'
 import json, sys
@@ -38,6 +45,15 @@ assert not missing, f"missing counters: {missing}"
 missing = [k for k in schema["required_histograms"]
            if k not in metrics["histograms"]]
 assert not missing, f"missing histograms: {missing}"
+# Subsystem groups (cache, p2p, warm rung) are all-or-nothing: absent for
+# ladders without the subsystem, complete for ladders with it.
+for name, group in schema.get("subsystems", {}).items():
+    keys = [(metrics["counters"], k) for k in group.get("counters", [])]
+    keys += [(metrics["histograms"], k) for k in group.get("histograms", [])]
+    present = [k for where, k in keys if k in where]
+    if present:
+        partial = [k for where, k in keys if k not in where]
+        assert not partial, f"subsystem {name} partially exported: {partial}"
 for name, hist in metrics["histograms"].items():
     bad = [f for f in schema["histogram_fields"] if f not in hist]
     assert not bad, f"histogram {name} missing fields: {bad}"
@@ -46,9 +62,26 @@ for name, hist in metrics["histograms"].items():
 print(f"metrics schema ok: {len(metrics['counters'])} counters, "
       f"{len(metrics['histograms'])} histograms")
 PY
-else
-  echo "python3 not found; skipping metrics JSON schema validation" >&2
-fi
+}
+
+metrics_json="build-release/metrics.json"
+./build-release/tools/apxsim --config full --duration 15 --metrics \
+  --metrics-out "$metrics_json" > /dev/null
+validate_metrics "$metrics_json"
+
+for preset in nocache exact local imu video full adaptive; do
+  echo "ladder matrix: --config $preset"
+  ./build-release/tools/apxsim --config "$preset" --devices 2 --duration 10 \
+    --metrics-out "build-release/metrics_${preset}.json" > /dev/null
+  validate_metrics "build-release/metrics_${preset}.json"
+done
+echo "ladder matrix: --ladder imu,temporal,warm,local,p2p,dnn"
+./build-release/tools/apxsim --ladder imu,temporal,warm,local,p2p,dnn \
+  --devices 2 --duration 10 \
+  --metrics-out build-release/metrics_warm.json > /dev/null
+validate_metrics build-release/metrics_warm.json
+# The warm rung must actually show up in its export.
+grep -q 'pipeline/rung_us/warm' build-release/metrics_warm.json
 
 if [[ "${1:-}" == "sanitize" ]]; then
   cmake --preset asan-ubsan
