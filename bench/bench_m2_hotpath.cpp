@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "bench/common.hpp"
 #include "src/ann/lsh.hpp"
 #include "src/util/rng.hpp"
 #include "src/util/vecmath.hpp"
@@ -369,30 +370,13 @@ int main(int argc, char** argv) {
   mean_candidates /= static_cast<double>(queries.size());
   std::printf("  candidates scanned/query: %.0f\n", mean_candidates);
 
-  FILE* f = std::fopen(json_path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
-    return 1;
-  }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"bench\": \"m2_hotpath\",\n");
-  std::fprintf(f, "  \"dim\": %zu,\n  \"entries\": %zu,\n", kDim, kEntries);
-  std::fprintf(f,
-               "  \"l2_sq_pair\": {\"scalar_ns_op\": %.2f, "
-               "\"unrolled_ns_op\": %.2f, \"speedup\": %.2f},\n",
-               pair.scalar_ns_op, pair.batch_ns_op, pair.speedup());
-  std::fprintf(f,
-               "  \"candidate_scoring\": {\"per_pair_ns_row\": %.2f, "
-               "\"batch_ns_row\": %.2f, \"speedup\": %.2f},\n",
-               scoring.scalar_ns_op, scoring.batch_ns_op, scoring.speedup());
-  std::fprintf(f,
-               "  \"lsh_lookup\": {\"old_p50_ns\": %.0f, \"old_p99_ns\": "
-               "%.0f, \"new_p50_ns\": %.0f, \"new_p99_ns\": %.0f, "
-               "\"speedup_p50\": %.2f, \"speedup_p99\": %.2f}\n",
-               old_lookup.p50_ns, old_lookup.p99_ns, new_lookup.p50_ns,
-               new_lookup.p99_ns, speedup_p50, speedup_p99);
-  std::fprintf(f, "}\n");
-  std::fclose(f);
+  BenchJson json{"m2_hotpath", kDim, kEntries};
+  json.metric("l2_sq_pair", pair.scalar_ns_op, pair.batch_ns_op);
+  json.metric("candidate_scoring", scoring.scalar_ns_op, scoring.batch_ns_op);
+  json.metric("lsh_lookup_p50", old_lookup.p50_ns, new_lookup.p50_ns);
+  json.metric("lsh_lookup_p99", old_lookup.p99_ns, new_lookup.p99_ns);
+  json.extra("mean_candidates", mean_candidates);
+  if (!json.write(json_path)) return 1;
   std::printf("\nwrote %s\n", json_path.c_str());
   return 0;
 }

@@ -1,0 +1,250 @@
+// M3 — quantized-scan microbenchmark: SQ8 asymmetric-distance candidate
+// scoring against the float gather kernel, swept over dim x entries, plus
+// end-to-end LSH lookup latency and float-vs-q8 top-1 parity on the
+// clustered workload the approximate cache actually holds.
+//
+// The quantized path wins on memory traffic: a uint8 code row is a quarter
+// of the float row, and per-entry feature storage drops from 4*dim bytes
+// to dim + 12 (codes + offset/scale/|recon|^2). The exact re-rank of the
+// top rerank_k survivors keeps returned distances float-exact, so the
+// H-kNN vote is unchanged (DESIGN.md §8).
+//
+// Emits a machine-readable BENCH_quantized.json (path = argv[1], default
+// ./BENCH_quantized.json); the headline combo is dim=64, entries=10k.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "src/ann/lsh.hpp"
+#include "src/ann/quantize.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/vecmath.hpp"
+
+namespace apx::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ns_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::nano>(Clock::now() - t0).count();
+}
+
+template <typename Fn>
+double best_of(int reps, Fn&& fn) {
+  double best = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    fn();
+    best = std::min(best, ns_since(t0));
+  }
+  return best;
+}
+
+struct ScanResult {
+  double float_ns_row = 0.0;
+  double adc_ns_row = 0.0;
+};
+
+/// Candidate scoring over every stored row: the float l2_sq gather pass
+/// against the SQ8 asymmetric-distance pass over the code arena.
+ScanResult bench_scan(std::size_t dim, std::size_t n, int reps) {
+  Rng rng{17};
+  std::vector<float> arena(n * dim);
+  for (float& x : arena) x = static_cast<float>(rng.normal());
+
+  std::vector<std::uint8_t> codes(n * dim);
+  std::vector<float> offsets(n), scales(n), recon_norms(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Sq8Stats st = sq8_encode(
+        std::span<const float>{arena.data() + i * dim, dim},
+        codes.data() + i * dim);
+    offsets[i] = st.offset;
+    scales[i] = st.scale;
+    recon_norms[i] = st.recon_norm_sq;
+  }
+
+  FeatureVec q(dim);
+  for (float& x : q) x = static_cast<float>(rng.normal());
+  float q_norm_sq = 0.0f, q_sum = 0.0f;
+  for (const float x : q) {
+    q_norm_sq += x * x;
+    q_sum += x;
+  }
+
+  std::vector<std::uint32_t> slots(n);
+  std::iota(slots.begin(), slots.end(), 0u);
+  std::vector<float> out(n);
+
+  volatile float sink = 0.0f;
+  ScanResult r;
+  r.float_ns_row = best_of(reps, [&] {
+                     l2_sq_gather(q, arena.data(), slots, out.data());
+                     sink = sink + out[n / 2];
+                   }) /
+                   static_cast<double>(n);
+  r.adc_ns_row = best_of(reps, [&] {
+                   adc_l2_sq_gather(q, q_norm_sq, q_sum, codes.data(),
+                                    offsets.data(), scales.data(),
+                                    recon_norms.data(), slots, out.data());
+                   sink = sink + out[n / 2];
+                 }) /
+                 static_cast<double>(n);
+  return r;
+}
+
+/// Clustered workload matching bench_m2: near-duplicate views of kClusters
+/// objects. label(i) = i % kClusters.
+struct Workload {
+  std::vector<FeatureVec> data;
+  std::vector<FeatureVec> queries;
+  std::vector<std::size_t> query_cluster;
+  std::size_t clusters = 128;
+};
+
+Workload make_workload(std::size_t dim, std::size_t entries,
+                       std::size_t num_queries) {
+  Workload w;
+  Rng rng{2025};
+  std::vector<FeatureVec> centers;
+  for (std::size_t c = 0; c < w.clusters; ++c) {
+    FeatureVec v(dim);
+    for (float& x : v) x = static_cast<float>(rng.normal());
+    normalize(v);
+    centers.push_back(std::move(v));
+  }
+  auto near_center = [&rng, &centers, dim](std::size_t c) {
+    FeatureVec v = centers[c];
+    for (float& x : v) x += static_cast<float>(rng.normal(0.0, 0.03));
+    normalize(v);
+    return v;
+  };
+  w.data.reserve(entries);
+  for (std::size_t i = 0; i < entries; ++i) {
+    w.data.push_back(near_center(i % w.clusters));
+  }
+  for (std::size_t i = 0; i < num_queries; ++i) {
+    const std::size_t c = rng.uniform_u64(w.clusters);
+    w.queries.push_back(near_center(c));
+    w.query_cluster.push_back(c);
+  }
+  return w;
+}
+
+double p50(std::vector<double>& ns) {
+  std::sort(ns.begin(), ns.end());
+  return ns[ns.size() / 2];
+}
+
+}  // namespace
+}  // namespace apx::bench
+
+int main(int argc, char** argv) {
+  using namespace apx;
+  using namespace apx::bench;
+
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_quantized.json";
+  constexpr std::size_t kDim = 64;
+  constexpr std::size_t kEntries = 10'000;
+
+  std::printf("=== M3: quantized SQ8 scan microbenchmarks ===\n");
+  std::printf("headline: dim=%zu entries=%zu (kernels: best-of-5)\n\n", kDim,
+              kEntries);
+
+  BenchJson json{"m3_quantized", kDim, kEntries};
+
+  // --- candidate-scan sweep: dim x entries ---
+  ScanResult headline{};
+  for (const std::size_t dim : {std::size_t{32}, kDim, std::size_t{128}}) {
+    for (const std::size_t n : {std::size_t{1000}, kEntries}) {
+      const ScanResult r = bench_scan(dim, n, 5);
+      std::printf(
+          "scan d=%3zu n=%5zu : float %6.2f ns/row | adc %6.2f ns/row | "
+          "%.2fx\n",
+          dim, n, r.float_ns_row, r.adc_ns_row,
+          r.float_ns_row / r.adc_ns_row);
+      char name[64];
+      std::snprintf(name, sizeof(name), "candidate_scan_d%zu_n%zu", dim, n);
+      json.metric(name, r.float_ns_row, r.adc_ns_row);
+      if (dim == kDim && n == kEntries) headline = r;
+    }
+  }
+  json.metric("candidate_scan", headline.float_ns_row, headline.adc_ns_row);
+
+  // --- end-to-end lookup + parity: float index vs q8 index ---
+  LshParams params;
+  params.num_tables = 4;
+  params.hashes_per_table = 8;
+  params.bucket_width = 2.5f;
+  params.probes_per_table = 2;
+  LshParams q8_params = params;
+  q8_params.quantize.enabled = true;
+  q8_params.quantize.rerank_k = 32;
+
+  const Workload w = make_workload(kDim, kEntries, 2000);
+  PStableLshIndex float_index{kDim, params};
+  PStableLshIndex q8_index{kDim, q8_params};
+  for (std::size_t i = 0; i < w.data.size(); ++i) {
+    float_index.insert(static_cast<VecId>(i), w.data[i]);
+    q8_index.insert(static_cast<VecId>(i), w.data[i]);
+  }
+
+  std::vector<Neighbor> float_out, q8_out;
+  std::vector<double> float_ns, q8_ns;
+  std::size_t top1_id_match = 0;
+  std::size_t top1_label_match = 0;
+  std::size_t both_nonempty = 0;
+  for (const auto& q : w.queries) {  // warm-up (scratch, caches)
+    float_index.query_into(q, 8, float_out);
+    q8_index.query_into(q, 8, q8_out);
+  }
+  for (const auto& q : w.queries) {
+    auto t0 = Clock::now();
+    float_index.query_into(q, 8, float_out);
+    float_ns.push_back(ns_since(t0));
+    t0 = Clock::now();
+    q8_index.query_into(q, 8, q8_out);
+    q8_ns.push_back(ns_since(t0));
+    if (float_out.empty() || q8_out.empty()) continue;
+    ++both_nonempty;
+    if (float_out.front().id == q8_out.front().id) ++top1_id_match;
+    if (float_out.front().id % w.clusters == q8_out.front().id % w.clusters) {
+      ++top1_label_match;
+    }
+  }
+  const double float_p50 = p50(float_ns);
+  const double q8_p50 = p50(q8_ns);
+  const double id_parity =
+      100.0 * static_cast<double>(top1_id_match) /
+      static_cast<double>(std::max<std::size_t>(both_nonempty, 1));
+  const double label_parity =
+      100.0 * static_cast<double>(top1_label_match) /
+      static_cast<double>(std::max<std::size_t>(both_nonempty, 1));
+
+  std::printf("\nLSH lookup (10k entries, k=8, 2 probes/table):\n");
+  std::printf("  float p50 %8.0f ns | q8 p50 %8.0f ns | %.2fx\n", float_p50,
+              q8_p50, float_p50 / q8_p50);
+  std::printf("  top-1 parity: id %.1f%% | vote(label) %.1f%%\n", id_parity,
+              label_parity);
+  json.metric("lsh_lookup_p50", float_p50, q8_p50);
+  json.extra("top1_id_parity_pct", id_parity);
+  json.extra("top1_vote_parity_pct", label_parity);
+
+  // --- per-entry feature memory ---
+  const double bytes_float = static_cast<double>(kDim) * sizeof(float);
+  const double bytes_q8 = static_cast<double>(kDim) + 3 * sizeof(float);
+  std::printf("  feature memory/entry: float %.0f B | q8 %.0f B | %.2fx\n",
+              bytes_float, bytes_q8, bytes_float / bytes_q8);
+  json.extra("bytes_per_entry_float", bytes_float);
+  json.extra("bytes_per_entry_q8", bytes_q8);
+  json.extra("memory_reduction", bytes_float / bytes_q8);
+
+  if (!json.write(json_path)) return 1;
+  std::printf("\nwrote %s\n", json_path.c_str());
+  return 0;
+}

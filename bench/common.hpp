@@ -2,14 +2,82 @@
 // Shared helpers for the exhibit-regeneration benches (see DESIGN.md §3 for
 // the experiment index and EXPERIMENTS.md for paper-vs-measured results).
 
+#include <cstddef>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/sim/runner.hpp"
 #include "src/util/table.hpp"
 
 namespace apx::bench {
+
+/// Writer for the committed BENCH_*.json exhibits. One schema for every
+/// bench so the perf trajectory is machine-diffable across PRs:
+///
+///   {"bench": ..., "dim": N, "entries": N,
+///    "metrics": {name: {"base_ns_op": x, "new_ns_op": y, "speedup": x/y}},
+///    "extras":  {name: value}}
+///
+/// "base" is the comparison baseline (old implementation, float path, ...),
+/// "new" the measured path under test; extras carry scalar context
+/// (candidate counts, parity percentages, bytes per entry).
+class BenchJson {
+ public:
+  BenchJson(std::string bench, std::size_t dim, std::size_t entries)
+      : bench_(std::move(bench)), dim_(dim), entries_(entries) {}
+
+  void metric(const std::string& name, double base_ns_op, double new_ns_op) {
+    metrics_.push_back({name, base_ns_op, new_ns_op});
+  }
+
+  void extra(const std::string& name, double value) {
+    extras_.push_back({name, value});
+  }
+
+  /// Writes the exhibit; returns false (and prints to stderr) on I/O error.
+  bool write(const std::string& path) const {
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n", bench_.c_str());
+    std::fprintf(f, "  \"dim\": %zu,\n  \"entries\": %zu,\n", dim_, entries_);
+    std::fprintf(f, "  \"metrics\": {");
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      const Metric& m = metrics_[i];
+      std::fprintf(f,
+                   "%s\n    \"%s\": {\"base_ns_op\": %.2f, "
+                   "\"new_ns_op\": %.2f, \"speedup\": %.2f}",
+                   i == 0 ? "" : ",", m.name.c_str(), m.base_ns_op,
+                   m.new_ns_op,
+                   m.new_ns_op > 0.0 ? m.base_ns_op / m.new_ns_op : 0.0);
+    }
+    std::fprintf(f, "\n  },\n  \"extras\": {");
+    for (std::size_t i = 0; i < extras_.size(); ++i) {
+      std::fprintf(f, "%s\n    \"%s\": %.2f", i == 0 ? "" : ",",
+                   extras_[i].first.c_str(), extras_[i].second);
+    }
+    std::fprintf(f, "\n  }\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  struct Metric {
+    std::string name;
+    double base_ns_op = 0.0;
+    double new_ns_op = 0.0;
+  };
+
+  std::string bench_;
+  std::size_t dim_ = 0;
+  std::size_t entries_ = 0;
+  std::vector<Metric> metrics_;
+  std::vector<std::pair<std::string, double>> extras_;
+};
 
 /// The evaluation's canonical workload: a co-located group of four devices
 /// watching a shared 64-class world, mixed mobility, 10 fps video.

@@ -50,6 +50,14 @@ class AdaptiveLshIndex final : public NnIndex {
     return base_.last_candidate_count();
   }
 
+  std::size_t last_rerank_survivors() const noexcept override {
+    return base_.last_rerank_survivors();
+  }
+
+  FeatureVec reconstructed(VecId id) const override {
+    return base_.reconstructed(id);
+  }
+
   /// Registers the base index's instruments plus the "ann/rebuilds" counter.
   void attach_metrics(MetricsRegistry& metrics) override;
 

@@ -59,6 +59,20 @@ class NnIndex {
     return size();
   }
 
+  /// Survivors of the last query's exact re-rank pass — non-zero only for
+  /// indexes running a quantized scan (the SQ8 path scores candidates on
+  /// codes, then re-scores this many with float vectors). Defaults to 0:
+  /// float-scan indexes have no re-rank stage.
+  virtual std::size_t last_rerank_survivors() const noexcept { return 0; }
+
+  /// The lossy reconstruction of `id`'s stored vector as the quantized
+  /// scan sees it (empty when `id` is absent or the index keeps no codes).
+  /// Test/diagnostic seam for code<->float arena coherence.
+  virtual FeatureVec reconstructed(VecId id) const {
+    (void)id;
+    return {};
+  }
+
   /// Registers this index's instruments (candidate-set histograms, rebuild
   /// counters, ...) on `metrics`; recording is zero-alloc afterwards. The
   /// registry must outlive the index. Default: not instrumented.

@@ -89,6 +89,17 @@ void PStableLshIndex::link_slot(Slot slot) {
 
 void PStableLshIndex::insert(VecId id, const FeatureVec& v) {
   assert(v.size() == dim_);
+  if (quantized()) {
+    // Validate before any state changes: sq8_encode rejects non-finite
+    // input, and throwing after the slot was claimed would leave the id
+    // map and tables inconsistent.
+    for (const float x : v) {
+      if (!std::isfinite(x)) {
+        throw std::invalid_argument(
+            "PStableLshIndex::insert: non-finite value on quantized index");
+      }
+    }
+  }
   const auto [it, inserted] = id_to_slot_.try_emplace(id, Slot{0});
   if (!inserted) {
     // A silent duplicate would stack a second slot under the same id and
@@ -105,10 +116,25 @@ void PStableLshIndex::insert(VecId id, const FeatureVec& v) {
     slot_ids_.push_back(id);
     arena_.resize(arena_.size() + dim_);
     slot_keys_.resize(slot_keys_.size() + tables_.size());
+    if (quantized()) {
+      code_arena_.resize(code_arena_.size() + dim_);
+      sq8_offset_.resize(sq8_offset_.size() + 1);
+      sq8_scale_.resize(sq8_scale_.size() + 1);
+      sq8_recon_norm_sq_.resize(sq8_recon_norm_sq_.size() + 1);
+    }
   }
   std::copy(v.begin(), v.end(),
             arena_.begin() + static_cast<std::ptrdiff_t>(
                                  static_cast<std::size_t>(slot) * dim_));
+  if (quantized()) {
+    // Encode into the slot's code row; a reused slot's stale codes are
+    // overwritten here, so codes and floats can never diverge.
+    const Sq8Stats st = sq8_encode(
+        v, code_arena_.data() + static_cast<std::size_t>(slot) * dim_);
+    sq8_offset_[slot] = st.offset;
+    sq8_scale_[slot] = st.scale;
+    sq8_recon_norm_sq_[slot] = st.recon_norm_sq;
+  }
   it->second = slot;
   link_slot(slot);
 }
@@ -204,11 +230,22 @@ void PStableLshIndex::query_into(std::span<const float> q, std::size_t k,
     }
   }
   last_candidates_ = sc.candidates.size();
+  last_rerank_ = 0;
   if (metrics_ != nullptr) {
     metrics_->record(candidates_hist_,
                      static_cast<double>(last_candidates_));
   }
-  if (sc.candidates.empty()) return;
+  if (sc.candidates.empty()) {
+    if (metrics_ != nullptr && quantized()) {
+      metrics_->record(rerank_hist_, 0.0);
+    }
+    return;
+  }
+
+  if (quantized()) {
+    score_quantized(q, k, out);
+    return;
+  }
 
   // Batched scoring: one gather pass over the contiguous arena.
   if (sc.distances.size() < sc.candidates.size()) {
@@ -231,9 +268,91 @@ void PStableLshIndex::query_into(std::span<const float> q, std::size_t k,
   out.resize(take);
 }
 
+void PStableLshIndex::score_quantized(std::span<const float> q, std::size_t k,
+                                      std::vector<Neighbor>& out) const {
+  QueryScratch& sc = scratch_;
+  const std::size_t n = sc.candidates.size();
+
+  // Stage 1 — ADC scan: one uint8 gather pass over the code arena. The
+  // per-query terms |q|^2 and sum(q) fold every per-slot affine correction
+  // into O(1) arithmetic around the u8 dot product.
+  float q_norm_sq = 0.0f;
+  float q_sum = 0.0f;
+  for (const float x : q) {
+    q_norm_sq += x * x;
+    q_sum += x;
+  }
+  if (sc.distances.size() < n) sc.distances.resize(n);
+  adc_l2_sq_gather(q, q_norm_sq, q_sum, code_arena_.data(),
+                   sq8_offset_.data(), sq8_scale_.data(),
+                   sq8_recon_norm_sq_.data(), sc.candidates,
+                   sc.distances.data());
+
+  // Stage 2 — survivor selection: the rerank_k best ADC scores (at least k,
+  // so the vote never sees fewer neighbours than the float path would keep).
+  const std::size_t rerank =
+      std::min(std::max(params_.quantize.rerank_k, k), n);
+  if (sc.rank_order.size() < n) sc.rank_order.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) sc.rank_order[i] = i;
+  std::partial_sort(
+      sc.rank_order.begin(),
+      sc.rank_order.begin() + static_cast<std::ptrdiff_t>(rerank),
+      sc.rank_order.begin() + static_cast<std::ptrdiff_t>(n),
+      [&sc](std::uint32_t a, std::uint32_t b) {
+        return sc.distances[a] < sc.distances[b] ||
+               (sc.distances[a] == sc.distances[b] &&
+                sc.candidates[a] < sc.candidates[b]);
+      });
+  if (sc.survivors.size() < rerank) sc.survivors.resize(rerank);
+  for (std::size_t i = 0; i < rerank; ++i) {
+    sc.survivors[i] = sc.candidates[sc.rank_order[i]];
+  }
+  last_rerank_ = rerank;
+  if (metrics_ != nullptr) {
+    metrics_->record(rerank_hist_, static_cast<double>(rerank));
+  }
+
+  // Stage 3 — exact re-rank: float-arena gather over the survivors only.
+  // Returned distances are exact, so H-kNN thresholds and vote semantics
+  // match the float path; only candidate *selection* was approximate.
+  if (sc.exact.size() < rerank) sc.exact.resize(rerank);
+  l2_sq_gather(q, arena_.data(), {sc.survivors.data(), rerank},
+               sc.exact.data());
+  out.reserve(rerank);
+  for (std::size_t i = 0; i < rerank; ++i) {
+    out.push_back({slot_ids_[sc.survivors[i]], std::sqrt(sc.exact[i])});
+  }
+  const std::size_t take = std::min(k, out.size());
+  std::partial_sort(out.begin(),
+                    out.begin() + static_cast<std::ptrdiff_t>(take),
+                    out.end(), [](const Neighbor& a, const Neighbor& b) {
+                      return a.distance < b.distance ||
+                             (a.distance == b.distance && a.id < b.id);
+                    });
+  out.resize(take);
+}
+
+FeatureVec PStableLshIndex::reconstructed(VecId id) const {
+  if (!quantized()) return {};
+  const auto it = id_to_slot_.find(id);
+  if (it == id_to_slot_.end()) return {};
+  const Slot slot = it->second;
+  const std::uint8_t* codes =
+      code_arena_.data() + static_cast<std::size_t>(slot) * dim_;
+  FeatureVec v(dim_);
+  for (std::size_t i = 0; i < dim_; ++i) {
+    v[i] = sq8_offset_[slot] +
+           sq8_scale_[slot] * static_cast<float>(codes[i]);
+  }
+  return v;
+}
+
 void PStableLshIndex::attach_metrics(MetricsRegistry& metrics) {
   metrics_ = &metrics;
   candidates_hist_ = metrics.histogram("ann/candidates", count_bounds());
+  if (quantized()) {
+    rerank_hist_ = metrics.histogram("ann/rerank_survivors", count_bounds());
+  }
 }
 
 void PStableLshIndex::rebuild_with_width(float new_width) {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/ann/index.hpp"
+#include "src/ann/quantize.hpp"
 #include "src/util/rng.hpp"
 
 namespace apx {
@@ -36,6 +37,10 @@ struct LshParams {
   /// flipping the hash coordinates whose projections fall closest to a
   /// quantization boundary. Buys recall without more tables; 0 disables.
   std::size_t probes_per_table = 0;
+  /// Opt-in SQ8 candidate scan: keep a uint8 code arena beside the float
+  /// arena, score candidates with asymmetric distance over the codes, and
+  /// re-rank the top survivors exactly (see DESIGN.md §8).
+  QuantizeParams quantize;
 };
 
 /// p-stable LSH index over L2 distance.
@@ -75,7 +80,21 @@ class PStableLshIndex final : public NnIndex {
     return last_candidates_;
   }
 
-  /// Registers the "ann/candidates" per-query candidate-set histogram.
+  /// Whether the SQ8 candidate scan is active.
+  bool quantized() const noexcept { return params_.quantize.enabled; }
+
+  /// Survivors of the last quantized query's exact re-rank (0 when the
+  /// float path ran).
+  std::size_t last_rerank_survivors() const noexcept override {
+    return last_rerank_;
+  }
+
+  /// Lossy SQ8 reconstruction of `id`'s stored vector; empty when `id` is
+  /// absent or the scan is not quantized.
+  FeatureVec reconstructed(VecId id) const override;
+
+  /// Registers the "ann/candidates" per-query candidate-set histogram,
+  /// plus "ann/rerank_survivors" when the quantized scan is active.
   void attach_metrics(MetricsRegistry& metrics) override;
 
   /// Rebuilds every table with a new bucket width, reusing the projections.
@@ -103,6 +122,10 @@ class PStableLshIndex final : public NnIndex {
     std::vector<float> distances;       // squared distances per candidate
     std::vector<std::uint32_t> seen;    // per-slot generation stamp
     std::uint32_t generation = 0;
+    // Quantized-scan stage (unused on the float path):
+    std::vector<std::uint32_t> rank_order;  // candidate ranks by ADC score
+    std::vector<Slot> survivors;            // slots kept for exact re-rank
+    std::vector<float> exact;               // re-ranked squared distances
   };
 
   std::span<const float> slot_vec(Slot slot) const noexcept {
@@ -116,6 +139,9 @@ class PStableLshIndex final : public NnIndex {
                                bool want_fractions) const;
   /// Hashes `slot`'s vector into every table, recording per-table keys.
   void link_slot(Slot slot);
+  /// SQ8 scan + exact re-rank over scratch_.candidates (quantized() only).
+  void score_quantized(std::span<const float> q, std::size_t k,
+                       std::vector<Neighbor>& out) const;
 
   std::size_t dim_;
   LshParams params_;
@@ -127,10 +153,20 @@ class PStableLshIndex final : public NnIndex {
   std::vector<Slot> free_slots_;          ///< reusable holes left by remove()
   std::unordered_map<VecId, Slot> id_to_slot_;
 
+  // SQ8 sidecar (quantized() only), kept slot-coherent with arena_: rows
+  // are encoded on insert (slot reuse overwrites), never touched by bucket
+  // rebuilds. SoA so the ADC kernel reads each term as a flat array.
+  std::vector<std::uint8_t> code_arena_;  ///< slot-major uint8 codes
+  std::vector<float> sq8_offset_;         ///< per-slot grid offset
+  std::vector<float> sq8_scale_;          ///< per-slot grid scale
+  std::vector<float> sq8_recon_norm_sq_;  ///< per-slot |reconstruction|^2
+
   mutable QueryScratch scratch_;
   mutable std::size_t last_candidates_ = 0;
+  mutable std::size_t last_rerank_ = 0;
   MetricsRegistry* metrics_ = nullptr;
   std::uint32_t candidates_hist_ = 0;
+  std::uint32_t rerank_hist_ = 0;
 };
 
 }  // namespace apx

@@ -2,26 +2,59 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace apx {
+namespace {
+
+/// Min/max of `v` after validating every element is finite.
+std::pair<float, float> finite_range(std::span<const float> v) {
+  float lo = v.front();
+  float hi = v.front();
+  for (const float x : v) {
+    if (!std::isfinite(x)) {
+      throw std::invalid_argument("quantize: non-finite input value");
+    }
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+  return {lo, hi};
+}
+
+/// Grid-encodes one value; saturates at codes 0/255 (scale 0 => code 0).
+inline std::uint8_t encode_one(float x, float offset, float scale) noexcept {
+  if (scale == 0.0f) return 0;
+  const float code = std::round((x - offset) / scale);
+  return static_cast<std::uint8_t>(std::clamp(code, 0.0f, 255.0f));
+}
+
+}  // namespace
+
+Sq8Stats sq8_encode(std::span<const float> v, std::uint8_t* codes) {
+  Sq8Stats st;
+  if (v.empty()) return st;
+  const auto [lo, hi] = finite_range(v);
+  st.offset = lo;
+  st.scale = (hi > lo) ? (hi - lo) / 255.0f : 0.0f;
+  float norm_sq = 0.0f;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    codes[i] = encode_one(v[i], st.offset, st.scale);
+    const float recon = st.offset + st.scale * static_cast<float>(codes[i]);
+    norm_sq += recon * recon;
+  }
+  st.recon_norm_sq = norm_sq;
+  return st;
+}
 
 QuantizedVec quantize(std::span<const float> v) {
   QuantizedVec q;
   if (v.empty()) return q;
-  const auto [lo_it, hi_it] = std::minmax_element(v.begin(), v.end());
-  const float lo = *lo_it;
-  const float hi = *hi_it;
+  const auto [lo, hi] = finite_range(v);
   q.offset = lo;
   q.scale = (hi > lo) ? (hi - lo) / 255.0f : 0.0f;
   q.codes.resize(v.size());
   for (std::size_t i = 0; i < v.size(); ++i) {
-    if (q.scale == 0.0f) {
-      q.codes[i] = 0;
-    } else {
-      const float code = std::round((v[i] - q.offset) / q.scale);
-      q.codes[i] = static_cast<std::uint8_t>(
-          std::clamp(code, 0.0f, 255.0f));
-    }
+    q.codes[i] = encode_one(v[i], q.offset, q.scale);
   }
   return q;
 }

@@ -1,9 +1,20 @@
 #pragma once
-// Lossy 8-bit feature quantization for the wire. A 64-dim float32 feature
-// is 256 bytes; its 8-bit affine quantization is 64 bytes + 8 bytes of
-// scale/offset — a 3.7x cut in P2P payload for a distance distortion well
-// below typical intra-class feature distances. Used by the peer protocol
-// when PeerCacheParams::quantize_wire_features is set.
+// Lossy 8-bit feature quantization, shared by two consumers:
+//
+//  * the wire: a 64-dim float32 feature is 256 bytes; its 8-bit affine
+//    quantization is 64 bytes + 8 bytes of scale/offset — a 3.7x cut in P2P
+//    payload for a distance distortion well below typical intra-class
+//    feature distances (PeerCacheParams::quantize_wire_features);
+//  * the SQ8 candidate-scan path: the LSH index keeps a uint8 code arena
+//    next to the float arena and scores candidates with an asymmetric
+//    distance over the codes (sq8_encode + vecmath::adc_l2_sq_gather),
+//    re-ranking survivors exactly (see QuantizeParams and DESIGN.md §8).
+//
+// Degenerate inputs: constant vectors encode with scale 0 (every code 0,
+// exact reconstruction); non-finite inputs (NaN, ±inf) are rejected with
+// std::invalid_argument — a NaN would poison the affine grid and make every
+// code meaningless, so callers must sanitize first (the P2P merge path
+// already does).
 
 #include <cstdint>
 #include <span>
@@ -14,6 +25,16 @@
 
 namespace apx {
 
+/// Opt-in SQ8 candidate-scan configuration for the LSH index family.
+struct QuantizeParams {
+  /// Score LSH candidates with uint8 codes (asymmetric distance), then
+  /// re-rank the top survivors exactly. Off: pure float scan (default).
+  bool enabled = false;
+  /// Survivors re-scored with the float vectors; the returned neighbours
+  /// and distances are exact, so H-kNN vote semantics are unchanged.
+  std::size_t rerank_k = 32;
+};
+
 /// Affine-quantized feature vector: value[i] ~= offset + scale * code[i].
 struct QuantizedVec {
   float offset = 0.0f;
@@ -21,7 +42,23 @@ struct QuantizedVec {
   std::vector<std::uint8_t> codes;
 };
 
-/// Quantizes `v` to 8 bits per dimension (min/max affine grid).
+/// Per-vector terms the asymmetric-distance scan needs besides the codes:
+/// |q - recon|^2 = |q|^2 - 2 (offset * sum(q) + scale * dot(q, codes))
+///               + recon_norm_sq.
+struct Sq8Stats {
+  float offset = 0.0f;
+  float scale = 0.0f;
+  float recon_norm_sq = 0.0f;  ///< |offset + scale * codes|^2
+};
+
+/// Encodes `v` into `codes` (caller-provided, v.size() bytes) on the
+/// min/max affine grid and returns the ADC terms. Values on the grid
+/// boundaries saturate at codes 0/255. Throws std::invalid_argument on
+/// non-finite input.
+Sq8Stats sq8_encode(std::span<const float> v, std::uint8_t* codes);
+
+/// Quantizes `v` to 8 bits per dimension (min/max affine grid). Throws
+/// std::invalid_argument on non-finite input.
 QuantizedVec quantize(std::span<const float> v);
 
 /// Reconstructs the (lossy) float vector.

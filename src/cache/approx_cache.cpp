@@ -14,6 +14,8 @@ ApproxCache::ApproxCache(std::size_t dim, const ApproxCacheConfig& config,
                          std::unique_ptr<EvictionPolicy> eviction)
     : dim_(dim),
       config_(config),
+      quantized_scan_(config.alsh.lsh.quantize.enabled &&
+                      config.index != IndexKind::kExact),
       eviction_(std::move(eviction)),
       index_(make_index(config.index, dim, config.alsh)),
       label_of_([this](VecId id) { return entries_.at(id).label; }) {
@@ -32,17 +34,32 @@ CacheLookupResult ApproxCache::lookup(std::span<const float> q, SimTime now,
   const std::vector<Neighbor>& neighbors = neighbor_scratch_;
 
   // Simulated lookup cost: fixed overhead + one distance per candidate.
+  // The quantized scan pays a quarter of the per-candidate cost (uint8
+  // rows quarter the memory traffic) plus the full cost for each
+  // exactly re-ranked survivor.
   const std::size_t candidates = index_->last_query_candidates();
+  const std::size_t survivors = index_->last_rerank_survivors();
   result.candidates = candidates;
-  result.latency = config_.lookup_base_latency +
-                   static_cast<SimDuration>(candidates) *
-                       config_.per_candidate_latency;
+  if (quantized_scan_) {
+    result.latency = config_.lookup_base_latency +
+                     static_cast<SimDuration>(candidates) *
+                         config_.per_candidate_latency / 4 +
+                     static_cast<SimDuration>(survivors) *
+                         config_.per_candidate_latency;
+  } else {
+    result.latency = config_.lookup_base_latency +
+                     static_cast<SimDuration>(candidates) *
+                         config_.per_candidate_latency;
+  }
 
   const float nearest =
       neighbors.empty() ? -1.0f : neighbors.front().distance;
   if (opts.trace != nullptr) {
     opts.trace->annotate_lookup(static_cast<std::uint32_t>(candidates),
                                 nearest);
+    if (quantized_scan_) {
+      opts.trace->annotate_rerank(static_cast<std::uint32_t>(survivors));
+    }
   }
   if (metrics_ != nullptr) {
     metrics_->record(lookup_us_hist_, static_cast<double>(result.latency));
@@ -98,6 +115,7 @@ VecId ApproxCache::insert(FeatureVec feature, Label label, float confidence,
   index_->insert(id, entry.feature);
   entries_.emplace(id, std::move(entry));
   counters_.inc("insert");
+  update_memory_gauges();
   return id;
 }
 
@@ -106,6 +124,7 @@ bool ApproxCache::remove(VecId id) {
   if (it == entries_.end()) return false;
   index_->remove(id);
   entries_.erase(it);
+  update_memory_gauges();
   return true;
 }
 
@@ -113,6 +132,7 @@ void ApproxCache::clear() {
   for (const auto& [id, _] : entries_) index_->remove(id);
   entries_.clear();
   counters_.inc("clear");
+  update_memory_gauges();
 }
 
 const CacheEntry* ApproxCache::find(VecId id) const {
@@ -166,7 +186,22 @@ void ApproxCache::attach_metrics(MetricsRegistry& metrics) {
   metrics.counter("cache/miss");
   metrics.counter("cache/insert");
   metrics.counter("cache/evict");
+  if (quantized_scan_) {
+    // Pre-register the feature-memory gauges so the "quantized" schema
+    // subsystem exports whole (all-or-nothing) even before any insert.
+    metrics.counter("cache/bytes_float");
+    metrics.counter("cache/bytes_codes");
+  }
   index_->attach_metrics(metrics);
+}
+
+void ApproxCache::update_memory_gauges() {
+  if (!quantized_scan_) return;
+  // Per entry: dim float32s in the float arena vs dim uint8 codes plus
+  // three float32 ADC terms (offset, scale, |recon|^2) in the sidecar.
+  const std::uint64_t n = entries_.size();
+  counters_.set("bytes_float", n * dim_ * sizeof(float));
+  counters_.set("bytes_codes", n * (dim_ + 3 * sizeof(float)));
 }
 
 VecId ApproxCache::evict_one(SimTime now) {

@@ -116,15 +116,26 @@ class ApproxCache {
   const ApproxCacheConfig& config() const noexcept { return config_; }
   const EvictionPolicy& eviction() const noexcept { return *eviction_; }
 
-  /// Lifetime counters: "hit", "miss", "insert", "evict", "merge_dup".
+  /// The backing ANN index (read-only; for tests and diagnostics).
+  const NnIndex& index() const noexcept { return *index_; }
+
+  /// Whether the backing index scans candidates on SQ8 codes.
+  bool quantized_scan() const noexcept { return quantized_scan_; }
+
+  /// Lifetime counters: "hit", "miss", "insert", "evict", "merge_dup",
+  /// plus the "bytes_float"/"bytes_codes" feature-memory gauges when the
+  /// quantized scan is active.
   const Counter& counters() const noexcept { return counters_; }
   Counter& counters() noexcept { return counters_; }
 
  private:
   VecId evict_one(SimTime now);
+  /// Refreshes the "bytes_float"/"bytes_codes" gauges (quantized scan only).
+  void update_memory_gauges();
 
   std::size_t dim_;
   ApproxCacheConfig config_;
+  bool quantized_scan_ = false;
   std::unique_ptr<EvictionPolicy> eviction_;
   std::unique_ptr<NnIndex> index_;
   std::unordered_map<VecId, CacheEntry> entries_;

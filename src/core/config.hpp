@@ -63,6 +63,12 @@ struct PipelineConfig {
   /// Feedback-tune the similarity threshold from DNN-validated frames
   /// (extension beyond the poster; see threshold_controller.hpp).
   bool enable_adaptive_threshold = false;
+  /// SQ8 candidate scan in the local cache's index (ladder token
+  /// "local(q8)"): score LSH candidates on uint8 codes, re-rank the top
+  /// cache.alsh.lsh.quantize.rerank_k exactly. Kept in sync with
+  /// cache.alsh.lsh.quantize.enabled by apply_ladder and the runner; this
+  /// flag is authoritative when both could disagree.
+  bool enable_quantized_scan = false;
 
   ApproxCacheConfig cache;
   MotionEstimatorParams motion;

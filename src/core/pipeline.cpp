@@ -115,6 +115,12 @@ void ReusePipeline::attach_metrics(MetricsRegistry& metrics) {
 }
 
 const Counter& ReusePipeline::counters() const {
+  // attach_metrics may re-point metrics_, so the cache is keyed on both the
+  // registry identity and its mutation stamp.
+  if (counters_view_source_ == metrics_ &&
+      counters_view_version_ == metrics_->version()) {
+    return counters_view_;
+  }
   counters_view_ = Counter{};
   for (const auto& [name, id] : source_counters_) {
     const std::uint64_t value = metrics_->value(id);
@@ -122,6 +128,8 @@ const Counter& ReusePipeline::counters() const {
   }
   const std::uint64_t dropped = metrics_->value(dropped_counter_);
   if (dropped != 0) counters_view_.inc("dropped", dropped);
+  counters_view_source_ = metrics_;
+  counters_view_version_ = metrics_->version();
   return counters_view_;
 }
 

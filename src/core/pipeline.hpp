@@ -178,8 +178,13 @@ class ReusePipeline {
   std::map<std::string, MetricsRegistry::CounterId, std::less<>>
       source_counters_;
   MetricsRegistry::CounterId dropped_counter_ = 0;
-  /// Legacy-shaped view rebuilt by counters() on demand.
+  /// Legacy-shaped view rebuilt by counters() on demand. Cached against the
+  /// registry's mutation stamp: the ladder-matrix smoke leg calls
+  /// counters() per export, and rebuilding the map each time was pure
+  /// waste when nothing changed in between.
   mutable Counter counters_view_;
+  mutable const MetricsRegistry* counters_view_source_ = nullptr;
+  mutable std::uint64_t counters_view_version_ = 0;
 };
 
 }  // namespace apx

@@ -38,22 +38,45 @@ LadderSpec LadderSpec::parse(std::string_view text) {
     if (comma == std::string_view::npos) comma = text.size();
     const std::string_view token = trim(text.substr(pos, comma - pos));
     if (token.empty()) bad_spec(text, "empty rung token");
-    const RungRegistry::Entry* entry = registry.find(token);
-    if (entry == nullptr) {
-      bad_spec(text, "unknown rung '" + std::string(token) + "'");
+    // Split "name(arg)" — a bare name has no parentheses at all.
+    std::string_view name = token;
+    std::string_view arg;
+    const std::size_t paren = token.find('(');
+    if (paren != std::string_view::npos) {
+      if (token.back() != ')' || paren == 0 || paren + 2 > token.size() - 1) {
+        bad_spec(text, "malformed token '" + std::string(token) +
+                           "' (expected name or name(arg))");
+      }
+      name = trim(token.substr(0, paren));
+      arg = trim(token.substr(paren + 1, token.size() - paren - 2));
+      if (arg.empty()) {
+        bad_spec(text, "empty argument in '" + std::string(token) + "'");
+      }
     }
-    if (spec.has(token)) {
-      bad_spec(text, "duplicate rung '" + std::string(token) + "'");
+    const RungRegistry::Entry* entry = registry.find(name);
+    if (entry == nullptr) {
+      bad_spec(text, "unknown rung '" + std::string(name) + "'");
+    }
+    if (!arg.empty() &&
+        std::find(entry->allowed_args.begin(), entry->allowed_args.end(),
+                  arg) == entry->allowed_args.end()) {
+      bad_spec(text, "rung '" + std::string(name) +
+                         "' does not accept argument '" + std::string(arg) +
+                         "'");
+    }
+    if (spec.has(name)) {
+      bad_spec(text, "duplicate rung '" + std::string(name) + "'");
     }
     if (entry->rank <= last_rank) {
       // Covers both cheapest-first order violations and mutually exclusive
       // same-rank rungs (local + exact: one cache-lookup slot).
-      bad_spec(text, "rung '" + std::string(token) +
+      bad_spec(text, "rung '" + std::string(name) +
                          "' out of ladder order (cheapest first, at most "
                          "one cache rung)");
     }
     last_rank = entry->rank;
-    spec.tokens.emplace_back(token);
+    spec.tokens.emplace_back(name);
+    spec.args.emplace_back(arg);
     if (comma == text.size()) break;
     pos = comma + 1;
   }
@@ -70,32 +93,46 @@ LadderSpec LadderSpec::parse(std::string_view text) {
 
 LadderSpec LadderSpec::from_config(const PipelineConfig& config) {
   LadderSpec spec;
-  if (config.enable_imu_gate || config.enable_imu_fastpath) {
-    spec.tokens.emplace_back("imu");
-  }
-  if (config.enable_temporal) spec.tokens.emplace_back("temporal");
-  if (config.enable_warm_tier) spec.tokens.emplace_back("warm");
+  const auto push = [&spec](const char* name, const char* arg = "") {
+    spec.tokens.emplace_back(name);
+    spec.args.emplace_back(arg);
+  };
+  if (config.enable_imu_gate || config.enable_imu_fastpath) push("imu");
+  if (config.enable_temporal) push("temporal");
+  if (config.enable_warm_tier) push("warm");
   if (config.cache_mode == CacheMode::kApprox) {
-    spec.tokens.emplace_back("local");
-    if (config.enable_p2p) spec.tokens.emplace_back("p2p");
+    push("local", config.enable_quantized_scan ? "q8" : "");
+    if (config.enable_p2p) push("p2p");
   } else if (config.cache_mode == CacheMode::kExact) {
-    spec.tokens.emplace_back("exact");
+    push("exact");
   }
-  spec.tokens.emplace_back("dnn");
+  push("dnn");
   return spec;
 }
 
 std::string LadderSpec::to_string() const {
   std::string out;
-  for (const std::string& token : tokens) {
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
     if (!out.empty()) out += ',';
-    out += token;
+    out += tokens[i];
+    if (i < args.size() && !args[i].empty()) {
+      out += '(';
+      out += args[i];
+      out += ')';
+    }
   }
   return out;
 }
 
 bool LadderSpec::has(std::string_view token) const noexcept {
   return std::find(tokens.begin(), tokens.end(), token) != tokens.end();
+}
+
+std::string_view LadderSpec::arg(std::string_view token) const noexcept {
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i] == token) return i < args.size() ? args[i] : "";
+  }
+  return {};
 }
 
 void apply_ladder(PipelineConfig& config, const LadderSpec& spec) {
@@ -108,6 +145,12 @@ void apply_ladder(PipelineConfig& config, const LadderSpec& spec) {
   config.cache_mode = spec.has("local")   ? CacheMode::kApprox
                       : spec.has("exact") ? CacheMode::kExact
                                           : CacheMode::kNone;
+  // "local(q8)" switches the cache index to the SQ8 candidate scan; both
+  // the pipeline flag and the cache's index config are overwritten so
+  // provisioning code (which builds the cache from config.cache) and
+  // flag-reading callers can never observe a divergent pair.
+  config.enable_quantized_scan = (spec.arg("local") == "q8");
+  config.cache.alsh.lsh.quantize.enabled = config.enable_quantized_scan;
   config.ladder = spec.to_string();
 }
 
@@ -115,7 +158,7 @@ RungRegistry::RungRegistry() {
   add("imu", 0, &make_imu_gate_rung);
   add("temporal", 1, &make_temporal_rung);
   add("warm", 2, &make_warm_tier_rung);
-  add("local", 3, &make_local_cache_rung);
+  add("local", 3, &make_local_cache_rung, {"q8"});
   add("exact", 3, &make_exact_cache_rung);
   add("p2p", 4, &make_p2p_rung);
   add("dnn", 5, &make_dnn_rung);
@@ -126,11 +169,13 @@ RungRegistry& RungRegistry::instance() {
   return registry;
 }
 
-void RungRegistry::add(std::string name, int rank, Factory factory) {
+void RungRegistry::add(std::string name, int rank, Factory factory,
+                       std::vector<std::string> allowed_args) {
   if (find(name) != nullptr) {
     throw std::logic_error("RungRegistry: duplicate rung '" + name + "'");
   }
-  entries_.push_back(Entry{std::move(name), rank, factory});
+  entries_.push_back(
+      Entry{std::move(name), rank, factory, std::move(allowed_args)});
 }
 
 const RungRegistry::Entry* RungRegistry::find(

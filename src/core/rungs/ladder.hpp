@@ -2,21 +2,29 @@
 // Declarative ladder specs and the rung registry/factory.
 //
 // Grammar: a spec is a comma-separated list of rung tokens, cheapest rung
-// first, ending in "dnn":
+// first, ending in "dnn". A token may carry one parenthesized argument
+// from the rung's registered argument set:
 //
 //   spec  := token ("," token)*
-//   token := "imu" | "temporal" | "warm" | "local" | "exact" | "p2p" | "dnn"
+//   token := name [ "(" arg ")" ]
+//   name  := "imu" | "temporal" | "warm" | "local" | "exact" | "p2p" | "dnn"
+//
+// Today the only registered argument is "local(q8)" — the SQ8 quantized
+// candidate scan in the local cache's index (DESIGN.md §8).
 //
 // Validation (LadderSpec::parse throws std::invalid_argument):
 //   * every token must be registered, non-empty, and appear at most once;
 //   * tokens must appear in strictly increasing ladder rank — this both
 //     enforces cheapest-first order and rejects "local" + "exact" together
 //     (they share the cache-lookup rank: one lookup path, two rung types);
+//   * an argument must be in the named rung's registered argument set
+//     ("local(q9)" and "dnn(q8)" are rejected, as is any malformed form);
 //   * the spec must end with "dnn" (the ladder's unconditional answerer);
 //   * "p2p" requires "local" (the P2P rung re-votes the approximate cache).
 //
 // The named make_*_config() presets are ladder specs (see config.cpp), and
-// `apxsim --ladder imu,temporal,warm,local,p2p,dnn` runs any valid spec.
+// `apxsim --ladder imu,temporal,warm,local(q8),p2p,dnn` runs any valid
+// spec.
 
 #include <memory>
 #include <string>
@@ -29,7 +37,9 @@ namespace apx {
 
 /// A parsed, validated ladder composition.
 struct LadderSpec {
-  std::vector<std::string> tokens;  ///< rank order, ends with "dnn"
+  std::vector<std::string> tokens;  ///< base names, rank order, ends "dnn"
+  /// Parallel to `tokens`: the token's parenthesized argument, "" if none.
+  std::vector<std::string> args;
 
   /// Parses and validates a spec string (grammar above); throws
   /// std::invalid_argument with a actionable message on any violation.
@@ -42,7 +52,11 @@ struct LadderSpec {
   /// Canonical comma-joined form (round-trips through parse()).
   std::string to_string() const;
 
+  /// `token` is the base name — has("local") is true for "local(q8)" too.
   bool has(std::string_view token) const noexcept;
+
+  /// The argument carried by base-name `token` ("" when absent or bare).
+  std::string_view arg(std::string_view token) const noexcept;
 };
 
 /// Makes `spec` authoritative on `config`: overwrites every rung-coupled
@@ -61,12 +75,16 @@ class RungRegistry {
     std::string name;
     int rank = 0;  ///< ladder position class; specs must strictly increase
     Factory factory = nullptr;
+    /// Arguments this rung accepts in "name(arg)" spec tokens. Empty for
+    /// most rungs; "local" registers {"q8"}.
+    std::vector<std::string> allowed_args;
   };
 
   static RungRegistry& instance();
 
   /// Registers a rung type; throws std::logic_error on a duplicate name.
-  void add(std::string name, int rank, Factory factory);
+  void add(std::string name, int rank, Factory factory,
+           std::vector<std::string> allowed_args = {});
 
   const Entry* find(std::string_view name) const noexcept;
 

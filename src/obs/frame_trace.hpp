@@ -49,6 +49,9 @@ struct TraceSpan {
   std::uint32_t candidates = 0;
   /// Nearest cached neighbour's distance; negative when nothing was found.
   float nearest_distance = -1.0f;
+  /// Quantized scan only: candidates kept for the exact re-rank pass
+  /// (0 on the float path — the whole candidate set is scored exactly).
+  std::uint32_t rerank_survivors = 0;
 };
 
 /// Trace of one frame through the ladder. Spans appear in visit order; a
@@ -91,6 +94,13 @@ class FrameTrace {
     if (!open_) return;
     spans_[count_].candidates = candidates;
     spans_[count_].nearest_distance = nearest_distance;
+  }
+
+  /// Annotates the open span with the quantized scan's exact re-rank size;
+  /// no-op when no span is open (float-path lookups never call this).
+  void annotate_rerank(std::uint32_t survivors) noexcept {
+    if (!open_) return;
+    spans_[count_].rerank_survivors = survivors;
   }
 
   /// Closed spans, in visit order.

@@ -80,6 +80,7 @@ MetricsRegistry::CounterId MetricsRegistry::counter(const std::string& name) {
   const auto id = static_cast<CounterId>(counters_.size());
   counters_.push_back(NamedCounter{name, 0});
   counter_ids_.emplace(name, id);
+  ++version_;
   return id;
 }
 
@@ -105,6 +106,7 @@ MetricsRegistry::HistogramId MetricsRegistry::histogram(
   h.buckets.assign(bounds.size() + 1, 0);
   histograms_.push_back(std::move(h));
   histogram_ids_.emplace(name, id);
+  ++version_;
   return id;
 }
 
@@ -122,6 +124,7 @@ void MetricsRegistry::record(HistogramId id, double value) noexcept {
   }
   ++h.count;
   h.sum += value;
+  ++version_;
 }
 
 std::uint64_t MetricsRegistry::counter_value(

@@ -57,8 +57,14 @@ class MetricsRegistry {
 
   void inc(CounterId id, std::uint64_t by = 1) noexcept {
     counters_[id].value += by;
+    ++version_;
   }
   void record(HistogramId id, double value) noexcept;
+
+  /// Mutation stamp: bumped by every inc/record/registration/merge. Lets
+  /// derived views (ReusePipeline::counters()) cache their rebuild and
+  /// invalidate only when the registry actually changed.
+  std::uint64_t version() const noexcept { return version_; }
 
   /// Current value of a registered counter (handle variant of
   /// counter_value(); no name lookup).
@@ -98,6 +104,7 @@ class MetricsRegistry {
   std::vector<Histogram> histograms_;
   std::map<std::string, CounterId> counter_ids_;
   std::map<std::string, HistogramId> histogram_ids_;
+  std::uint64_t version_ = 0;
 };
 
 /// Shared bucket boundary sets so the same quantity is comparable across

@@ -101,6 +101,11 @@ struct ExperimentRunner::Impl {
     if (!config.pipeline.ladder.empty()) {
       apply_ladder(config.pipeline, LadderSpec::parse(config.pipeline.ladder));
     }
+    // Flag-driven configs (presets with enable_quantized_scan toggled)
+    // must reach the cache config the caches are built from below;
+    // apply_ladder already did this for spec-driven configs.
+    config.pipeline.cache.alsh.lsh.quantize.enabled =
+        config.pipeline.enable_quantized_scan;
     // Devices may only run concurrently when nothing couples them: no P2P
     // traffic, no edge super-peer, and no shared frame trace. Everything
     // else they touch (scenes, popularity, extractor) is immutable after

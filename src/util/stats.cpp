@@ -87,6 +87,10 @@ void Counter::inc(const std::string& key, std::uint64_t by) {
   counts_[key] += by;
 }
 
+void Counter::set(const std::string& key, std::uint64_t value) {
+  counts_[key] = value;
+}
+
 std::uint64_t Counter::get(const std::string& key) const noexcept {
   const auto it = counts_.find(key);
   return it == counts_.end() ? 0 : it->second;

@@ -70,6 +70,8 @@ class Samples {
 class Counter {
  public:
   void inc(const std::string& key, std::uint64_t by = 1);
+  /// Overwrites `key` (gauge semantics: current sizes, byte footprints).
+  void set(const std::string& key, std::uint64_t value);
   std::uint64_t get(const std::string& key) const noexcept;
   std::uint64_t total() const noexcept;
   /// Fraction of the total attributed to `key`; 0 when total is 0.

@@ -63,6 +63,35 @@ void l2_sq_batch(std::span<const float> q, const float* rows, std::size_t n,
 void l2_sq_gather(std::span<const float> q, const float* arena,
                   std::span<const std::uint32_t> slots, float* out) noexcept;
 
+// -------------------------------------------------- SQ8 scan kernels
+//
+// Asymmetric distance computation over 8-bit affine codes: the query stays
+// float, stored rows are uint8 codes with per-row affine parameters
+// (value[i] ~= offset + scale * code[i]). Expanding the squared distance to
+// the reconstruction,
+//
+//   |q - recon|^2 = |q|^2 - 2 (offset * sum(q) + scale * dot(q, codes))
+//                 + |recon|^2,
+//
+// only dot(q, codes) depends on the row's codes; everything else is O(1)
+// per row from precomputed terms. The uint8 rows quarter the memory
+// traffic of the float scan, which is what the scan is bound by at
+// realistic cache sizes.
+
+/// Inner product of a float vector with a uint8 code row of equal length.
+float dot_u8(std::span<const float> a, const std::uint8_t* codes) noexcept;
+
+/// ADC gather: out[i] = squared L2 distance from `q` to the reconstruction
+/// of code row slots[i]. `code_arena` holds slot-major uint8 rows of
+/// q.size() bytes; offsets/scales/recon_norm_sqs are per-slot affine
+/// parameters and reconstruction norms (see above). `q_norm_sq` = |q|^2
+/// and `q_sum` = sum(q) are per-query precomputes.
+void adc_l2_sq_gather(std::span<const float> q, float q_norm_sq, float q_sum,
+                      const std::uint8_t* code_arena, const float* offsets,
+                      const float* scales, const float* recon_norm_sqs,
+                      std::span<const std::uint32_t> slots,
+                      float* out) noexcept;
+
 namespace ref {
 
 /// One-element-at-a-time scalar references (the pre-overhaul kernels).

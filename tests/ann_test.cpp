@@ -3,12 +3,14 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <memory>
 
 #include "src/ann/adaptive_lsh.hpp"
 #include "src/ann/exact_knn.hpp"
 #include "src/ann/hknn.hpp"
 #include "src/ann/lsh.hpp"
+#include "src/ann/quantize.hpp"
 #include "src/util/rng.hpp"
 
 namespace apx {
@@ -525,6 +527,192 @@ TEST_P(HknnThresholdSweep, AcceptanceMonotoneInThreshold) {
 
 INSTANTIATE_TEST_SUITE_P(Thresholds, HknnThresholdSweep,
                          ::testing::Values(0.5f, 0.6f, 0.7f, 0.8f));
+
+// ------------------------------------------------------- SQ8 encode
+
+TEST(Sq8, EncodeStatsMatchQuantizeGrid) {
+  Rng rng{31};
+  const FeatureVec v = random_unit(rng, 16);
+  std::vector<std::uint8_t> codes(v.size());
+  const Sq8Stats st = sq8_encode(v, codes.data());
+  const QuantizedVec q = quantize(v);
+  EXPECT_FLOAT_EQ(st.offset, q.offset);
+  EXPECT_FLOAT_EQ(st.scale, q.scale);
+  EXPECT_EQ(codes, q.codes);
+  // recon_norm_sq is the squared norm of the reconstruction.
+  const FeatureVec back = dequantize(q);
+  float norm_sq = 0.0f;
+  for (const float x : back) norm_sq += x * x;
+  EXPECT_NEAR(st.recon_norm_sq, norm_sq, 1e-4f);
+}
+
+TEST(Sq8, ConstantVectorIsExact) {
+  const FeatureVec v(12, 0.75f);
+  std::vector<std::uint8_t> codes(v.size(), 0xFF);
+  const Sq8Stats st = sq8_encode(v, codes.data());
+  EXPECT_FLOAT_EQ(st.scale, 0.0f);
+  EXPECT_FLOAT_EQ(st.offset, 0.75f);
+  for (const std::uint8_t c : codes) EXPECT_EQ(c, 0);
+  EXPECT_NEAR(st.recon_norm_sq, 12 * 0.75f * 0.75f, 1e-5f);
+}
+
+TEST(Sq8, NonFiniteInputThrows) {
+  std::vector<std::uint8_t> codes(4);
+  FeatureVec v{1.0f, 2.0f, std::numeric_limits<float>::quiet_NaN(), 0.0f};
+  EXPECT_THROW(sq8_encode(v, codes.data()), std::invalid_argument);
+  v[2] = std::numeric_limits<float>::infinity();
+  EXPECT_THROW(sq8_encode(v, codes.data()), std::invalid_argument);
+  v[2] = -std::numeric_limits<float>::infinity();
+  EXPECT_THROW(sq8_encode(v, codes.data()), std::invalid_argument);
+  EXPECT_THROW(quantize(v), std::invalid_argument);
+}
+
+TEST(Sq8, GridBoundsSaturateAtExtremeCodes) {
+  const FeatureVec v{-2.0f, 2.0f, 0.0f};
+  std::vector<std::uint8_t> codes(v.size());
+  const Sq8Stats st = sq8_encode(v, codes.data());
+  EXPECT_EQ(codes[0], 0);     // min of the grid
+  EXPECT_EQ(codes[1], 255);   // max of the grid
+  EXPECT_NEAR(st.offset + st.scale * 255.0f, 2.0f, 1e-3f);
+}
+
+TEST(Sq8, EmptyVectorEncodesToZeroStats) {
+  const Sq8Stats st = sq8_encode(std::span<const float>{}, nullptr);
+  EXPECT_FLOAT_EQ(st.offset, 0.0f);
+  EXPECT_FLOAT_EQ(st.scale, 0.0f);
+  EXPECT_FLOAT_EQ(st.recon_norm_sq, 0.0f);
+}
+
+// ------------------------------------------------------- Quantized LSH scan
+
+LshParams quantized_lsh() {
+  LshParams p;
+  p.num_tables = 6;
+  p.hashes_per_table = 6;
+  p.bucket_width = 0.6f;
+  p.seed = 21;
+  p.quantize.enabled = true;
+  p.quantize.rerank_k = 32;
+  return p;
+}
+
+TEST(LshQuantized, ReturnedDistancesAreFloatExact) {
+  // The exact re-rank re-scores survivors on the float arena, so every
+  // returned distance must match the float index bit for bit.
+  PStableLshIndex q8{8, quantized_lsh()};
+  LshParams float_params = quantized_lsh();
+  float_params.quantize.enabled = false;
+  PStableLshIndex flt{8, float_params};
+  Rng rng{7};
+  std::vector<FeatureVec> base;
+  for (VecId id = 0; id < 30; ++id) {
+    base.push_back(random_unit(rng, 8));
+    q8.insert(id, base[id]);
+    flt.insert(id, base[id]);
+  }
+  for (VecId id = 0; id < 30; ++id) {
+    const auto a = q8.query(base[id], 4);
+    const auto b = flt.query(base[id], 4);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, b[i].id);
+      EXPECT_FLOAT_EQ(a[i].distance, b[i].distance);
+    }
+  }
+}
+
+TEST(LshQuantized, ReconstructedCoherentUnderSlotReuse) {
+  // Codes live in a slot-indexed sidecar; remove + reinsert must overwrite
+  // the reused slot's row, never leave a stale code row behind.
+  PStableLshIndex index{8, quantized_lsh()};
+  Rng rng{11};
+  std::vector<FeatureVec> base;
+  for (VecId id = 0; id < 10; ++id) {
+    base.push_back(random_unit(rng, 8));
+    index.insert(id, base[id]);
+  }
+  ASSERT_TRUE(index.remove(3));
+  ASSERT_TRUE(index.remove(7));
+  const FeatureVec v100 = random_unit(rng, 8);
+  const FeatureVec v101 = random_unit(rng, 8);
+  index.insert(100, v100);  // reuses a freed slot
+  index.insert(101, v101);
+  auto expect_recon = [&](VecId id, const FeatureVec& v) {
+    const FeatureVec got = index.reconstructed(id);
+    const FeatureVec want = dequantize(quantize(v));
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_FLOAT_EQ(got[i], want[i]) << "id " << id << " dim " << i;
+    }
+  };
+  expect_recon(100, v100);
+  expect_recon(101, v101);
+  for (VecId id = 0; id < 10; ++id) {
+    if (id == 3 || id == 7) continue;
+    expect_recon(id, base[id]);
+  }
+  EXPECT_TRUE(index.reconstructed(3).empty());  // removed id
+}
+
+TEST(LshQuantized, NonFiniteInsertThrowsAndLeavesIndexIntact) {
+  PStableLshIndex index{4, quantized_lsh()};
+  index.insert(1, {1.0f, 0.0f, 0.0f, 0.0f});
+  FeatureVec bad{0.0f, std::numeric_limits<float>::quiet_NaN(), 0.0f, 0.0f};
+  EXPECT_THROW(index.insert(2, bad), std::invalid_argument);
+  EXPECT_EQ(index.size(), 1u);
+  // The id must not be half-claimed: a finite retry succeeds.
+  index.insert(2, {0.0f, 1.0f, 0.0f, 0.0f});
+  EXPECT_EQ(index.size(), 2u);
+}
+
+TEST(LshQuantized, RerankSurvivorsReported) {
+  PStableLshIndex q8{8, quantized_lsh()};
+  LshParams float_params = quantized_lsh();
+  float_params.quantize.enabled = false;
+  PStableLshIndex flt{8, float_params};
+  Rng rng{19};
+  for (VecId id = 0; id < 20; ++id) {
+    const FeatureVec v = random_unit(rng, 8);
+    q8.insert(id, v);
+    flt.insert(id, v);
+  }
+  const FeatureVec probe = random_unit(rng, 8);
+  std::vector<Neighbor> out;
+  q8.query_into(probe, 4, out);
+  if (!out.empty()) {
+    EXPECT_GT(q8.last_rerank_survivors(), 0u);
+    EXPECT_LE(q8.last_rerank_survivors(), q8.last_candidate_count());
+  }
+  flt.query_into(probe, 4, out);
+  EXPECT_EQ(flt.last_rerank_survivors(), 0u);
+  EXPECT_TRUE(flt.reconstructed(0).empty());  // float index has no codes
+}
+
+TEST(LshQuantized, RebuildPreservesCodes) {
+  PStableLshIndex index{8, quantized_lsh()};
+  Rng rng{23};
+  std::vector<FeatureVec> base;
+  for (VecId id = 0; id < 30; ++id) {
+    base.push_back(random_unit(rng, 8));
+    index.insert(id, base.back());
+  }
+  index.rebuild_with_width(1.2f);
+  int found = 0;
+  for (VecId id = 0; id < 30; ++id) {
+    const auto result = index.query(base[id], 1);
+    if (!result.empty() && result[0].id == id) {
+      EXPECT_FLOAT_EQ(result[0].distance, 0.0f);
+      ++found;
+    }
+    const FeatureVec got = index.reconstructed(id);
+    const FeatureVec want = dequantize(quantize(base[id]));
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_FLOAT_EQ(got[i], want[i]);
+    }
+  }
+  EXPECT_GE(found, 28);
+}
 
 }  // namespace
 }  // namespace apx

@@ -144,6 +144,41 @@ TEST(LshHotPath, SteadyStateQueryPerformsZeroAllocations) {
   EXPECT_EQ(after - before, 0u);
 }
 
+TEST(LshHotPath, QuantizedSteadyStateQueryPerformsZeroAllocations) {
+  // The SQ8 scan adds three scratch stages (ADC rank order, survivors,
+  // exact distances); like the float path, they must reach a high-water
+  // mark during warm-up and never allocate again.
+  LshParams params;
+  params.num_tables = 4;
+  params.hashes_per_table = 8;
+  params.bucket_width = 0.5f;
+  params.probes_per_table = 2;
+  params.quantize.enabled = true;
+  params.quantize.rerank_k = 16;
+  PStableLshIndex index{64, params};
+
+  Rng rng{37};
+  for (VecId id = 0; id < 2000; ++id) {
+    FeatureVec v = random_vec(rng, 64);
+    normalize(v);
+    index.insert(id, v);
+  }
+  std::vector<FeatureVec> queries;
+  for (int i = 0; i < 64; ++i) {
+    FeatureVec q = random_vec(rng, 64);
+    normalize(q);
+    queries.push_back(std::move(q));
+  }
+
+  std::vector<Neighbor> out;
+  for (const auto& q : queries) index.query_into(q, 8, out);
+
+  const std::size_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (const auto& q : queries) index.query_into(q, 8, out);
+  const std::size_t after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u);
+}
+
 TEST(CacheHotPath, SteadyStateTracedLookupPerformsZeroAllocations) {
   // The full traced lookup path — LSH query, H-kNN vote, hit/miss counters,
   // metrics recording, trace annotation — must be allocation-free once warm.

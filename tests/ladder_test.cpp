@@ -72,6 +72,59 @@ TEST(LadderSpecTest, RejectsMalformedSpecs) {
   }
 }
 
+TEST(LadderSpecTest, ParsesAndRoundTripsRungArguments) {
+  const char* specs[] = {
+      "local(q8),dnn",
+      "imu,local(q8),dnn",
+      "imu,temporal,local(q8),p2p,dnn",
+  };
+  for (const char* text : specs) {
+    SCOPED_TRACE(text);
+    const LadderSpec spec = LadderSpec::parse(text);
+    EXPECT_EQ(spec.to_string(), text);
+    EXPECT_EQ(LadderSpec::parse(spec.to_string()).to_string(), text);
+    // has() matches the base rung name, argument or not.
+    EXPECT_TRUE(spec.has("local"));
+    EXPECT_EQ(spec.arg("local"), "q8");
+    EXPECT_EQ(spec.arg("dnn"), "");
+  }
+  EXPECT_EQ(LadderSpec::parse("local,dnn").arg("local"), "");
+}
+
+TEST(LadderSpecTest, RejectsMalformedRungArguments) {
+  const char* bad[] = {
+      "local(q9),dnn",      // unknown argument
+      "local(),dnn",        // empty argument
+      "local(q8,dnn",       // unterminated parenthesis
+      "local(q8)x,dnn",     // trailing junk after ')'
+      "(q8),dnn",           // argument without a rung name
+      "dnn(q8)",            // rung that takes no arguments
+      "imu(q8),local,dnn",  // likewise
+      "local(q8),local,dnn",  // still a duplicate of the base rung
+  };
+  for (const char* text : bad) {
+    SCOPED_TRACE(text);
+    EXPECT_THROW((void)LadderSpec::parse(text), std::invalid_argument);
+  }
+}
+
+TEST(LadderSpecTest, QuantizedArgSyncsQuantizeFlags) {
+  const PipelineConfig q8 = make_ladder_config("imu,local(q8),dnn");
+  EXPECT_TRUE(q8.enable_quantized_scan);
+  EXPECT_TRUE(q8.cache.alsh.lsh.quantize.enabled);
+  EXPECT_EQ(LadderSpec::from_config(q8).to_string(), "imu,local(q8),dnn");
+
+  const PipelineConfig plain = make_ladder_config("imu,local,dnn");
+  EXPECT_FALSE(plain.enable_quantized_scan);
+  EXPECT_FALSE(plain.cache.alsh.lsh.quantize.enabled);
+  EXPECT_EQ(LadderSpec::from_config(plain).to_string(), "imu,local,dnn");
+
+  // Flag-driven configs derive the argumented spec.
+  PipelineConfig flagged = make_approx_local_config();
+  flagged.enable_quantized_scan = true;
+  EXPECT_EQ(LadderSpec::from_config(flagged).to_string(), "local(q8),dnn");
+}
+
 TEST(LadderSpecTest, ErrorsNameTheSpecAndTheViolation) {
   try {
     (void)LadderSpec::parse("p2p,dnn");

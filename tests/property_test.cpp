@@ -10,6 +10,7 @@
 
 #include "src/ann/exact_knn.hpp"
 #include "src/ann/lsh.hpp"
+#include "src/ann/quantize.hpp"
 #include "src/cache/approx_cache.hpp"
 #include "src/cache/snapshot.hpp"
 #include "src/net/event_sim.hpp"
@@ -272,6 +273,68 @@ TEST_P(CacheFuzz, ClearEmptiesCacheAndIndexButKeepsIdsFresh) {
       cache.insert(random_unit(rng, 8), 1, 0.9f, 101);
   for (const VecId old : before) EXPECT_NE(fresh, old);
   EXPECT_GT(fresh, before.back());
+}
+
+TEST_P(CacheFuzz, QuantizedSnapshotKeepsCodesCoherentWithFloats) {
+  // With the SQ8 scan on, every float row has a code-arena row. Churn the
+  // cache, snapshot, restore (restore re-inserts, so codes are re-encoded),
+  // and clear: at each step every live entry's SQ8 reconstruction must
+  // equal re-encoding its float feature from scratch — no stale code rows.
+  Rng rng{GetParam() ^ 0x58aaULL};
+  ApproxCacheConfig cfg;
+  cfg.capacity = 24;
+  cfg.index = IndexKind::kLsh;
+  cfg.alsh.lsh.num_tables = 4;
+  cfg.alsh.lsh.hashes_per_table = 6;
+  cfg.alsh.lsh.bucket_width = 0.6f;
+  cfg.alsh.lsh.quantize.enabled = true;
+  cfg.alsh.lsh.quantize.rerank_k = 8;
+
+  auto expect_coherent = [](const ApproxCache& c) {
+    c.for_each([&c](const CacheEntry& e) {
+      const FeatureVec got = c.index().reconstructed(e.id);
+      const FeatureVec want = dequantize(quantize(e.feature));
+      ASSERT_EQ(got.size(), want.size()) << "id " << e.id;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        ASSERT_FLOAT_EQ(got[i], want[i]) << "id " << e.id << " dim " << i;
+      }
+    });
+  };
+
+  ApproxCache cache{8, cfg, make_lru_policy()};
+  ASSERT_TRUE(cache.quantized_scan());
+  std::vector<VecId> ids;
+  SimTime now = 0;
+  for (int op = 0; op < 200; ++op) {
+    now += 1 + static_cast<SimTime>(rng.uniform_u64(1000));
+    const double dice = rng.uniform();
+    if (dice < 0.6) {
+      // Past capacity this evicts, freeing slots for reuse.
+      ids.push_back(cache.insert(random_unit(rng, 8),
+                                 static_cast<Label>(rng.uniform_u64(10)),
+                                 static_cast<float>(rng.uniform()), now));
+    } else if (dice < 0.75 && !ids.empty()) {
+      (void)cache.remove(ids[rng.uniform_u64(ids.size())]);
+    } else {
+      (void)cache.lookup(random_unit(rng, 8), now);
+    }
+  }
+  expect_coherent(cache);
+
+  const auto bytes = save_snapshot(cache, now);
+  ApproxCache restored{8, cfg, make_lru_policy()};
+  ASSERT_EQ(load_snapshot(restored, bytes, now), cache.size());
+  ASSERT_TRUE(restored.quantized_scan());
+  expect_coherent(restored);
+
+  // Crash-recovery wipe: no code row may survive clear().
+  restored.clear();
+  EXPECT_EQ(restored.size(), 0u);
+  EXPECT_TRUE(restored.index().reconstructed(ids.empty() ? 0 : ids[0])
+                  .empty());
+  const VecId fresh = restored.insert(random_unit(rng, 8), 1, 0.9f, now + 1);
+  (void)fresh;
+  expect_coherent(restored);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CacheFuzz, ::testing::Values(10u, 20u, 30u));

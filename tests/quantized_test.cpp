@@ -1,0 +1,162 @@
+// SQ8 quantized-scan parity: the opt-in local(q8) ladder must match the
+// float ladder's recognition quality — the scan is approximate but the
+// exact re-rank hands H-kNN the same float distances, so votes only change
+// when ADC ordering pushes a true neighbour out of the re-rank set. These
+// tests pin that agreement at the cache level (top-1 vote parity >= 99%)
+// and end to end (accuracy within one point on every named config at two
+// seeds), and check the "quantized" metrics subsystem is all-or-nothing.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "src/cache/approx_cache.hpp"
+#include "src/cache/eviction.hpp"
+#include "src/core/config.hpp"
+#include "src/sim/runner.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/vecmath.hpp"
+
+namespace apx {
+namespace {
+
+// ------------------------------------------------- cache-level vote parity
+
+TEST(QuantizedParity, PeekVoteAgreesWithFloatScan) {
+  constexpr std::size_t kDim = 64;
+  constexpr std::size_t kClusters = 96;
+  constexpr int kEntries = 2000;
+  constexpr int kProbes = 1000;
+
+  ApproxCacheConfig base;
+  base.capacity = 4096;
+  base.index = IndexKind::kLsh;
+  base.alsh.lsh.num_tables = 4;
+  base.alsh.lsh.hashes_per_table = 8;
+  base.alsh.lsh.bucket_width = 0.5f;
+  base.alsh.lsh.probes_per_table = 2;
+  base.hknn.max_distance = 0.4f;
+  ApproxCacheConfig q8_cfg = base;
+  q8_cfg.alsh.lsh.quantize.enabled = true;
+
+  ApproxCache flt{kDim, base, make_lru_policy()};
+  ApproxCache q8{kDim, q8_cfg, make_lru_policy()};
+  ASSERT_FALSE(flt.quantized_scan());
+  ASSERT_TRUE(q8.quantized_scan());
+
+  // Near-duplicate views of kClusters objects — the workload the paper's
+  // cache actually holds.
+  Rng rng{2025};
+  std::vector<FeatureVec> centers;
+  for (std::size_t c = 0; c < kClusters; ++c) {
+    FeatureVec v(kDim);
+    for (float& x : v) x = static_cast<float>(rng.normal());
+    normalize(v);
+    centers.push_back(std::move(v));
+  }
+  auto near_center = [&](std::size_t c) {
+    FeatureVec v = centers[c];
+    for (float& x : v) x += static_cast<float>(rng.normal(0.0, 0.03));
+    normalize(v);
+    return v;
+  };
+  for (int i = 0; i < kEntries; ++i) {
+    const std::size_t c = static_cast<std::size_t>(i) % kClusters;
+    const FeatureVec v = near_center(c);
+    flt.insert(v, static_cast<Label>(c), 0.9f, i);
+    q8.insert(v, static_cast<Label>(c), 0.9f, i);
+  }
+
+  int agree = 0;
+  int votes = 0;
+  for (int i = 0; i < kProbes; ++i) {
+    const FeatureVec probe = near_center(rng.uniform_u64(kClusters));
+    const auto a = flt.peek_vote(probe);
+    const auto b = q8.peek_vote(probe);
+    if (a.has_value() || b.has_value()) ++votes;
+    if (a.has_value() == b.has_value() &&
+        (!a.has_value() || a->label == b->label)) {
+      ++agree;
+    }
+  }
+  ASSERT_GT(votes, kProbes / 2) << "workload barely exercised the cache";
+  EXPECT_GE(static_cast<double>(agree) / kProbes, 0.99)
+      << agree << "/" << kProbes << " probes agreed";
+}
+
+// ------------------------------------------------------- end-to-end parity
+
+ScenarioConfig parity_scenario(std::uint64_t seed) {
+  ScenarioConfig cfg = default_scenario();
+  cfg.seed = seed;
+  cfg.duration = 20 * kSecond;
+  cfg.num_devices = 2;
+  return cfg;
+}
+
+TEST(QuantizedParity, EndToEndAccuracyWithinOnePointOnEveryNamedConfig) {
+  struct NamedPreset {
+    const char* name;
+    PipelineConfig (*make)();
+  };
+  const NamedPreset presets[] = {
+      {"approx-local", &make_approx_local_config},
+      {"approx+imu", &make_approx_imu_config},
+      {"approx+imu+video", &make_approx_video_config},
+      {"full-system(+p2p)", &make_full_system_config},
+      {"adaptive", &make_adaptive_config},
+  };
+  for (const std::uint64_t seed : {42ULL, 1042ULL}) {
+    for (const NamedPreset& p : presets) {
+      SCOPED_TRACE(std::string(p.name) + " seed " + std::to_string(seed));
+      ScenarioConfig cfg = parity_scenario(seed);
+      cfg.pipeline = p.make();
+      const ExperimentMetrics flt = run_scenario(cfg);
+      cfg.pipeline = p.make();
+      cfg.pipeline.enable_quantized_scan = true;
+      const ExperimentMetrics q8 = run_scenario(cfg);
+      EXPECT_NEAR(q8.accuracy(), flt.accuracy(), 0.01);
+      // The quantized run still reuses: same ballpark of cache service.
+      EXPECT_GT(q8.reuse_ratio(), 0.0);
+    }
+  }
+}
+
+// --------------------------------------------------- metrics presence
+
+TEST(QuantizedMetrics, Q8LadderExportsTheQuantizedSubsystem) {
+  ScenarioConfig cfg = parity_scenario(7);
+  cfg.duration = 5 * kSecond;
+  cfg.pipeline = make_ladder_config("imu,temporal,local(q8),p2p,dnn");
+  ExperimentRunner runner{cfg};
+  runner.run();
+  const MetricsRegistry& m = runner.metrics();
+  const std::string json = m.to_json();
+  // All-or-nothing subsystem: both gauges and the histogram are present.
+  EXPECT_NE(json.find("cache/bytes_float"), std::string::npos) << json;
+  EXPECT_NE(json.find("cache/bytes_codes"), std::string::npos) << json;
+  const auto* hist = m.find_histogram("ann/rerank_survivors");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_GT(hist->count, 0u) << "quantized scan never ran a re-rank";
+  // The code arena is the small side of the ledger.
+  EXPECT_LE(m.counter_value("cache/bytes_codes"),
+            m.counter_value("cache/bytes_float"));
+}
+
+TEST(QuantizedMetrics, FloatLadderCarriesNoQuantizedKeys) {
+  ScenarioConfig cfg = parity_scenario(7);
+  cfg.duration = 5 * kSecond;
+  cfg.pipeline = make_full_system_config();
+  ExperimentRunner runner{cfg};
+  runner.run();
+  const std::string json = runner.metrics().to_json();
+  EXPECT_EQ(json.find("bytes_codes"), std::string::npos)
+      << "quantized gauges leaked into a float ladder";
+  EXPECT_EQ(json.find("rerank_survivors"), std::string::npos)
+      << "re-rank histogram leaked into a float ladder";
+}
+
+}  // namespace
+}  // namespace apx

@@ -45,8 +45,9 @@ void usage() {
       "  --ladder SPEC      explicit reuse-ladder composition instead of a\n"
       "                     preset: comma-separated rungs, cheapest first,\n"
       "                     ending in dnn. Rungs: imu temporal warm local\n"
-      "                     exact p2p dnn. e.g.\n"
-      "                       --ladder imu,temporal,warm,local,p2p,dnn\n"
+      "                     exact p2p dnn; local(q8) scans the cache on SQ8\n"
+      "                     codes with exact re-rank. e.g.\n"
+      "                       --ladder imu,temporal,local(q8),p2p,dnn\n"
       "  --devices N        co-located devices (default 4)\n"
       "  --duration S       simulated seconds (default 60)\n"
       "  --classes N        object classes (default 64)\n"

@@ -82,11 +82,22 @@ echo "ladder matrix: --ladder imu,temporal,warm,local,p2p,dnn"
 validate_metrics build-release/metrics_warm.json
 # The warm rung must actually show up in its export.
 grep -q 'pipeline/rung_us/warm' build-release/metrics_warm.json
+echo "ladder matrix: --ladder imu,temporal,local(q8),p2p,dnn"
+./build-release/tools/apxsim --ladder 'imu,temporal,local(q8),p2p,dnn' \
+  --devices 2 --duration 10 \
+  --metrics-out build-release/metrics_q8.json > /dev/null
+validate_metrics build-release/metrics_q8.json
+# The quantized subsystem must actually show up in its export.
+grep -q 'cache/bytes_codes' build-release/metrics_q8.json
+grep -q 'ann/rerank_survivors' build-release/metrics_q8.json
 
 if [[ "${1:-}" == "sanitize" ]]; then
   cmake --preset asan-ubsan
   cmake --build --preset asan-ubsan -j
   ctest --preset asan-ubsan -j
+  # The quantized parity suite in full, under both sanitizers — the SQ8
+  # kernels and the code arena are the newest pointer arithmetic in the tree.
+  ./build-asan-ubsan/tests/quantized_test
 
   cmake --preset tsan
   cmake --build --preset tsan -j
