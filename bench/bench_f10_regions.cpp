@@ -63,7 +63,7 @@ Outcome run(bool per_region, double slot_change_rate, int frames) {
       ++decisions;
       frame_latency += static_cast<double>(extractor->latency());
       const FeatureVec key = extractor->extract(img);
-      const auto lookup = cache.lookup(key, frame.t);
+      const auto lookup = cache.lookup({.features = key, .now = frame.t});
       frame_latency += static_cast<double>(lookup.latency);
       if (lookup.vote.has_value()) {
         ++hits;

@@ -54,7 +54,7 @@ SessionResult run_session(ApproxCache& cache, const SceneGenerator& scenes,
   for (int i = 0; i < frames; ++i) {
     const Frame frame = stream.next();
     const FeatureVec key = extractor->extract(frame.image);
-    const auto lookup = cache.lookup(key, frame.t);
+    const auto lookup = cache.lookup({.features = key, .now = frame.t});
     if (lookup.vote.has_value()) {
       ++hits;
     } else {

@@ -123,7 +123,7 @@ void BM_CacheLookup(benchmark::State& state) {
   const FeatureVec q = random_unit(rng, 64);
   SimTime now = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(cache.lookup(q, now++));
+    benchmark::DoNotOptimize(cache.lookup({.features = q, .now = now++}));
   }
 }
 BENCHMARK(BM_CacheLookup);

@@ -72,7 +72,7 @@ void direct_api_usage() {
 
     const apx::FeatureVec key = classifier.embed(frame);
     const apx::SimTime now = i * 100 * apx::kMillisecond;
-    const auto lookup = cache.lookup(key, now);
+    const auto lookup = cache.lookup({.features = key, .now = now});
     int label;
     if (lookup.vote.has_value()) {
       ++hits;

@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
       const apx::Image crop = apx::crop_region(frame.image, region);
       busy_us += static_cast<double>(extractor->latency());
       const apx::FeatureVec key = extractor->extract(crop);
-      const auto lookup = cache.lookup(key, frame.t);
+      const auto lookup = cache.lookup({.features = key, .now = frame.t});
       busy_us += static_cast<double>(lookup.latency);
       apx::Label answer;
       if (lookup.vote.has_value()) {

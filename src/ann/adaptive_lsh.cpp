@@ -49,6 +49,22 @@ void AdaptiveLshIndex::query_into(std::span<const float> q, std::size_t k,
   maybe_adapt();
 }
 
+void AdaptiveLshIndex::observe_query_feedback(
+    std::span<const float> dk_samples, std::size_t query_count) {
+  for (const float dk_f : dk_samples) {
+    const double dk = static_cast<double>(dk_f);
+    if (dk <= 0.0) continue;
+    if (has_ema_) {
+      dk_ema_ += params_.ema_alpha * (dk - dk_ema_);
+    } else {
+      dk_ema_ = dk;
+      has_ema_ = true;
+    }
+  }
+  queries_since_rebuild_ += query_count;
+  maybe_adapt();
+}
+
 void AdaptiveLshIndex::attach_metrics(MetricsRegistry& metrics) {
   base_.attach_metrics(metrics);
   metrics_ = &metrics;

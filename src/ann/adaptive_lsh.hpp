@@ -29,6 +29,11 @@ struct AdaptiveLshParams {
 };
 
 /// Self-tuning LSH index (see file comment).
+///
+/// Thread-safety: query_batch_into() with per-caller scratches is read-only
+/// and safe for concurrent callers; everything else — including query() and
+/// query_into(), whose controller feed mutates the EMA and can trigger a
+/// rebuild despite the const signature — requires exclusive access.
 class AdaptiveLshIndex final : public NnIndex {
  public:
   AdaptiveLshIndex(std::size_t dim, const AdaptiveLshParams& params);
@@ -43,6 +48,31 @@ class AdaptiveLshIndex final : public NnIndex {
   /// a rebuild, when the controller triggers one, does allocate.
   void query_into(std::span<const float> q, std::size_t k,
                   std::vector<Neighbor>& out) const override;
+
+  /// Forwards to the base index's per-caller scratch.
+  std::unique_ptr<IndexScratch> make_scratch() const override {
+    return base_.make_scratch();
+  }
+
+  /// Read-only batched query against the *current* tables: unlike
+  /// query_into, it feeds neither the d_k estimate nor the rebuild
+  /// trigger, so concurrent callers (one scratch each) never contend on
+  /// controller state. Callers that want adaptation under a batched
+  /// workload collect farthest-neighbour distances and hand them back via
+  /// observe_query_feedback() under exclusive access (ApproxCache::
+  /// fold_scratch does exactly this).
+  void query_batch_into(std::span<const float> queries, std::size_t count,
+                        std::size_t k, IndexScratch* scratch,
+                        std::span<std::vector<Neighbor>> results,
+                        QueryStats* stats = nullptr) const override {
+    base_.query_batch_into(queries, count, k, scratch, results, stats);
+  }
+
+  /// Deferred controller feed for the batched path (exclusive access):
+  /// applies each d_k sample to the EMA in order, advances the query
+  /// counter by `query_count`, then runs the usual rebuild check once.
+  void observe_query_feedback(std::span<const float> dk_samples,
+                              std::size_t query_count) override;
   std::size_t size() const noexcept override { return base_.size(); }
   std::size_t dim() const noexcept override { return base_.dim(); }
 

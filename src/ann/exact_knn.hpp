@@ -10,6 +10,11 @@
 namespace apx {
 
 /// Linear-scan exact kNN.
+///
+/// Thread-safety: query()/query_into() are genuinely const (no internal
+/// scratch, no accounting members), so the inherited query_batch_into()
+/// default — a loop over query_into with no scratch — is already safe for
+/// concurrent callers. Only insert()/remove() require exclusive access.
 class ExactKnnIndex final : public NnIndex {
  public:
   explicit ExactKnnIndex(std::size_t dim);

@@ -20,6 +20,12 @@ const char* to_string(IndexKind kind) noexcept;
 /// Builds an index of `kind` over `dim`-dimensional vectors. `params`
 /// covers the whole LSH family: kLsh uses params.lsh, kAdaptiveLsh all of
 /// it, kExact neither. Throws std::invalid_argument on an unknown kind.
+///
+/// Every backend returned here serves the batched request path
+/// (NnIndex::query_batch_into + make_scratch): the LSH family overrides it
+/// with table-major amortized hashing, the exact scan inherits the default
+/// loop, and future backends (QALSH, ...) get the loop-over-single default
+/// for free — consumers never need to know which one they hold.
 std::unique_ptr<NnIndex> make_index(IndexKind kind, std::size_t dim,
                                     const AdaptiveLshParams& params);
 

@@ -5,6 +5,7 @@
 // New backends register in make_index() (src/ann/factory.hpp).
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -21,6 +22,25 @@ using VecId = std::uint64_t;
 struct Neighbor {
   VecId id = 0;
   float distance = 0.0f;
+};
+
+/// Opaque per-caller working set for the batched read-only query path.
+/// Backends that keep reusable query buffers (the LSH family) return their
+/// own derived type from NnIndex::make_scratch(); one instance per querying
+/// thread makes query_batch_into() safe for concurrent callers. Like the
+/// legacy internal scratch, it grows to its high-water mark and is never
+/// shrunk, so steady-state batched queries allocate nothing.
+class IndexScratch {
+ public:
+  virtual ~IndexScratch() = default;
+};
+
+/// Per-query work accounting from the batched path — the scratch-based
+/// equivalent of last_query_candidates()/last_rerank_survivors(), returned
+/// by value so concurrent readers never share mutable index state.
+struct QueryStats {
+  std::size_t candidates = 0;        ///< vectors whose distance was computed
+  std::size_t rerank_survivors = 0;  ///< exact re-rank pass size (SQ8 only)
 };
 
 /// Mutable nearest-neighbour index over fixed-dimension float vectors.
@@ -52,9 +72,60 @@ class NnIndex {
     out = query(q, k);
   }
 
+  /// Creates the per-caller scratch query_batch_into() uses. Returns
+  /// nullptr for backends whose query path is already pure (the exact scan
+  /// keeps no query state, so the default batch loop is thread-safe as-is).
+  /// Callers that query one index from many threads hold one scratch per
+  /// thread; the scratch must not outlive the index.
+  virtual std::unique_ptr<IndexScratch> make_scratch() const {
+    return nullptr;
+  }
+
+  /// Batched query path: `queries` holds `count` row-major dim()-sized
+  /// vectors; fills results[i] with up to `k` nearest stored vectors for
+  /// query i (closest first, same order/tie-break contract as query_into)
+  /// and, when `stats` is non-null, stats[i] with that query's work
+  /// accounting. Both spans must hold at least `count` elements.
+  ///
+  /// Thread-safety contract: with a distinct make_scratch() scratch per
+  /// caller this is a *read-only* operation — no metrics recording, no
+  /// last_query_*() updates, no width-controller feedback — so any number
+  /// of threads may run it concurrently against each other (but not against
+  /// insert/remove/rebuild, which require exclusive access; the cache layer
+  /// provides that discipline). Backends amortize per-batch work here (the
+  /// LSH family hashes table-major so each projection matrix stays hot
+  /// across the whole batch); this default simply loops over query_into and
+  /// is concurrency-safe only when query_into is genuinely const (the exact
+  /// scan), so stateful backends must override it.
+  virtual void query_batch_into(std::span<const float> queries,
+                                std::size_t count, std::size_t k,
+                                IndexScratch* scratch,
+                                std::span<std::vector<Neighbor>> results,
+                                QueryStats* stats = nullptr) const {
+    (void)scratch;
+    for (std::size_t i = 0; i < count; ++i) {
+      query_into(queries.subspan(i * dim(), dim()), k, results[i]);
+      if (stats != nullptr) {
+        stats[i] = {last_query_candidates(), last_rerank_survivors()};
+      }
+    }
+  }
+
+  /// Applies query feedback gathered on the batched read path, under the
+  /// caller's exclusive access: `dk_samples` are the farthest returned
+  /// distances of recent queries, `query_count` how many queries ran.
+  /// Self-tuning backends (A-LSH) feed their width controller here instead
+  /// of inside the read-only batch path. Default: stateless, ignore.
+  virtual void observe_query_feedback(std::span<const float> dk_samples,
+                                      std::size_t query_count) {
+    (void)dk_samples;
+    (void)query_count;
+  }
+
   /// Stored vectors whose distance the last query (query/query_into)
   /// computed — the work an approximate lookup actually did. Defaults to
-  /// size(), which is exact for full-scan indexes.
+  /// size(), which is exact for full-scan indexes. Batched queries report
+  /// per-query work via QueryStats instead of mutating this.
   virtual std::size_t last_query_candidates() const noexcept {
     return size();
   }

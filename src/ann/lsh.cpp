@@ -29,10 +29,21 @@ PStableLshIndex::PStableLshIndex(std::size_t dim, const LshParams& params)
           static_cast<float>(rng.uniform(0.0, params.bucket_width));
     }
   }
-  scratch_.projected.resize(params.hashes_per_table);
-  scratch_.coords.resize(params.hashes_per_table);
-  scratch_.fractions.resize(params.hashes_per_table);
-  scratch_.order.resize(params.hashes_per_table);
+  prepare_scratch(scratch_);
+}
+
+void PStableLshIndex::prepare_scratch(QueryScratch& sc) const {
+  sc.projected.resize(params_.hashes_per_table);
+  sc.coords.resize(params_.hashes_per_table);
+  sc.fractions.resize(params_.hashes_per_table);
+  sc.order.resize(params_.hashes_per_table);
+  sc.keys.resize(keys_per_query());
+}
+
+std::unique_ptr<IndexScratch> PStableLshIndex::make_scratch() const {
+  auto handle = std::make_unique<ScratchHandle>();
+  prepare_scratch(handle->sc);
+  return handle;
 }
 
 namespace {
@@ -60,10 +71,10 @@ inline std::uint64_t hash_coords(std::span<const std::int64_t> coords) noexcept 
 
 }  // namespace
 
-std::uint64_t PStableLshIndex::compute_coords(const Table& table,
+std::uint64_t PStableLshIndex::compute_coords(QueryScratch& sc,
+                                              const Table& table,
                                               std::span<const float> v,
                                               bool want_fractions) const {
-  QueryScratch& sc = scratch_;
   const std::size_t k = params_.hashes_per_table;
   // One matrix-vector pass over the table's contiguous projection rows.
   dot_batch(v, table.projections.data(), k, sc.projected.data());
@@ -81,7 +92,7 @@ void PStableLshIndex::link_slot(Slot slot) {
   const std::span<const float> v = slot_vec(slot);
   for (std::size_t t = 0; t < tables_.size(); ++t) {
     const std::uint64_t key =
-        compute_coords(tables_[t], v, /*want_fractions=*/false);
+        compute_coords(scratch_, tables_[t], v, /*want_fractions=*/false);
     tables_[t].buckets[key].push_back(slot);
     slot_keys_[static_cast<std::size_t>(slot) * tables_.size() + t] = key;
   }
@@ -166,11 +177,37 @@ std::vector<Neighbor> PStableLshIndex::query(std::span<const float> q,
   return result;
 }
 
-void PStableLshIndex::query_into(std::span<const float> q, std::size_t k,
-                                 std::vector<Neighbor>& out) const {
-  assert(q.size() == dim_);
+void PStableLshIndex::hash_query(QueryScratch& sc, const Table& table,
+                                 std::span<const float> q,
+                                 std::uint64_t* keys) const {
+  const std::size_t p = probes();
+  keys[0] = compute_coords(sc, table, q, /*want_fractions=*/p > 0);
+  if (p == 0) return;
+  // Query-directed multiprobe: flip the coordinates whose projections sit
+  // closest to a quantization boundary, one at a time, toward that boundary.
+  for (std::uint32_t i = 0; i < sc.order.size(); ++i) sc.order[i] = i;
+  std::sort(sc.order.begin(), sc.order.end(),
+            [&sc](std::uint32_t a, std::uint32_t b) {
+              const float da =
+                  std::min(sc.fractions[a], 1.0f - sc.fractions[a]);
+              const float db =
+                  std::min(sc.fractions[b], 1.0f - sc.fractions[b]);
+              return da < db;
+            });
+  for (std::size_t i = 0; i < p; ++i) {
+    const std::uint32_t h = sc.order[i];
+    const std::int64_t delta = sc.fractions[h] < 0.5f ? -1 : 1;
+    sc.coords[h] += delta;
+    keys[1 + i] = hash_coords(sc.coords);
+    sc.coords[h] -= delta;  // restore for the next single-flip probe
+  }
+}
+
+void PStableLshIndex::gather_score(QueryScratch& sc, std::span<const float> q,
+                                   std::size_t k, const std::uint64_t* keys,
+                                   std::vector<Neighbor>& out,
+                                   QueryStats& st) const {
   out.clear();
-  QueryScratch& sc = scratch_;
 
   // Generation-stamped seen mask over arena slots: dedup is O(candidates)
   // with no sorting and no clearing between queries (a stamp survives until
@@ -183,67 +220,29 @@ void PStableLshIndex::query_into(std::span<const float> q, std::size_t k,
   const std::uint32_t gen = sc.generation;
 
   sc.candidates.clear();
-  sc.candidates.reserve(last_candidates_);  // typical steady-state size
+  sc.candidates.reserve(sc.last_candidates);  // typical steady-state size
 
-  for (const auto& table : tables_) {
-    const std::uint64_t base_key =
-        compute_coords(table, q, params_.probes_per_table > 0);
-    const auto base_it = table.buckets.find(base_key);
-    if (base_it != table.buckets.end()) {
-      for (const Slot slot : base_it->second) {
+  const std::size_t per_table = 1 + probes();
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    const auto& buckets = tables_[t].buckets;
+    for (std::size_t j = 0; j < per_table; ++j) {
+      const auto it = buckets.find(keys[t * per_table + j]);
+      if (it == buckets.end()) continue;
+      for (const Slot slot : it->second) {
         if (sc.seen[slot] != gen) {
           sc.seen[slot] = gen;
           sc.candidates.push_back(slot);
         }
       }
     }
-    if (params_.probes_per_table > 0) {
-      // Query-directed multiprobe: flip the coordinates whose projections
-      // sit closest to a quantization boundary, one at a time, toward that
-      // boundary.
-      for (std::uint32_t i = 0; i < sc.order.size(); ++i) sc.order[i] = i;
-      std::sort(sc.order.begin(), sc.order.end(),
-                [&sc](std::uint32_t a, std::uint32_t b) {
-                  const float da =
-                      std::min(sc.fractions[a], 1.0f - sc.fractions[a]);
-                  const float db =
-                      std::min(sc.fractions[b], 1.0f - sc.fractions[b]);
-                  return da < db;
-                });
-      const std::size_t probes =
-          std::min(params_.probes_per_table, sc.coords.size());
-      for (std::size_t p = 0; p < probes; ++p) {
-        const std::uint32_t h = sc.order[p];
-        const std::int64_t delta = sc.fractions[h] < 0.5f ? -1 : 1;
-        sc.coords[h] += delta;
-        const auto it = table.buckets.find(hash_coords(sc.coords));
-        if (it != table.buckets.end()) {
-          for (const Slot slot : it->second) {
-            if (sc.seen[slot] != gen) {
-              sc.seen[slot] = gen;
-              sc.candidates.push_back(slot);
-            }
-          }
-        }
-        sc.coords[h] -= delta;  // restore for the next single-flip probe
-      }
-    }
   }
-  last_candidates_ = sc.candidates.size();
-  last_rerank_ = 0;
-  if (metrics_ != nullptr) {
-    metrics_->record(candidates_hist_,
-                     static_cast<double>(last_candidates_));
-  }
-  if (sc.candidates.empty()) {
-    if (metrics_ != nullptr && quantized()) {
-      metrics_->record(rerank_hist_, 0.0);
-    }
-    return;
-  }
+  st.candidates = sc.candidates.size();
+  st.rerank_survivors = 0;
+  sc.last_candidates = st.candidates;
+  if (sc.candidates.empty()) return;
 
   if (quantized()) {
-    score_quantized(q, k, out);
+    score_quantized(sc, q, k, out, st);
     return;
   }
 
@@ -268,9 +267,69 @@ void PStableLshIndex::query_into(std::span<const float> q, std::size_t k,
   out.resize(take);
 }
 
-void PStableLshIndex::score_quantized(std::span<const float> q, std::size_t k,
-                                      std::vector<Neighbor>& out) const {
+void PStableLshIndex::query_into(std::span<const float> q, std::size_t k,
+                                 std::vector<Neighbor>& out) const {
+  assert(q.size() == dim_);
   QueryScratch& sc = scratch_;
+  const std::size_t per_table = 1 + probes();
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    hash_query(sc, tables_[t], q, sc.keys.data() + t * per_table);
+  }
+  QueryStats st;
+  gather_score(sc, q, k, sc.keys.data(), out, st);
+  last_candidates_ = st.candidates;
+  last_rerank_ = st.rerank_survivors;
+  if (metrics_ != nullptr) {
+    metrics_->record(candidates_hist_, static_cast<double>(st.candidates));
+    if (quantized()) {
+      metrics_->record(rerank_hist_,
+                       static_cast<double>(st.rerank_survivors));
+    }
+  }
+}
+
+void PStableLshIndex::query_batch_into(std::span<const float> queries,
+                                       std::size_t count, std::size_t k,
+                                       IndexScratch* scratch,
+                                       std::span<std::vector<Neighbor>> results,
+                                       QueryStats* stats) const {
+  auto* handle = dynamic_cast<ScratchHandle*>(scratch);
+  if (handle == nullptr) {
+    throw std::invalid_argument(
+        "PStableLshIndex::query_batch_into: scratch must come from "
+        "make_scratch()");
+  }
+  assert(queries.size() == count * dim_);
+  assert(results.size() >= count);
+  QueryScratch& sc = handle->sc;
+  const std::size_t per_query = keys_per_query();
+  const std::size_t per_table = 1 + probes();
+  if (sc.keys.size() < count * per_query) {
+    sc.keys.resize(count * per_query);
+  }
+  // Stage 1, table-major: one pass per table over the whole batch, so each
+  // table's projection matrix stays hot in cache across frames — the
+  // locality win batching buys over per-query hashing.
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    for (std::size_t b = 0; b < count; ++b) {
+      hash_query(sc, tables_[t], queries.subspan(b * dim_, dim_),
+                 sc.keys.data() + b * per_query + t * per_table);
+    }
+  }
+  // Stages 2+3 per query, replaying the staged keys in the exact bucket
+  // order the single-query path probes — results are byte-identical.
+  for (std::size_t b = 0; b < count; ++b) {
+    QueryStats st;
+    gather_score(sc, queries.subspan(b * dim_, dim_), k,
+                 sc.keys.data() + b * per_query, results[b], st);
+    if (stats != nullptr) stats[b] = st;
+  }
+}
+
+void PStableLshIndex::score_quantized(QueryScratch& sc,
+                                      std::span<const float> q, std::size_t k,
+                                      std::vector<Neighbor>& out,
+                                      QueryStats& st) const {
   const std::size_t n = sc.candidates.size();
 
   // Stage 1 — ADC scan: one uint8 gather pass over the code arena. The
@@ -307,10 +366,7 @@ void PStableLshIndex::score_quantized(std::span<const float> q, std::size_t k,
   for (std::size_t i = 0; i < rerank; ++i) {
     sc.survivors[i] = sc.candidates[sc.rank_order[i]];
   }
-  last_rerank_ = rerank;
-  if (metrics_ != nullptr) {
-    metrics_->record(rerank_hist_, static_cast<double>(rerank));
-  }
+  st.rerank_survivors = rerank;
 
   // Stage 3 — exact re-rank: float-arena gather over the survivors only.
   // Returned distances are exact, so H-kNN thresholds and vote semantics

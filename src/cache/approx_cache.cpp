@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <mutex>
 #include <stdexcept>
 
 #include "src/obs/frame_trace.hpp"
@@ -24,41 +25,55 @@ ApproxCache::ApproxCache(std::size_t dim, const ApproxCacheConfig& config,
   }
 }
 
-CacheLookupResult ApproxCache::lookup(std::span<const float> q, SimTime now,
-                                      const LookupOptions& opts) {
-  assert(q.size() == dim_);
-  CacheLookupResult result;
-  const std::size_t k =
-      opts.k_override != 0 ? opts.k_override : config_.hknn.k;
-  index_->query_into(q, k, neighbor_scratch_);
+SimDuration ApproxCache::simulated_latency(
+    std::size_t candidates, std::size_t survivors) const noexcept {
+  // Fixed overhead + one distance per candidate. The quantized scan pays a
+  // quarter of the per-candidate cost (uint8 rows quarter the memory
+  // traffic) plus the full cost for each exactly re-ranked survivor.
+  if (quantized_scan_) {
+    return config_.lookup_base_latency +
+           static_cast<SimDuration>(candidates) *
+               config_.per_candidate_latency / 4 +
+           static_cast<SimDuration>(survivors) *
+               config_.per_candidate_latency;
+  }
+  return config_.lookup_base_latency +
+         static_cast<SimDuration>(candidates) *
+             config_.per_candidate_latency;
+}
+
+HknnParams ApproxCache::effective_params(
+    float threshold_scale, std::size_t k_override) const noexcept {
+  HknnParams params = config_.hknn;
+  params.max_distance *= threshold_scale;
+  if (k_override != 0) params.k = k_override;
+  return params;
+}
+
+CacheResult ApproxCache::lookup(const CacheQuery& q) {
+  if (q.count != 1) {
+    throw std::invalid_argument(
+        "ApproxCache::lookup: single-frame path (use lookup_batch)");
+  }
+  assert(q.features.size() == dim_);
+  std::unique_lock lock(mu_);
+  CacheResult result;
+  const std::size_t k = q.k_override != 0 ? q.k_override : config_.hknn.k;
+  index_->query_into(q.features, k, neighbor_scratch_);
   const std::vector<Neighbor>& neighbors = neighbor_scratch_;
 
-  // Simulated lookup cost: fixed overhead + one distance per candidate.
-  // The quantized scan pays a quarter of the per-candidate cost (uint8
-  // rows quarter the memory traffic) plus the full cost for each
-  // exactly re-ranked survivor.
   const std::size_t candidates = index_->last_query_candidates();
   const std::size_t survivors = index_->last_rerank_survivors();
   result.candidates = candidates;
-  if (quantized_scan_) {
-    result.latency = config_.lookup_base_latency +
-                     static_cast<SimDuration>(candidates) *
-                         config_.per_candidate_latency / 4 +
-                     static_cast<SimDuration>(survivors) *
-                         config_.per_candidate_latency;
-  } else {
-    result.latency = config_.lookup_base_latency +
-                     static_cast<SimDuration>(candidates) *
-                         config_.per_candidate_latency;
-  }
+  result.latency = simulated_latency(candidates, survivors);
 
   const float nearest =
       neighbors.empty() ? -1.0f : neighbors.front().distance;
-  if (opts.trace != nullptr) {
-    opts.trace->annotate_lookup(static_cast<std::uint32_t>(candidates),
-                                nearest);
+  if (q.trace != nullptr) {
+    q.trace->annotate_lookup(static_cast<std::uint32_t>(candidates),
+                             nearest);
     if (quantized_scan_) {
-      opts.trace->annotate_rerank(static_cast<std::uint32_t>(survivors));
+      q.trace->annotate_rerank(static_cast<std::uint32_t>(survivors));
     }
   }
   if (metrics_ != nullptr) {
@@ -69,10 +84,8 @@ CacheLookupResult ApproxCache::lookup(std::span<const float> q, SimTime now,
     }
   }
 
-  HknnParams params = config_.hknn;
-  params.max_distance *= opts.threshold_scale;
-  if (opts.k_override != 0) params.k = opts.k_override;
-  result.vote = hknn_vote(neighbors, label_of_, params);
+  result.vote = hknn_vote(neighbors, label_of_,
+                          effective_params(q.threshold_scale, q.k_override));
 
   if (result.vote.has_value()) {
     counters_.inc("hit");
@@ -82,7 +95,7 @@ CacheLookupResult ApproxCache::lookup(std::span<const float> q, SimTime now,
       if (touched >= result.vote->voters) break;
       auto it = entries_.find(n.id);
       if (it != entries_.end()) {
-        it->second.last_access = now;
+        it->second.last_access = q.now;
         ++it->second.access_count;
       }
       ++touched;
@@ -93,11 +106,107 @@ CacheLookupResult ApproxCache::lookup(std::span<const float> q, SimTime now,
   return result;
 }
 
+CacheResult ApproxCache::lookup(std::span<const float> q, SimTime now,
+                                const LookupOptions& opts) {
+  return lookup(CacheQuery{.features = q,
+                           .now = now,
+                           .threshold_scale = opts.threshold_scale,
+                           .k_override = opts.k_override,
+                           .trace = opts.trace});
+}
+
+void ApproxCache::lookup_batch(const CacheQuery& q,
+                               std::span<CacheResult> results,
+                               CacheQueryScratch& scratch) const {
+  if (q.count == 0) return;
+  if (q.features.size() != q.count * dim_ || results.size() < q.count) {
+    throw std::invalid_argument("ApproxCache::lookup_batch: bad sizes");
+  }
+  std::shared_lock lock(mu_);
+  const std::size_t k = q.k_override != 0 ? q.k_override : config_.hknn.k;
+  const HknnParams params =
+      effective_params(q.threshold_scale, q.k_override);
+
+  if (scratch.results_.size() < q.count) scratch.results_.resize(q.count);
+  if (scratch.stats_.size() < q.count) scratch.stats_.resize(q.count);
+  index_->query_batch_into(q.features, q.count, k, scratch.index_scratch_.get(),
+                           {scratch.results_.data(), q.count},
+                           scratch.stats_.data());
+
+  for (std::size_t b = 0; b < q.count; ++b) {
+    const std::vector<Neighbor>& neighbors = scratch.results_[b];
+    const QueryStats& st = scratch.stats_[b];
+    CacheResult r;
+    r.candidates = st.candidates;
+    r.latency = simulated_latency(st.candidates, st.rerank_survivors);
+    r.vote = hknn_vote(neighbors, label_of_, params);
+    if (q.trace != nullptr && q.count == 1) {
+      q.trace->annotate_lookup(
+          static_cast<std::uint32_t>(st.candidates),
+          neighbors.empty() ? -1.0f : neighbors.front().distance);
+      if (quantized_scan_) {
+        q.trace->annotate_rerank(
+            static_cast<std::uint32_t>(st.rerank_survivors));
+      }
+    }
+    ++scratch.lookups_;
+    if (r.vote.has_value()) {
+      ++scratch.hits_;
+      // Defer voter touches to the next fold (bounded buffer: overflow is
+      // dropped — recency is an eviction heuristic, not correctness).
+      std::size_t touched = 0;
+      for (const Neighbor& n : neighbors) {
+        if (touched >= r.vote->voters) break;
+        if (scratch.touches_.size() < CacheQueryScratch::kMaxTouches) {
+          scratch.touches_.push_back({n.id, q.now});
+        }
+        ++touched;
+      }
+    } else {
+      ++scratch.misses_;
+    }
+    if (!neighbors.empty() &&
+        scratch.dk_samples_.size() < CacheQueryScratch::kMaxDkSamples) {
+      // The farthest distance this query actually needed — the A-LSH width
+      // controller's food, applied at fold time.
+      scratch.dk_samples_.push_back(neighbors.back().distance);
+    }
+    results[b] = std::move(r);
+  }
+}
+
+CacheQueryScratch ApproxCache::make_scratch() const {
+  CacheQueryScratch scratch;
+  std::shared_lock lock(mu_);
+  scratch.index_scratch_ = index_->make_scratch();
+  return scratch;
+}
+
+void ApproxCache::fold_scratch(CacheQueryScratch& scratch) {
+  std::unique_lock lock(mu_);
+  for (const CacheQueryScratch::Touch& t : scratch.touches_) {
+    auto it = entries_.find(t.id);
+    if (it != entries_.end()) {
+      it->second.last_access = t.now;
+      ++it->second.access_count;
+    }
+  }
+  if (scratch.hits_ > 0) counters_.inc("hit", scratch.hits_);
+  if (scratch.misses_ > 0) counters_.inc("miss", scratch.misses_);
+  index_->observe_query_feedback(scratch.dk_samples_, scratch.lookups_);
+  scratch.touches_.clear();
+  scratch.dk_samples_.clear();
+  scratch.lookups_ = 0;
+  scratch.hits_ = 0;
+  scratch.misses_ = 0;
+}
+
 VecId ApproxCache::insert(FeatureVec feature, Label label, float confidence,
                           SimTime now, EntryOrigin origin,
                           std::uint8_t hop_count,
                           std::uint32_t source_device) {
   assert(feature.size() == dim_);
+  std::unique_lock lock(mu_);
   while (entries_.size() >= config_.capacity) {
     evict_one(now);
   }
@@ -120,6 +229,7 @@ VecId ApproxCache::insert(FeatureVec feature, Label label, float confidence,
 }
 
 bool ApproxCache::remove(VecId id) {
+  std::unique_lock lock(mu_);
   const auto it = entries_.find(id);
   if (it == entries_.end()) return false;
   index_->remove(id);
@@ -129,6 +239,7 @@ bool ApproxCache::remove(VecId id) {
 }
 
 void ApproxCache::clear() {
+  std::unique_lock lock(mu_);
   for (const auto& [id, _] : entries_) index_->remove(id);
   entries_.clear();
   counters_.inc("clear");
@@ -136,32 +247,45 @@ void ApproxCache::clear() {
 }
 
 const CacheEntry* ApproxCache::find(VecId id) const {
+  std::shared_lock lock(mu_);
   const auto it = entries_.find(id);
   return it == entries_.end() ? nullptr : &it->second;
 }
 
 std::optional<float> ApproxCache::nearest_distance(
     std::span<const float> q) const {
+  std::unique_lock lock(mu_);
   index_->query_into(q, 1, neighbor_scratch_);
   if (neighbor_scratch_.empty()) return std::nullopt;
   return neighbor_scratch_.front().distance;
 }
 
+std::optional<HknnVote> ApproxCache::peek_vote(const CacheQuery& q) const {
+  if (q.count != 1) {
+    throw std::invalid_argument(
+        "ApproxCache::peek_vote: single-frame path");
+  }
+  std::unique_lock lock(mu_);
+  index_->query_into(q.features, config_.hknn.k, neighbor_scratch_);
+  return hknn_vote(neighbor_scratch_, label_of_,
+                   effective_params(q.threshold_scale, q.k_override));
+}
+
 std::optional<HknnVote> ApproxCache::peek_vote(
     std::span<const float> q, const LookupOptions& opts) const {
-  index_->query_into(q, config_.hknn.k, neighbor_scratch_);
-  HknnParams params = config_.hknn;
-  params.max_distance *= opts.threshold_scale;
-  if (opts.k_override != 0) params.k = opts.k_override;
-  return hknn_vote(neighbor_scratch_, label_of_, params);
+  return peek_vote(CacheQuery{.features = q,
+                              .threshold_scale = opts.threshold_scale,
+                              .k_override = opts.k_override});
 }
 
 void ApproxCache::for_each(
     const std::function<void(const CacheEntry&)>& fn) const {
+  std::shared_lock lock(mu_);
   for (const auto& [_, entry] : entries_) fn(entry);
 }
 
 std::vector<CacheEntry> ApproxCache::entries_since(SimTime since) const {
+  std::shared_lock lock(mu_);
   std::vector<CacheEntry> out;
   for (const auto& [_, entry] : entries_) {
     if (entry.insert_time >= since) out.push_back(entry);
@@ -174,7 +298,13 @@ std::vector<CacheEntry> ApproxCache::entries_since(SimTime since) const {
   return out;
 }
 
+std::size_t ApproxCache::size() const {
+  std::shared_lock lock(mu_);
+  return entries_.size();
+}
+
 void ApproxCache::attach_metrics(MetricsRegistry& metrics) {
+  std::unique_lock lock(mu_);
   metrics_ = &metrics;
   lookup_us_hist_ = metrics.histogram("cache/lookup_us", latency_us_bounds());
   nearest_distance_hist_ =

@@ -3,10 +3,36 @@
 // poster. Keys are feature vectors; a lookup is an approximate-nearest-
 // neighbour query followed by a homogenized-kNN vote, so "equal enough"
 // inputs reuse previous recognition results.
+//
+// Thread-safety contract (DESIGN.md §9). One instance may be shared by many
+// threads; a reader-writer lock splits the surface in two:
+//
+//  shared path — wait-free against each other, all per-call mutable state
+//  lives in a caller-owned CacheQueryScratch (one per thread):
+//    lookup_batch()           the serving-scale hot path
+//    find(), for_each(), entries_since(), size(), nearest-neighbour reads
+//      of config()/dim()/capacity() (immutable after construction)
+//
+//  exclusive path — internally serialized, safe to call from any thread but
+//  one at a time; mutates entries, counters, index arenas, or the
+//  index-owned query scratch:
+//    lookup(), peek_vote(), nearest_distance()   (legacy/simulation path:
+//      drives the A-LSH width controller and the index-owned scratch)
+//    insert(), remove(), clear(), fold_scratch()
+//    attach_metrics()  (call before any concurrent use; the registry itself
+//      is not thread-safe, so metrics recording stays on exclusive paths)
+//    counters()        (the non-const overload, and any read that races a
+//      writer — take an external quiescent point for exact counter reads)
+//
+// Pointers returned by find() and references observed inside for_each() are
+// invalidated by the next exclusive-path mutation; for_each's callback must
+// not call exclusive-path methods on the same cache (the lock is not
+// recursive).
 
 #include <functional>
 #include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -34,40 +60,132 @@ struct ApproxCacheConfig {
   SimDuration per_candidate_latency = 2;     // 2 us per distance
 };
 
-/// Per-call knobs for lookup()/peek_vote(). Designed for designated
-/// initializers at call sites: `cache.lookup(q, now, {.threshold_scale = s})`.
-struct LookupOptions {
+/// One cache request: the query data plus every per-call knob. Designed for
+/// designated initializers at call sites:
+///   cache.lookup({.features = key, .now = t, .threshold_scale = s});
+/// The batched path packs `count` frames row-major into `features`
+/// (count * dim floats) and answers through lookup_batch().
+struct CacheQuery {
+  /// `count` dim-sized feature vectors, row-major.
+  std::span<const float> features;
+  /// Frames in this request. lookup()/peek_vote() require 1.
+  std::size_t count = 1;
+  /// Device time of the request (entry touches, eviction recency).
+  SimTime now = 0;
   /// Scales HknnParams::max_distance for this call only — the hook the IMU
   /// motion gate uses (stationary devices accept slightly farther matches,
   /// §5.4).
   float threshold_scale = 1.0f;
   /// When non-zero, overrides HknnParams::k for this call.
   std::size_t k_override = 0;
-  /// When set, the open span of this trace is annotated with the candidate
-  /// count and nearest-neighbour distance of the lookup.
+  /// When set (single-frame requests), the open span of this trace is
+  /// annotated with the candidate count and nearest-neighbour distance.
+  FrameTrace* trace = nullptr;
+};
+
+/// Per-call knobs of the pre-CacheQuery API. Kept for one release so
+/// out-of-tree callers migrate gradually; in-tree code uses CacheQuery.
+struct LookupOptions {
+  float threshold_scale = 1.0f;
+  std::size_t k_override = 0;
   FrameTrace* trace = nullptr;
 };
 
 /// Outcome of one cache lookup.
-struct CacheLookupResult {
+struct CacheResult {
   std::optional<HknnVote> vote;   ///< accepted result, or abstention
   SimDuration latency = 0;        ///< simulated device time spent
   std::size_t candidates = 0;     ///< vectors whose distance was computed
 };
+/// Legacy name of CacheResult.
+using CacheLookupResult = CacheResult;
+
+/// Per-thread working set for lookup_batch(): the index scratch, neighbour
+/// buffers, and the side effects a read-only lookup must defer — entry
+/// touches, hit/miss tallies, A-LSH width-controller samples. Obtain one
+/// per querying thread from ApproxCache::make_scratch(); hand it back
+/// periodically via ApproxCache::fold_scratch() so eviction recency,
+/// counters, and index adaptation catch up with the read traffic. Buffers
+/// grow to their high-water mark and are reused, so steady-state batched
+/// lookups perform zero heap allocations. The deferred-side-effect buffers
+/// are bounded (kMaxTouches/kMaxDkSamples): between folds, overflowing
+/// touches and d_k samples are dropped — both feed heuristics (eviction
+/// recency, width adaptation), not correctness.
+class CacheQueryScratch {
+ public:
+  CacheQueryScratch() = default;
+
+  /// Batched lookups answered since the last fold.
+  std::uint64_t pending_lookups() const noexcept { return lookups_; }
+  /// Accepted votes since the last fold.
+  std::uint64_t pending_hits() const noexcept { return hits_; }
+
+ private:
+  friend class ApproxCache;
+
+  static constexpr std::size_t kMaxTouches = 4096;
+  static constexpr std::size_t kMaxDkSamples = 1024;
+
+  struct Touch {
+    VecId id = 0;
+    SimTime now = 0;
+  };
+
+  std::unique_ptr<IndexScratch> index_scratch_;
+  std::vector<std::vector<Neighbor>> results_;  // per-frame neighbour lists
+  std::vector<QueryStats> stats_;               // per-frame work accounting
+  std::vector<Touch> touches_;                  // deferred voter touches
+  std::vector<float> dk_samples_;               // deferred A-LSH feedback
+  std::uint64_t lookups_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
 
 /// Approximate cache mapping feature vectors to recognition labels.
 ///
-/// Not thread-safe: each simulated device owns one instance and the
-/// simulation is single-threaded by design (DESIGN.md §5.7).
+/// Shareable across threads — see the thread-safety contract in the file
+/// comment. The legacy simulation remains single-threaded per device; its
+/// uncontended lock acquisitions cost nanoseconds against sub-millisecond
+/// lookups.
 class ApproxCache {
  public:
   ApproxCache(std::size_t dim, const ApproxCacheConfig& config,
               std::unique_ptr<EvictionPolicy> eviction);
 
-  /// Looks up `q`. Accessed entries are touched. Steady-state calls perform
-  /// zero heap allocations (neighbour scratch and index scratch are reused).
-  CacheLookupResult lookup(std::span<const float> q, SimTime now,
-                           const LookupOptions& opts = {});
+  /// Looks up the single frame in `q`. Accessed entries are touched, hit/
+  /// miss counters updated, and the A-LSH width controller fed — the
+  /// exclusive path. Steady-state calls perform zero heap allocations
+  /// (neighbour scratch and index scratch are reused). Throws
+  /// std::invalid_argument when q.count != 1.
+  CacheResult lookup(const CacheQuery& q);
+
+  /// Deprecated positional form of lookup(); forwards to the CacheQuery
+  /// overload.
+  [[deprecated("pass a CacheQuery instead")]]
+  CacheResult lookup(std::span<const float> q, SimTime now,
+                     const LookupOptions& opts = {});
+
+  /// Answers the `q.count` frames packed in `q.features` into
+  /// `results[0..count)`, amortizing hashing and candidate scoring across
+  /// the batch. This is the *shared* path: any number of threads may call
+  /// it concurrently, each with its own `scratch` from make_scratch().
+  /// Touches, hit/miss tallies, and width-controller feedback are deferred
+  /// into the scratch (bounded; see CacheQueryScratch) until the caller
+  /// folds them back with fold_scratch(); per-lookup metrics histograms are
+  /// not recorded on this path. q.trace is honoured for single-frame
+  /// batches (the trace object is caller-owned thread-local state).
+  void lookup_batch(const CacheQuery& q, std::span<CacheResult> results,
+                    CacheQueryScratch& scratch) const;
+
+  /// Creates a per-thread scratch for lookup_batch(). The scratch must not
+  /// outlive the cache.
+  CacheQueryScratch make_scratch() const;
+
+  /// Applies a scratch's deferred side effects under the write lock: entry
+  /// touches (eviction recency), hit/miss counters, and the A-LSH width
+  /// controller feed (which may trigger a rebuild). Clears the scratch's
+  /// pending state; the scratch remains usable for further batches.
+  void fold_scratch(CacheQueryScratch& scratch);
 
   /// Inserts a new entry, evicting first when full. Returns the new id.
   VecId insert(FeatureVec feature, Label label, float confidence, SimTime now,
@@ -82,21 +200,31 @@ class ApproxCache {
   /// from before the wipe can never alias fresh entries.
   void clear();
 
-  /// Entry access (nullptr when absent). Pointer invalidated by mutation.
+  /// Entry access (nullptr when absent). Pointer invalidated by the next
+  /// exclusive-path mutation.
   const CacheEntry* find(VecId id) const;
 
   /// Distance from `q` to its nearest cached neighbour via the index
   /// (nullopt when empty) — used by the P2P layer to dedupe merges.
+  /// Exclusive path (index-owned scratch, A-LSH controller feed).
   std::optional<float> nearest_distance(std::span<const float> q) const;
 
-  /// Hypothetical vote with NO side effects: no counter updates, no entry
-  /// touches, no metrics. Used by the adaptive threshold controller to ask
-  /// "would the cache have answered, and what?" on frames where the DNN ran
-  /// anyway.
+  /// Hypothetical vote with NO observable side effects: no counter updates,
+  /// no entry touches, no metrics. Used by the adaptive threshold
+  /// controller to ask "would the cache have answered, and what?" on frames
+  /// where the DNN ran anyway. Exclusive path: it shares the index-owned
+  /// query scratch and feeds the A-LSH width controller. Only q.features
+  /// (single frame), q.threshold_scale and q.k_override participate.
+  std::optional<HknnVote> peek_vote(const CacheQuery& q) const;
+
+  /// Deprecated positional form of peek_vote(); forwards to the CacheQuery
+  /// overload.
+  [[deprecated("pass a CacheQuery instead")]]
   std::optional<HknnVote> peek_vote(std::span<const float> q,
                                     const LookupOptions& opts = {}) const;
 
-  /// Calls `fn` for every entry (unspecified order).
+  /// Calls `fn` for every entry (unspecified order). `fn` must not call
+  /// exclusive-path methods on this cache (non-recursive lock).
   void for_each(const std::function<void(const CacheEntry&)>& fn) const;
 
   /// Entries inserted at or after `since`, newest last — the P2P
@@ -108,9 +236,10 @@ class ApproxCache {
   /// Registers this cache's instruments ("cache/lookup_us",
   /// "cache/nearest_distance", hit/miss/insert/evict counters) and the
   /// backing index's, on `metrics`. The registry must outlive the cache.
+  /// Call before any concurrent use.
   void attach_metrics(MetricsRegistry& metrics);
 
-  std::size_t size() const noexcept { return entries_.size(); }
+  std::size_t size() const;
   std::size_t capacity() const noexcept { return config_.capacity; }
   std::size_t dim() const noexcept { return dim_; }
   const ApproxCacheConfig& config() const noexcept { return config_; }
@@ -124,7 +253,9 @@ class ApproxCache {
 
   /// Lifetime counters: "hit", "miss", "insert", "evict", "merge_dup",
   /// plus the "bytes_float"/"bytes_codes" feature-memory gauges when the
-  /// quantized scan is active.
+  /// quantized scan is active. Batched-path hits/misses land here at
+  /// fold_scratch() time. Reading while writers or folds run elsewhere is
+  /// racy; take a quiescent point for exact values.
   const Counter& counters() const noexcept { return counters_; }
   Counter& counters() noexcept { return counters_; }
 
@@ -132,6 +263,13 @@ class ApproxCache {
   VecId evict_one(SimTime now);
   /// Refreshes the "bytes_float"/"bytes_codes" gauges (quantized scan only).
   void update_memory_gauges();
+  /// Simulated device cost of a lookup that computed `candidates` distances
+  /// (quantized scan: on codes, plus `survivors` exact re-ranks).
+  SimDuration simulated_latency(std::size_t candidates,
+                                std::size_t survivors) const noexcept;
+  /// Shared vote logic: H-kNN params for this request.
+  HknnParams effective_params(float threshold_scale,
+                              std::size_t k_override) const noexcept;
 
   std::size_t dim_;
   ApproxCacheConfig config_;
@@ -148,6 +286,10 @@ class ApproxCache {
   MetricsRegistry* metrics_ = nullptr;
   std::uint32_t lookup_us_hist_ = 0;
   std::uint32_t nearest_distance_hist_ = 0;
+  /// Reader-writer split: shared for lookup_batch/find/for_each/
+  /// entries_since/size, exclusive for everything that mutates (see file
+  /// comment). mutable so const read methods can lock.
+  mutable std::shared_mutex mu_;
 };
 
 }  // namespace apx

@@ -18,8 +18,8 @@ void DnnRung::run(ReusePipeline& host) {
       // Validation event: the DNN ran, so compare it against the cache's
       // hypothetical vote just past the current threshold edge.
       const auto vote = cache_->peek_vote(
-          ctx.features,
-          {.threshold_scale = host.threshold().observation_scale()});
+          {.features = ctx.features,
+           .threshold_scale = host.threshold().observation_scale()});
       if (vote.has_value()) {
         host.threshold().observe(vote->label == pred.label);
       }

@@ -16,9 +16,10 @@ void LocalCacheRung::run(ReusePipeline& host) {
       ctx.features = extractor_->extract(ctx.frame.image);
       ctx.features_ready = true;
     }
-    const CacheLookupResult res = cache_->lookup(
-        ctx.features, host.sim().now(),
-        {.threshold_scale = ctx.gate.threshold_scale,
+    const CacheResult res = cache_->lookup(
+        {.features = ctx.features,
+         .now = host.sim().now(),
+         .threshold_scale = ctx.gate.threshold_scale,
          .trace = &host.trace()});
     host.spend(res.latency);
     host.schedule(res.latency, [&host, vote = res.vote] {

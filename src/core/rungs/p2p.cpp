@@ -27,9 +27,10 @@ void P2pRung::run(ReusePipeline& host) {
         // Responses were merged into the local cache by the peer service;
         // re-run the homogenized vote over the enriched neighbourhood.
         const FrameContext& ctx = host.frame_ctx();
-        const CacheLookupResult res = cache_->lookup(
-            ctx.features, host.sim().now(),
-            {.threshold_scale = ctx.gate.threshold_scale,
+        const CacheResult res = cache_->lookup(
+            {.features = ctx.features,
+             .now = host.sim().now(),
+             .threshold_scale = ctx.gate.threshold_scale,
              .trace = &host.trace()});
         host.spend(res.latency);
         host.schedule(res.latency, [&host, vote = res.vote] {

@@ -53,7 +53,7 @@ TEST(ApproxCache, BadConfigThrows) {
 
 TEST(ApproxCache, EmptyLookupMisses) {
   auto cache = make_cache();
-  const auto result = cache.lookup(unit_at(0.0f), 0);
+  const auto result = cache.lookup({.features = unit_at(0.0f), .now = 0});
   EXPECT_FALSE(result.vote.has_value());
   EXPECT_EQ(cache.counters().get("miss"), 1u);
 }
@@ -61,7 +61,7 @@ TEST(ApproxCache, EmptyLookupMisses) {
 TEST(ApproxCache, NearbyFeatureHits) {
   auto cache = make_cache();
   cache.insert(unit_at(0.0f), 5, 0.9f, 0);
-  const auto result = cache.lookup(unit_at(0.05f), 1);
+  const auto result = cache.lookup({.features = unit_at(0.05f), .now = 1});
   ASSERT_TRUE(result.vote.has_value());
   EXPECT_EQ(result.vote->label, 5);
   EXPECT_EQ(cache.counters().get("hit"), 1u);
@@ -70,7 +70,7 @@ TEST(ApproxCache, NearbyFeatureHits) {
 TEST(ApproxCache, FarFeatureMisses) {
   auto cache = make_cache();
   cache.insert(unit_at(0.0f), 5, 0.9f, 0);
-  const auto result = cache.lookup(unit_at(1.5f), 1);
+  const auto result = cache.lookup({.features = unit_at(1.5f), .now = 1});
   EXPECT_FALSE(result.vote.has_value());
 }
 
@@ -78,19 +78,27 @@ TEST(ApproxCache, ThresholdScaleRelaxesMatch) {
   auto cache = make_cache();
   cache.insert(unit_at(0.0f), 5, 0.9f, 0);
   // 0.35 rad apart: just beyond max_distance 0.3 (chord ~0.35).
-  EXPECT_FALSE(
-      cache.lookup(unit_at(0.35f), 1, {.threshold_scale = 1.0f}).vote.has_value());
-  EXPECT_TRUE(
-      cache.lookup(unit_at(0.35f), 2, {.threshold_scale = 1.5f}).vote.has_value());
+  EXPECT_FALSE(cache.lookup({.features = unit_at(0.35f),
+                             .now = 1,
+                             .threshold_scale = 1.0f})
+                   .vote.has_value());
+  EXPECT_TRUE(cache.lookup({.features = unit_at(0.35f),
+                            .now = 2,
+                            .threshold_scale = 1.5f})
+                  .vote.has_value());
 }
 
 TEST(ApproxCache, ThresholdScaleTightensMatch) {
   auto cache = make_cache();
   cache.insert(unit_at(0.0f), 5, 0.9f, 0);
-  EXPECT_TRUE(
-      cache.lookup(unit_at(0.25f), 1, {.threshold_scale = 1.0f}).vote.has_value());
-  EXPECT_FALSE(
-      cache.lookup(unit_at(0.25f), 2, {.threshold_scale = 0.5f}).vote.has_value());
+  EXPECT_TRUE(cache.lookup({.features = unit_at(0.25f),
+                            .now = 1,
+                            .threshold_scale = 1.0f})
+                  .vote.has_value());
+  EXPECT_FALSE(cache.lookup({.features = unit_at(0.25f),
+                             .now = 2,
+                             .threshold_scale = 0.5f})
+                   .vote.has_value());
 }
 
 TEST(ApproxCache, MixedLabelsAbstain) {
@@ -99,7 +107,7 @@ TEST(ApproxCache, MixedLabelsAbstain) {
   auto cache = make_cache();
   cache.insert(unit_at(0.00f), 1, 0.9f, 0);
   cache.insert(unit_at(0.04f), 2, 0.9f, 0);
-  const auto result = cache.lookup(unit_at(0.02f), 1);
+  const auto result = cache.lookup({.features = unit_at(0.02f), .now = 1});
   EXPECT_FALSE(result.vote.has_value());
 }
 
@@ -111,7 +119,7 @@ TEST(ApproxCache, PlainVoteModeAnswersWhereHknnAbstains) {
   cache.insert(unit_at(0.04f), 2, 0.9f, 0);
   // Equidistant conflicting labels: H-kNN abstains (see MixedLabelsAbstain)
   // but the plain vote must answer.
-  EXPECT_TRUE(cache.lookup(unit_at(0.02f), 1).vote.has_value());
+  EXPECT_TRUE(cache.lookup({.features = unit_at(0.02f), .now = 1}).vote.has_value());
 }
 
 TEST(ApproxCache, ExactMatchDominatesMixedNeighborhood) {
@@ -121,7 +129,7 @@ TEST(ApproxCache, ExactMatchDominatesMixedNeighborhood) {
   cache.insert(unit_at(0.00f), 1, 0.9f, 0);
   cache.insert(unit_at(0.02f), 2, 0.9f, 0);
   cache.insert(unit_at(0.04f), 3, 0.9f, 0);
-  const auto result = cache.lookup(unit_at(0.02f), 1);
+  const auto result = cache.lookup({.features = unit_at(0.02f), .now = 1});
   ASSERT_TRUE(result.vote.has_value());
   EXPECT_EQ(result.vote->label, 2);
 }
@@ -140,7 +148,7 @@ TEST(ApproxCache, LruEvictsOldest) {
   const VecId a = cache.insert(unit_at(0.0f), 1, 0.9f, 0);
   const VecId b = cache.insert(unit_at(1.0f), 2, 0.9f, 1);
   // Touch a via lookup so b becomes the LRU victim.
-  ASSERT_TRUE(cache.lookup(unit_at(0.0f), 10).vote.has_value());
+  ASSERT_TRUE(cache.lookup({.features = unit_at(0.0f), .now = 10}).vote.has_value());
   cache.insert(unit_at(2.0f), 3, 0.9f, 11);
   EXPECT_NE(cache.find(a), nullptr);
   EXPECT_EQ(cache.find(b), nullptr);
@@ -152,7 +160,7 @@ TEST(ApproxCache, RemoveErasesEntry) {
   EXPECT_TRUE(cache.remove(id));
   EXPECT_FALSE(cache.remove(id));
   EXPECT_EQ(cache.find(id), nullptr);
-  EXPECT_FALSE(cache.lookup(unit_at(0.0f), 1).vote.has_value());
+  EXPECT_FALSE(cache.lookup({.features = unit_at(0.0f), .now = 1}).vote.has_value());
 }
 
 TEST(ApproxCache, FindReturnsMetadata) {
@@ -172,7 +180,7 @@ TEST(ApproxCache, FindReturnsMetadata) {
 TEST(ApproxCache, HitTouchesVoters) {
   auto cache = make_cache();
   const VecId id = cache.insert(unit_at(0.0f), 1, 0.9f, 0);
-  ASSERT_TRUE(cache.lookup(unit_at(0.01f), 100).vote.has_value());
+  ASSERT_TRUE(cache.lookup({.features = unit_at(0.01f), .now = 100}).vote.has_value());
   const CacheEntry* entry = cache.find(id);
   ASSERT_NE(entry, nullptr);
   EXPECT_EQ(entry->access_count, 1u);
@@ -218,12 +226,12 @@ TEST(ApproxCache, LatencyGrowsWithCandidates) {
   cfg.lookup_base_latency = 100;
   cfg.per_candidate_latency = 10;
   ApproxCache cache{kDim, cfg, make_lru_policy()};
-  const auto empty = cache.lookup(unit_at(0.0f), 0);
+  const auto empty = cache.lookup({.features = unit_at(0.0f), .now = 0});
   EXPECT_EQ(empty.latency, 100);
   for (int i = 0; i < 10; ++i) {
     cache.insert(unit_at(static_cast<float>(i)), i, 0.9f, 0);
   }
-  const auto full = cache.lookup(unit_at(0.0f), 1);
+  const auto full = cache.lookup({.features = unit_at(0.0f), .now = 1});
   EXPECT_EQ(full.latency, 100 + 10 * 10);
   EXPECT_EQ(full.candidates, 10u);
 }
@@ -233,7 +241,7 @@ TEST(ApproxCache, WorksWithAllIndexKinds) {
        {IndexKind::kExact, IndexKind::kLsh, IndexKind::kAdaptiveLsh}) {
     auto cache = make_cache(kind, 32);
     cache.insert(unit_at(0.0f), 5, 0.9f, 0);
-    const auto result = cache.lookup(unit_at(0.0f), 1);
+    const auto result = cache.lookup({.features = unit_at(0.0f), .now = 1});
     ASSERT_TRUE(result.vote.has_value())
         << "kind=" << static_cast<int>(kind);
     EXPECT_EQ(result.vote->label, 5);

@@ -62,7 +62,8 @@ TEST(HotSet, PushedToNewlyDiscoveredPeer) {
   // Make entries 0..3 the most accessed.
   for (int round = 0; round < 3; ++round) {
     for (int i = 0; i < 4; ++i) {
-      peers.cache_a.lookup(unit_at(0.3f * static_cast<float>(i)), 1);
+      peers.cache_a.lookup(
+          {.features = unit_at(0.3f * static_cast<float>(i)), .now = 1});
     }
   }
   peers.a->start();

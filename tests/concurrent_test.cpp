@@ -1,0 +1,372 @@
+// Concurrency tests for the shared ApproxCache: batched-vs-single parity,
+// deferred side-effect folding, and N-readers/1-writer interleavings. The
+// interleaved tests are the payload of the TSan CI leg — they pass trivially
+// on a race-free build and light up under ThreadSanitizer otherwise.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "src/ann/adaptive_lsh.hpp"
+#include "src/cache/approx_cache.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/vecmath.hpp"
+
+namespace apx {
+namespace {
+
+constexpr std::size_t kDim = 16;
+
+FeatureVec random_unit(Rng& rng, std::size_t dim = kDim) {
+  FeatureVec v(dim);
+  for (float& x : v) x = static_cast<float>(rng.normal());
+  normalize(v);
+  return v;
+}
+
+ApproxCacheConfig test_config(IndexKind index, std::size_t capacity = 512) {
+  ApproxCacheConfig cfg;
+  cfg.capacity = capacity;
+  cfg.index = index;
+  cfg.hknn.k = 4;
+  cfg.hknn.max_distance = 0.8f;
+  cfg.hknn.homogeneity_threshold = 0.6f;
+  return cfg;
+}
+
+// Packs `count` fresh random unit vectors row-major, as lookup_batch wants.
+std::vector<float> pack_queries(Rng& rng, std::size_t count) {
+  std::vector<float> flat;
+  flat.reserve(count * kDim);
+  for (std::size_t i = 0; i < count; ++i) {
+    const FeatureVec v = random_unit(rng);
+    flat.insert(flat.end(), v.begin(), v.end());
+  }
+  return flat;
+}
+
+void fill_cache(ApproxCache& cache, Rng& rng, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    cache.insert(random_unit(rng), static_cast<Label>(i % 16), 0.9f,
+                 static_cast<SimTime>(i));
+  }
+}
+
+// ------------------------------------------------------ Batch == single
+
+// The batched path must agree with the sequential path wherever the
+// sequential path is side-effect-free on query results: p-stable LSH and
+// the exact scan. (A-LSH is excluded on purpose — its legacy query_into
+// feeds the width controller, so interleaving legacy queries changes the
+// tables the next query sees.)
+TEST(BatchParity, BatchMatchesSingleLookup) {
+  for (const IndexKind kind : {IndexKind::kExact, IndexKind::kLsh}) {
+    SCOPED_TRACE(static_cast<int>(kind));
+    ApproxCache cache{kDim, test_config(kind), make_lru_policy()};
+    Rng rng{7};
+    fill_cache(cache, rng, 256);
+
+    constexpr std::size_t kQueries = 64;
+    const std::vector<float> flat = pack_queries(rng, kQueries);
+
+    // Batched answers first: the shared path is read-only, so the
+    // sequential reference afterwards sees an identical cache.
+    CacheQueryScratch scratch = cache.make_scratch();
+    std::vector<CacheResult> batched(kQueries);
+    cache.lookup_batch({.features = flat, .count = kQueries, .now = 1000},
+                       batched, scratch);
+
+    for (std::size_t i = 0; i < kQueries; ++i) {
+      const std::span<const float> q{flat.data() + i * kDim, kDim};
+      const CacheResult single = cache.lookup({.features = q, .now = 1000});
+      ASSERT_EQ(batched[i].vote.has_value(), single.vote.has_value())
+          << "query " << i;
+      if (single.vote.has_value()) {
+        EXPECT_EQ(batched[i].vote->label, single.vote->label);
+        EXPECT_EQ(batched[i].vote->voters, single.vote->voters);
+        EXPECT_FLOAT_EQ(batched[i].vote->homogeneity,
+                        single.vote->homogeneity);
+        EXPECT_FLOAT_EQ(batched[i].vote->nearest_distance,
+                        single.vote->nearest_distance);
+      }
+      EXPECT_EQ(batched[i].candidates, single.candidates) << "query " << i;
+      EXPECT_EQ(batched[i].latency, single.latency) << "query " << i;
+    }
+  }
+}
+
+TEST(BatchParity, BatchIsDeterministicAcrossRuns) {
+  ApproxCache cache{kDim, test_config(IndexKind::kAdaptiveLsh),
+                    make_lru_policy()};
+  Rng rng{11};
+  fill_cache(cache, rng, 256);
+  constexpr std::size_t kQueries = 32;
+  const std::vector<float> flat = pack_queries(rng, kQueries);
+  const CacheQuery q{.features = flat, .count = kQueries, .now = 5};
+
+  CacheQueryScratch s1 = cache.make_scratch();
+  CacheQueryScratch s2 = cache.make_scratch();
+  std::vector<CacheResult> a(kQueries), b(kQueries);
+  cache.lookup_batch(q, a, s1);
+  cache.lookup_batch(q, b, s2);  // no fold between: tables unchanged
+  for (std::size_t i = 0; i < kQueries; ++i) {
+    ASSERT_EQ(a[i].vote.has_value(), b[i].vote.has_value());
+    if (a[i].vote.has_value()) {
+      EXPECT_EQ(a[i].vote->label, b[i].vote->label);
+    }
+    EXPECT_EQ(a[i].candidates, b[i].candidates);
+  }
+}
+
+// ------------------------------------------------------ Fold semantics
+
+TEST(FoldScratch, SideEffectsDeferredUntilFold) {
+  ApproxCache cache{kDim, test_config(IndexKind::kExact), make_lru_policy()};
+  Rng rng{3};
+  const FeatureVec hot = random_unit(rng);
+  const VecId id = cache.insert(hot, 1, 0.9f, 0);
+
+  CacheQueryScratch scratch = cache.make_scratch();
+  std::vector<CacheResult> out(1);
+  cache.lookup_batch({.features = hot, .count = 1, .now = 500}, out, scratch);
+  ASSERT_TRUE(out[0].vote.has_value());
+
+  // Nothing visible yet: counters untouched, entry untouched.
+  EXPECT_EQ(cache.counters().get("hit"), 0u);
+  EXPECT_EQ(cache.find(id)->access_count, 0u);
+  EXPECT_EQ(scratch.pending_lookups(), 1u);
+  EXPECT_EQ(scratch.pending_hits(), 1u);
+
+  cache.fold_scratch(scratch);
+  EXPECT_EQ(cache.counters().get("hit"), 1u);
+  EXPECT_EQ(cache.find(id)->access_count, 1u);
+  EXPECT_EQ(cache.find(id)->last_access, 500);
+  EXPECT_EQ(scratch.pending_lookups(), 0u);
+  EXPECT_EQ(scratch.pending_hits(), 0u);
+
+  // A miss folds into the miss counter.
+  FeatureVec far(kDim, 0.0f);
+  far[kDim - 1] = 1.0f;
+  cache.lookup_batch({.features = far, .count = 1, .now = 600}, out, scratch);
+  EXPECT_FALSE(out[0].vote.has_value());
+  cache.fold_scratch(scratch);
+  EXPECT_EQ(cache.counters().get("miss"), 1u);
+}
+
+TEST(FoldScratch, FeedsAdaptiveWidthController) {
+  // Start with a bucket width wildly off target so a single fold's worth of
+  // d_k samples crosses the rebuild tolerance.
+  ApproxCacheConfig cfg = test_config(IndexKind::kAdaptiveLsh);
+  cfg.alsh.lsh.bucket_width = 64.0f;
+  cfg.alsh.width_factor = 8.0f;
+  cfg.alsh.min_queries_between_rebuilds = 4;
+  cfg.alsh.min_size_to_adapt = 4;
+  ApproxCache cache{kDim, cfg, make_lru_policy()};
+  Rng rng{19};
+  fill_cache(cache, rng, 64);
+
+  const auto* alsh = dynamic_cast<const AdaptiveLshIndex*>(&cache.index());
+  ASSERT_NE(alsh, nullptr);
+  ASSERT_EQ(alsh->rebuild_count(), 0u);
+
+  constexpr std::size_t kQueries = 16;
+  const std::vector<float> flat = pack_queries(rng, kQueries);
+  CacheQueryScratch scratch = cache.make_scratch();
+  std::vector<CacheResult> out(kQueries);
+  cache.lookup_batch({.features = flat, .count = kQueries, .now = 1},
+                     out, scratch);
+  cache.fold_scratch(scratch);
+
+  // Unit vectors are never farther than 2 apart, so the EMA lands near 1-2
+  // and the 64.0 width triggers a rebuild at fold time.
+  EXPECT_GE(alsh->rebuild_count(), 1u);
+  EXPECT_LT(alsh->current_width(), 64.0f);
+}
+
+// ------------------------------------------------------ API validation
+
+TEST(BatchApi, BadSizesThrow) {
+  ApproxCache cache{kDim, test_config(IndexKind::kExact), make_lru_policy()};
+  Rng rng{5};
+  const std::vector<float> flat = pack_queries(rng, 4);
+  CacheQueryScratch scratch = cache.make_scratch();
+  std::vector<CacheResult> out(4);
+
+  // count disagrees with features.size().
+  EXPECT_THROW(cache.lookup_batch({.features = flat, .count = 3}, out,
+                                  scratch),
+               std::invalid_argument);
+  // results span too small.
+  std::vector<CacheResult> tiny(2);
+  EXPECT_THROW(cache.lookup_batch({.features = flat, .count = 4}, tiny,
+                                  scratch),
+               std::invalid_argument);
+  // Single-frame entry points reject multi-frame requests.
+  EXPECT_THROW((void)cache.lookup({.features = flat, .count = 4}),
+               std::invalid_argument);
+  EXPECT_THROW((void)cache.peek_vote({.features = flat, .count = 4}),
+               std::invalid_argument);
+  // An empty batch is a no-op, not an error.
+  cache.lookup_batch({.features = {}, .count = 0}, out, scratch);
+}
+
+// ------------------------------------------------- Readers vs readers
+
+TEST(ConcurrentReads, ManyReadersSeeIdenticalResults) {
+  ApproxCache cache{kDim, test_config(IndexKind::kLsh), make_lru_policy()};
+  Rng rng{23};
+  fill_cache(cache, rng, 256);
+  constexpr std::size_t kQueries = 128;
+  const std::vector<float> flat = pack_queries(rng, kQueries);
+  const CacheQuery q{.features = flat, .count = kQueries, .now = 9};
+
+  // Sequential reference.
+  CacheQueryScratch ref_scratch = cache.make_scratch();
+  std::vector<CacheResult> reference(kQueries);
+  cache.lookup_batch(q, reference, ref_scratch);
+
+  constexpr int kThreads = 8;
+  std::vector<std::vector<CacheResult>> per_thread(
+      kThreads, std::vector<CacheResult>(kQueries));
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &q, &per_thread, t] {
+      CacheQueryScratch scratch = cache.make_scratch();
+      for (int round = 0; round < 4; ++round) {
+        cache.lookup_batch(q, per_thread[static_cast<std::size_t>(t)],
+                           scratch);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    for (std::size_t i = 0; i < kQueries; ++i) {
+      const CacheResult& got = per_thread[static_cast<std::size_t>(t)][i];
+      ASSERT_EQ(got.vote.has_value(), reference[i].vote.has_value())
+          << "thread " << t << " query " << i;
+      if (reference[i].vote.has_value()) {
+        EXPECT_EQ(got.vote->label, reference[i].vote->label);
+      }
+      EXPECT_EQ(got.candidates, reference[i].candidates);
+    }
+  }
+}
+
+// ------------------------------------------------- Readers vs writer
+
+TEST(ConcurrentReadWrite, ReadersSurviveWriterChurn) {
+  ApproxCacheConfig cfg = test_config(IndexKind::kLsh, /*capacity=*/256);
+  ApproxCache cache{kDim, cfg, make_lru_policy()};
+  Rng seed_rng{31};
+  fill_cache(cache, seed_rng, 128);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> total_lookups{0};
+
+  constexpr int kReaders = 4;
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&cache, &stop, &total_lookups, t] {
+      Rng rng{100 + static_cast<std::uint64_t>(t)};
+      CacheQueryScratch scratch = cache.make_scratch();
+      constexpr std::size_t kBatch = 16;
+      std::vector<CacheResult> out(kBatch);
+      std::uint64_t done = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::vector<float> flat = pack_queries(rng, kBatch);
+        cache.lookup_batch(
+            {.features = flat, .count = kBatch, .now = 1}, out, scratch);
+        for (const CacheResult& r : out) {
+          // Latency always includes the base cost; a torn read of the
+          // entry map or index arenas would break this (and TSan barks).
+          EXPECT_GE(r.latency, cache.config().lookup_base_latency);
+        }
+        done += kBatch;
+        if ((done & 0xff) == 0) cache.fold_scratch(scratch);
+      }
+      cache.fold_scratch(scratch);
+      total_lookups.fetch_add(done, std::memory_order_relaxed);
+    });
+  }
+
+  std::thread writer([&cache, &stop] {
+    Rng rng{77};
+    std::vector<VecId> ids;
+    SimTime now = 1000;
+    for (int op = 0; op < 4000; ++op) {
+      const double dice = rng.uniform();
+      if (dice < 0.70 || ids.empty()) {
+        ids.push_back(cache.insert(random_unit(rng),
+                                   static_cast<Label>(rng.uniform_u64(16)),
+                                   0.9f, now++));
+      } else if (dice < 0.95) {
+        (void)cache.remove(ids[rng.uniform_u64(ids.size())]);
+      } else {
+        cache.clear();
+        ids.clear();
+      }
+    }
+    stop.store(true, std::memory_order_relaxed);
+  });
+
+  writer.join();
+  for (auto& th : readers) th.join();
+
+  EXPECT_LE(cache.size(), cfg.capacity);
+  EXPECT_GT(total_lookups.load(), 0u);
+  // Folded tallies landed: hits + misses == lookups answered.
+  EXPECT_EQ(cache.counters().get("hit") + cache.counters().get("miss"),
+            total_lookups.load());
+}
+
+TEST(ConcurrentReadWrite, SharedReadSurfaceDuringBatches) {
+  // find/for_each/entries_since/size share the read lock with lookup_batch;
+  // hammer them together against a writer.
+  ApproxCache cache{kDim, test_config(IndexKind::kExact, 128),
+                    make_lru_policy()};
+  Rng seed_rng{41};
+  fill_cache(cache, seed_rng, 64);
+
+  std::atomic<bool> stop{false};
+  std::thread batcher([&cache, &stop] {
+    Rng rng{1};
+    CacheQueryScratch scratch = cache.make_scratch();
+    std::vector<CacheResult> out(8);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::vector<float> flat = pack_queries(rng, 8);
+      cache.lookup_batch({.features = flat, .count = 8}, out, scratch);
+    }
+  });
+  std::thread scanner([&cache, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::size_t n = 0;
+      cache.for_each([&n](const CacheEntry&) { ++n; });
+      EXPECT_LE(n, cache.capacity());
+      (void)cache.entries_since(0);
+      (void)cache.size();
+      (void)cache.find(1);
+    }
+  });
+  std::thread writer([&cache, &stop] {
+    Rng rng{2};
+    for (int op = 0; op < 2000; ++op) {
+      cache.insert(random_unit(rng), static_cast<Label>(op % 8), 0.9f,
+                   static_cast<SimTime>(op));
+    }
+    stop.store(true, std::memory_order_relaxed);
+  });
+
+  writer.join();
+  batcher.join();
+  scanner.join();
+  EXPECT_LE(cache.size(), cache.capacity());
+}
+
+}  // namespace
+}  // namespace apx

@@ -195,7 +195,8 @@ TEST(Snapshot, RoundTripPreservesEntries) {
   EXPECT_EQ(load_snapshot(restored, bytes, 5000), 2u);
   EXPECT_EQ(restored.size(), 2u);
   // Lookup still works and labels survive.
-  const auto hit = restored.lookup(FeatureVec{1, 0, 0, 0}, 5000);
+  const auto hit =
+      restored.lookup({.features = FeatureVec{1, 0, 0, 0}, .now = 5000});
   ASSERT_TRUE(hit.vote.has_value());
   EXPECT_EQ(hit.vote->label, 7);
   // Provenance survives: find the peer entry.
@@ -308,8 +309,8 @@ TEST(Threshold, PeekVoteHasNoSideEffects) {
   ApproxCache cache = snapshot_cache();
   cache.insert({1, 0, 0, 0}, 7, 0.9f, 0);
   const auto before_hits = cache.counters().get("hit");
-  const auto vote =
-      cache.peek_vote(FeatureVec{1, 0, 0, 0}, {.threshold_scale = 1.0f});
+  const auto vote = cache.peek_vote(
+      {.features = FeatureVec{1, 0, 0, 0}, .threshold_scale = 1.0f});
   ASSERT_TRUE(vote.has_value());
   EXPECT_EQ(vote->label, 7);
   EXPECT_EQ(cache.counters().get("hit"), before_hits);

@@ -221,8 +221,10 @@ TEST(CacheHotPath, SteadyStateTracedLookupPerformsZeroAllocations) {
       const SimTime now = base + static_cast<SimTime>(i);
       trace.reset(now);
       trace.begin_span(Rung::kLocalCache, now);
-      (void)cache.lookup(queries[i], now,
-                         {.threshold_scale = 1.0f, .trace = &trace});
+      (void)cache.lookup({.features = queries[i],
+                          .now = now,
+                          .threshold_scale = 1.0f,
+                          .trace = &trace});
       trace.end_span(RungOutcome::kMiss, now);
     }
   };

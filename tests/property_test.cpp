@@ -5,8 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <set>
+#include <thread>
 
 #include "src/ann/exact_knn.hpp"
 #include "src/ann/lsh.hpp"
@@ -125,7 +127,7 @@ TEST_P(CacheFuzz, InvariantsUnderRandomOperations) {
       EXPECT_EQ(cache.remove(*it), present);
       live.erase(it);
     } else {
-      (void)cache.lookup(random_unit(rng, 8), now);
+      (void)cache.lookup({.features = random_unit(rng, 8), .now = now});
     }
     // Invariants after every operation:
     ASSERT_LE(cache.size(), cfg.capacity);
@@ -220,7 +222,8 @@ TEST_P(CacheFuzz, EvictionPlusSnapshotPreservesEntriesAndVotes) {
       } else if (dice < 0.75 && !ids.empty()) {
         (void)cache.remove(ids[rng.uniform_u64(ids.size())]);
       } else {
-        (void)cache.lookup(random_unit(rng, 8), now);  // touches voters
+        // Touches voters.
+        (void)cache.lookup({.features = random_unit(rng, 8), .now = now});
       }
     }
 
@@ -241,8 +244,8 @@ TEST_P(CacheFuzz, EvictionPlusSnapshotPreservesEntriesAndVotes) {
     // Identical H-kNN behaviour on random probes.
     for (int probe = 0; probe < 5; ++probe) {
       const FeatureVec q = random_unit(rng, 8);
-      const auto va = cache.peek_vote(q);
-      const auto vb = restored.peek_vote(q);
+      const auto va = cache.peek_vote({.features = q});
+      const auto vb = restored.peek_vote({.features = q});
       ASSERT_EQ(va.has_value(), vb.has_value()) << "schedule " << schedule;
       if (va.has_value()) {
         EXPECT_EQ(va->label, vb->label);
@@ -267,7 +270,7 @@ TEST_P(CacheFuzz, ClearEmptiesCacheAndIndexButKeepsIdsFresh) {
   cache.clear();
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_FALSE(cache.nearest_distance(random_unit(rng, 8)).has_value());
-  EXPECT_FALSE(cache.lookup(random_unit(rng, 8), 100).vote.has_value());
+  EXPECT_FALSE(cache.lookup({.features = random_unit(rng, 8), .now = 100}).vote.has_value());
   // Ids are never reused after a wipe: stale provenance cannot alias.
   const VecId fresh =
       cache.insert(random_unit(rng, 8), 1, 0.9f, 101);
@@ -316,7 +319,7 @@ TEST_P(CacheFuzz, QuantizedSnapshotKeepsCodesCoherentWithFloats) {
     } else if (dice < 0.75 && !ids.empty()) {
       (void)cache.remove(ids[rng.uniform_u64(ids.size())]);
     } else {
-      (void)cache.lookup(random_unit(rng, 8), now);
+      (void)cache.lookup({.features = random_unit(rng, 8), .now = now});
     }
   }
   expect_coherent(cache);
@@ -335,6 +338,86 @@ TEST_P(CacheFuzz, QuantizedSnapshotKeepsCodesCoherentWithFloats) {
   const VecId fresh = restored.insert(random_unit(rng, 8), 1, 0.9f, now + 1);
   (void)fresh;
   expect_coherent(restored);
+}
+
+TEST_P(CacheFuzz, ConcurrentBatchedReadersSurviveMixedWriterOps) {
+  // Randomized schedule of the concurrent API: batched readers (each with
+  // its own scratch, folding at random points) race a writer running the
+  // same insert/remove/lookup mix as the sequential fuzz above. Invariants
+  // after the dust settles: capacity respected, folded hit+miss tallies
+  // equal the lookups answered, and the cache still answers queries.
+  const std::uint64_t schedule = GetParam();
+  ApproxCacheConfig cfg;
+  cfg.capacity = 48;
+  cfg.index = IndexKind::kLsh;
+  cfg.hknn.k = 3;
+  ApproxCache cache{8, cfg, make_lru_policy()};
+  Rng seed_rng{schedule};
+  for (int i = 0; i < 32; ++i) {
+    cache.insert(random_unit(seed_rng, 8), static_cast<Label>(i % 6), 0.9f,
+                 static_cast<SimTime>(i));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> answered{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&cache, &stop, &answered, schedule, t] {
+      Rng rng{schedule ^ (0xbeefULL + static_cast<std::uint64_t>(t))};
+      CacheQueryScratch scratch = cache.make_scratch();
+      std::vector<CacheResult> out(8);
+      std::uint64_t done = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::vector<float> flat;
+        for (int i = 0; i < 8; ++i) {
+          const FeatureVec v = random_unit(rng, 8);
+          flat.insert(flat.end(), v.begin(), v.end());
+        }
+        cache.lookup_batch({.features = flat, .count = 8, .now = 1}, out,
+                           scratch);
+        done += 8;
+        if (rng.chance(0.1)) cache.fold_scratch(scratch);
+      }
+      cache.fold_scratch(scratch);
+      answered.fetch_add(done, std::memory_order_relaxed);
+    });
+  }
+
+  std::thread writer([&cache, &stop, schedule] {
+    Rng rng{schedule ^ 0xf00dULL};
+    std::vector<VecId> ids;
+    SimTime now = 100;
+    for (int op = 0; op < 1500; ++op) {
+      now += 1 + static_cast<SimTime>(rng.uniform_u64(100));
+      const double dice = rng.uniform();
+      if (dice < 0.6 || ids.empty()) {
+        ids.push_back(cache.insert(random_unit(rng, 8),
+                                   static_cast<Label>(rng.uniform_u64(10)),
+                                   static_cast<float>(rng.uniform()), now));
+      } else if (dice < 0.75) {
+        (void)cache.remove(ids[rng.uniform_u64(ids.size())]);
+      } else {
+        (void)cache.lookup({.features = random_unit(rng, 8), .now = now});
+      }
+    }
+    stop.store(true, std::memory_order_relaxed);
+  });
+
+  writer.join();
+  for (auto& th : readers) th.join();
+
+  EXPECT_LE(cache.size(), cfg.capacity);
+  // Writer-side legacy lookups also tally hit/miss, so the folded batched
+  // tallies are a lower bound on the total.
+  EXPECT_GE(cache.counters().get("hit") + cache.counters().get("miss"),
+            answered.load());
+  // Still serves queries after the churn.
+  CacheQueryScratch scratch = cache.make_scratch();
+  std::vector<CacheResult> out(1);
+  const FeatureVec probe = random_unit(seed_rng, 8);
+  cache.lookup_batch({.features = probe, .count = 1, .now = 9999}, out,
+                     scratch);
+  EXPECT_GE(out[0].latency, cfg.lookup_base_latency);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CacheFuzz, ::testing::Values(10u, 20u, 30u));

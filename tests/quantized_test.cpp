@@ -73,8 +73,8 @@ TEST(QuantizedParity, PeekVoteAgreesWithFloatScan) {
   int votes = 0;
   for (int i = 0; i < kProbes; ++i) {
     const FeatureVec probe = near_center(rng.uniform_u64(kClusters));
-    const auto a = flt.peek_vote(probe);
-    const auto b = q8.peek_vote(probe);
+    const auto a = flt.peek_vote({.features = probe});
+    const auto b = q8.peek_vote({.features = probe});
     if (a.has_value() || b.has_value()) ++votes;
     if (a.has_value() == b.has_value() &&
         (!a.has_value() || a->label == b->label)) {
