@@ -106,15 +106,6 @@ CacheResult ApproxCache::lookup(const CacheQuery& q) {
   return result;
 }
 
-CacheResult ApproxCache::lookup(std::span<const float> q, SimTime now,
-                                const LookupOptions& opts) {
-  return lookup(CacheQuery{.features = q,
-                           .now = now,
-                           .threshold_scale = opts.threshold_scale,
-                           .k_override = opts.k_override,
-                           .trace = opts.trace});
-}
-
 void ApproxCache::lookup_batch(const CacheQuery& q,
                                std::span<CacheResult> results,
                                CacheQueryScratch& scratch) const {
@@ -269,13 +260,6 @@ std::optional<HknnVote> ApproxCache::peek_vote(const CacheQuery& q) const {
   index_->query_into(q.features, config_.hknn.k, neighbor_scratch_);
   return hknn_vote(neighbor_scratch_, label_of_,
                    effective_params(q.threshold_scale, q.k_override));
-}
-
-std::optional<HknnVote> ApproxCache::peek_vote(
-    std::span<const float> q, const LookupOptions& opts) const {
-  return peek_vote(CacheQuery{.features = q,
-                              .threshold_scale = opts.threshold_scale,
-                              .k_override = opts.k_override});
 }
 
 void ApproxCache::for_each(

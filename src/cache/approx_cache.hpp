@@ -83,22 +83,12 @@ struct CacheQuery {
   FrameTrace* trace = nullptr;
 };
 
-/// Per-call knobs of the pre-CacheQuery API. Kept for one release so
-/// out-of-tree callers migrate gradually; in-tree code uses CacheQuery.
-struct LookupOptions {
-  float threshold_scale = 1.0f;
-  std::size_t k_override = 0;
-  FrameTrace* trace = nullptr;
-};
-
 /// Outcome of one cache lookup.
 struct CacheResult {
   std::optional<HknnVote> vote;   ///< accepted result, or abstention
   SimDuration latency = 0;        ///< simulated device time spent
   std::size_t candidates = 0;     ///< vectors whose distance was computed
 };
-/// Legacy name of CacheResult.
-using CacheLookupResult = CacheResult;
 
 /// Per-thread working set for lookup_batch(): the index scratch, neighbour
 /// buffers, and the side effects a read-only lookup must defer — entry
@@ -159,12 +149,6 @@ class ApproxCache {
   /// std::invalid_argument when q.count != 1.
   CacheResult lookup(const CacheQuery& q);
 
-  /// Deprecated positional form of lookup(); forwards to the CacheQuery
-  /// overload.
-  [[deprecated("pass a CacheQuery instead")]]
-  CacheResult lookup(std::span<const float> q, SimTime now,
-                     const LookupOptions& opts = {});
-
   /// Answers the `q.count` frames packed in `q.features` into
   /// `results[0..count)`, amortizing hashing and candidate scoring across
   /// the batch. This is the *shared* path: any number of threads may call
@@ -216,12 +200,6 @@ class ApproxCache {
   /// query scratch and feeds the A-LSH width controller. Only q.features
   /// (single frame), q.threshold_scale and q.k_override participate.
   std::optional<HknnVote> peek_vote(const CacheQuery& q) const;
-
-  /// Deprecated positional form of peek_vote(); forwards to the CacheQuery
-  /// overload.
-  [[deprecated("pass a CacheQuery instead")]]
-  std::optional<HknnVote> peek_vote(std::span<const float> q,
-                                    const LookupOptions& opts = {}) const;
 
   /// Calls `fn` for every entry (unspecified order). `fn` must not call
   /// exclusive-path methods on this cache (non-recursive lock).

@@ -40,6 +40,10 @@ PipelineConfig make_adaptive_config() {
   return cfg;
 }
 
+PipelineConfig make_edge_config() {
+  return preset("imu,temporal,local,p2p,edge,dnn");
+}
+
 PipelineConfig make_ladder_config(std::string_view spec) {
   PipelineConfig cfg;
   apply_ladder(cfg, LadderSpec::parse(spec));

@@ -9,19 +9,13 @@
 
 #include "src/cache/approx_cache.hpp"
 #include "src/core/threshold_controller.hpp"
+#include "src/edge/edge_cache.hpp"
 #include "src/imu/gate.hpp"
 #include "src/imu/motion_estimator.hpp"
 #include "src/p2p/peer_cache.hpp"
 #include "src/video/locality.hpp"
 
 namespace apx {
-
-/// Cache layer backing the pipeline.
-enum class CacheMode {
-  kNone,    ///< every frame runs the DNN (the NoCache baseline)
-  kExact,   ///< quantized exact-match memoization (conventional baseline)
-  kApprox,  ///< the approximate cache (the paper's system)
-};
 
 /// Warm-tier rung: a capacity-bounded bank of 8-bit-quantized per-class
 /// prototypes (dnn/centroid + ann/quantize) scanned linearly before the
@@ -53,13 +47,19 @@ struct PipelineConfig {
   /// and callers can keep toggling individual enable_* bits.
   std::string ladder;
 
-  CacheMode cache_mode = CacheMode::kApprox;
+  /// The cache-lookup rung: the approximate cache ("local", the paper's
+  /// system) or quantized exact-match memoization ("exact", the
+  /// conventional baseline). Mutually exclusive — they share the ladder's
+  /// cache-lookup rank; neither set is the NoCache baseline.
+  bool enable_local_cache = true;
+  bool enable_exact_cache = false;
 
   bool enable_imu_gate = true;      ///< motion-scaled thresholds
   bool enable_imu_fastpath = true;  ///< stationary -> inherit last result
   bool enable_temporal = true;      ///< frame-diff keyframe reuse
   bool enable_warm_tier = false;    ///< quantized prototype scan before local
   bool enable_p2p = true;           ///< peer lookup before DNN fallback
+  bool enable_edge = false;         ///< region edge cache after p2p
   /// Feedback-tune the similarity threshold from DNN-validated frames
   /// (extension beyond the poster; see threshold_controller.hpp).
   bool enable_adaptive_threshold = false;
@@ -71,6 +71,9 @@ struct PipelineConfig {
   bool enable_quantized_scan = false;
 
   ApproxCacheConfig cache;
+  /// Region edge tier (ladder token "edge"); shards/capacity/ttl/
+  /// error_budget are grammar-visible, the rest provisioning knobs.
+  EdgeParams edge;
   MotionEstimatorParams motion;
   MotionGateParams gate;
   TemporalReuseParams temporal;
@@ -94,6 +97,7 @@ PipelineConfig make_approx_imu_config();     ///< "imu,local,dnn"
 PipelineConfig make_approx_video_config();   ///< "imu,temporal,local,dnn"
 PipelineConfig make_full_system_config();    ///< "imu,temporal,local,p2p,dnn"
 PipelineConfig make_adaptive_config();       ///< full + adaptive threshold
+PipelineConfig make_edge_config();           ///< "imu,temporal,local,p2p,edge,dnn"
 
 /// Config from an explicit ladder spec (`apxsim --ladder ...`). Unlike the
 /// presets this keeps `ladder` set, so the spec stays authoritative.

@@ -12,7 +12,7 @@ ReusePipeline::ReusePipeline(EventSimulator& sim, const PipelineConfig& config,
                              const FeatureExtractor& extractor,
                              RecognitionModel& model, ApproxCache* cache,
                              ExactCache* exact_cache, PeerCacheService* peers,
-                             std::uint64_t seed)
+                             EdgeClient* edge, std::uint64_t seed)
     : sim_(&sim),
       config_(config),
       extractor_(&extractor),
@@ -20,6 +20,7 @@ ReusePipeline::ReusePipeline(EventSimulator& sim, const PipelineConfig& config,
       cache_(cache),
       exact_cache_(exact_cache),
       peers_(peers),
+      edge_(edge),
       rng_(seed),
       threshold_(config.threshold) {
   if (!config_.ladder.empty()) {
@@ -36,8 +37,13 @@ ReusePipeline::ReusePipeline(EventSimulator& sim, const PipelineConfig& config,
   if (spec_.has("exact") && exact_cache_ == nullptr) {
     throw std::invalid_argument("ReusePipeline: exact mode needs a cache");
   }
-  const RungBuildContext build_ctx{&config_, &spec_,      extractor_, model_,
-                                   cache_,   exact_cache_, peers_};
+  if (spec_.has("edge") && edge_ == nullptr) {
+    throw std::invalid_argument(
+        "ReusePipeline: edge rung needs an edge client");
+  }
+  const RungBuildContext build_ctx{&config_, &spec_,       extractor_,
+                                   model_,   cache_,       exact_cache_,
+                                   peers_,   edge_};
   rungs_ = build_ladder(spec_, build_ctx);
   register_instruments(owned_metrics_);
 }

@@ -51,11 +51,20 @@ class ReusePipeline {
   /// enable_* flags) and builds the rung chain. Throws
   /// std::invalid_argument when the spec is malformed or needs a
   /// collaborator that was not provided (local without `cache`, exact
-  /// without `exact_cache`).
+  /// without `exact_cache`, edge without `edge`).
   ReusePipeline(EventSimulator& sim, const PipelineConfig& config,
                 const FeatureExtractor& extractor, RecognitionModel& model,
                 ApproxCache* cache, ExactCache* exact_cache,
-                PeerCacheService* peers, std::uint64_t seed);
+                PeerCacheService* peers, EdgeClient* edge,
+                std::uint64_t seed);
+
+  /// Edge-less deployments (the common case before the edge tier).
+  ReusePipeline(EventSimulator& sim, const PipelineConfig& config,
+                const FeatureExtractor& extractor, RecognitionModel& model,
+                ApproxCache* cache, ExactCache* exact_cache,
+                PeerCacheService* peers, std::uint64_t seed)
+      : ReusePipeline(sim, config, extractor, model, cache, exact_cache,
+                      peers, nullptr, seed) {}
 
   /// Starts processing `frame`; `done` fires exactly once on completion.
   /// Returns false (and drops the frame) when still busy with an earlier
@@ -153,6 +162,7 @@ class ReusePipeline {
   ApproxCache* cache_;
   ExactCache* exact_cache_;
   PeerCacheService* peers_;
+  EdgeClient* edge_;
   Rng rng_;
 
   ThresholdController threshold_;

@@ -10,6 +10,7 @@ const char* to_string(ResultSource source) noexcept {
     case ResultSource::kPeerCacheHit: return "peer-cache";
     case ResultSource::kFullInference: return "inference";
     case ResultSource::kWarmCacheHit: return "warm-cache";
+    case ResultSource::kEdgeCacheHit: return "edge-cache";
   }
   return "?";
 }

@@ -17,9 +17,10 @@ enum class ResultSource : std::uint8_t {
   kPeerCacheHit = 3,  ///< hit enabled by a P2P lookup round-trip
   kFullInference = 4, ///< the DNN ran
   kWarmCacheHit = 5,  ///< quantized warm-tier prototype match
+  kEdgeCacheHit = 6,  ///< hit served by the region edge cache
 };
 
-inline constexpr std::size_t kResultSourceCount = 6;
+inline constexpr std::size_t kResultSourceCount = 7;
 
 /// Printable name ("imu-fastpath", "temporal", ...).
 const char* to_string(ResultSource source) noexcept;

@@ -1,0 +1,32 @@
+#pragma once
+// Edge rung: query the region's EdgeCacheService after a local/P2P miss,
+// and feed it DNN-validated results so recognition history aggregates
+// across every device in range. Skipped (no span, no cost) while the edge
+// client's degradation backoff suppresses lookups — a device partitioned
+// from the edge converges back to P2P/local latency.
+
+#include "src/core/rungs/rung.hpp"
+#include "src/edge/edge_client.hpp"
+
+namespace apx {
+
+class EdgeRung final : public ReuseRung {
+ public:
+  explicit EdgeRung(const RungBuildContext& ctx)
+      : extractor_(ctx.extractor), edge_(ctx.edge) {}
+
+  std::string_view name() const noexcept override { return "edge"; }
+  Rung trace_rung() const noexcept override { return Rung::kEdge; }
+  void run(ReusePipeline& host) override;
+  void on_result(ReusePipeline& host,
+                 const RecognitionResult& result) override;
+  const char* extra_source() const noexcept override { return "edge-cache"; }
+
+ private:
+  const FeatureExtractor* extractor_;
+  EdgeClient* edge_;
+};
+
+std::unique_ptr<ReuseRung> make_edge_rung(const RungBuildContext& ctx);
+
+}  // namespace apx

@@ -31,6 +31,7 @@ class RecognitionModel;
 class ApproxCache;
 class ExactCache;
 class PeerCacheService;
+class EdgeClient;
 struct LadderSpec;
 
 /// Everything the ladder knows about the frame in flight. Replaces the old
@@ -58,6 +59,7 @@ struct RungBuildContext {
   ApproxCache* cache = nullptr;
   ExactCache* exact_cache = nullptr;
   PeerCacheService* peers = nullptr;
+  EdgeClient* edge = nullptr;
 };
 
 /// One tier of the reuse ladder.

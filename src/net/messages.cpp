@@ -103,6 +103,37 @@ std::vector<std::uint8_t> encode(const EntryAdvertMsg& msg) {
   return w.take();
 }
 
+std::vector<std::uint8_t> encode(const EdgeLookupRequestMsg& msg) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kEdgeLookupRequest));
+  w.u64(msg.request_id);
+  w.u32(msg.sender);
+  w.f32(msg.threshold_scale);
+  w.f32_vec(msg.query);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode(const EdgeLookupResponseMsg& msg) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kEdgeLookupResponse));
+  w.u64(msg.request_id);
+  w.u32(msg.sender);
+  w.u8(msg.has_vote ? 1 : 0);
+  w.i64(msg.label);
+  w.f32(msg.homogeneity);
+  w.f32(msg.nearest_distance);
+  w.u32(msg.voters);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode(const EdgeFeedMsg& msg) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kEdgeFeed));
+  w.u32(msg.sender);
+  write_entry(w, msg.entry);
+  return w.take();
+}
+
 HelloMsg decode_hello(const std::vector<std::uint8_t>& payload) {
   Reader r = open(payload, MsgType::kHello);
   HelloMsg msg;
@@ -141,6 +172,41 @@ EntryAdvertMsg decode_entry_advert(const std::vector<std::uint8_t>& payload) {
   const std::uint64_t n = read_entry_count(r);
   msg.entries.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) msg.entries.push_back(read_entry(r));
+  return msg;
+}
+
+EdgeLookupRequestMsg decode_edge_lookup_request(
+    const std::vector<std::uint8_t>& payload) {
+  Reader r = open(payload, MsgType::kEdgeLookupRequest);
+  EdgeLookupRequestMsg msg;
+  msg.request_id = r.u64();
+  msg.sender = r.u32();
+  msg.threshold_scale = r.f32();
+  msg.query = r.f32_vec();
+  return msg;
+}
+
+EdgeLookupResponseMsg decode_edge_lookup_response(
+    const std::vector<std::uint8_t>& payload) {
+  Reader r = open(payload, MsgType::kEdgeLookupResponse);
+  EdgeLookupResponseMsg msg;
+  msg.request_id = r.u64();
+  msg.sender = r.u32();
+  const std::uint8_t flag = r.u8();
+  if (flag > 1) throw CodecError("bad has_vote flag");
+  msg.has_vote = flag != 0;
+  msg.label = static_cast<Label>(r.i64());
+  msg.homogeneity = r.f32();
+  msg.nearest_distance = r.f32();
+  msg.voters = r.u32();
+  return msg;
+}
+
+EdgeFeedMsg decode_edge_feed(const std::vector<std::uint8_t>& payload) {
+  Reader r = open(payload, MsgType::kEdgeFeed);
+  EdgeFeedMsg msg;
+  msg.sender = r.u32();
+  msg.entry = read_entry(r);
   return msg;
 }
 

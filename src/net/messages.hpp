@@ -19,6 +19,9 @@ enum class MsgType : std::uint8_t {
   kLookupRequest = 2,   ///< "does anyone recognize this feature vector?"
   kLookupResponse = 3,  ///< neighbours' matching entries
   kEntryAdvert = 4,     ///< push of freshly computed entries
+  kEdgeLookupRequest = 5,   ///< device → edge service query
+  kEdgeLookupResponse = 6,  ///< edge service vote (or miss) back to device
+  kEdgeFeed = 7,            ///< device → edge: DNN-validated entry
 };
 
 /// Reads the leading type byte (throws CodecError on empty payloads).
@@ -66,10 +69,42 @@ struct EntryAdvertMsg {
   std::vector<WireEntry> entries;
 };
 
+/// Device-to-edge lookup. Carries the device's current adaptive threshold
+/// scale so the edge answers with the same match strictness the device
+/// would apply locally.
+struct EdgeLookupRequestMsg {
+  std::uint64_t request_id = 0;
+  NodeId sender = 0;
+  float threshold_scale = 1.0f;
+  FeatureVec query;
+};
+
+/// Edge answer: the H-kNN vote of the routed shard, or a miss
+/// (`has_vote == false`, remaining fields zero).
+struct EdgeLookupResponseMsg {
+  std::uint64_t request_id = 0;
+  NodeId sender = 0;
+  bool has_vote = false;
+  Label label = kNoLabel;
+  float homogeneity = 0.0f;
+  float nearest_distance = 0.0f;
+  std::uint32_t voters = 0;
+};
+
+/// Fire-and-forget upload of one DNN-validated entry; the edge decides
+/// admission against its error budget.
+struct EdgeFeedMsg {
+  NodeId sender = 0;
+  WireEntry entry;
+};
+
 std::vector<std::uint8_t> encode(const HelloMsg& msg);
 std::vector<std::uint8_t> encode(const LookupRequestMsg& msg);
 std::vector<std::uint8_t> encode(const LookupResponseMsg& msg);
 std::vector<std::uint8_t> encode(const EntryAdvertMsg& msg);
+std::vector<std::uint8_t> encode(const EdgeLookupRequestMsg& msg);
+std::vector<std::uint8_t> encode(const EdgeLookupResponseMsg& msg);
+std::vector<std::uint8_t> encode(const EdgeFeedMsg& msg);
 
 /// Decoders; the payload must carry the matching type byte.
 HelloMsg decode_hello(const std::vector<std::uint8_t>& payload);
@@ -78,5 +113,10 @@ LookupRequestMsg decode_lookup_request(
 LookupResponseMsg decode_lookup_response(
     const std::vector<std::uint8_t>& payload);
 EntryAdvertMsg decode_entry_advert(const std::vector<std::uint8_t>& payload);
+EdgeLookupRequestMsg decode_edge_lookup_request(
+    const std::vector<std::uint8_t>& payload);
+EdgeLookupResponseMsg decode_edge_lookup_response(
+    const std::vector<std::uint8_t>& payload);
+EdgeFeedMsg decode_edge_feed(const std::vector<std::uint8_t>& payload);
 
 }  // namespace apx

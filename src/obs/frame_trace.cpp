@@ -10,6 +10,7 @@ const char* to_string(Rung rung) noexcept {
     case Rung::kP2p: return "p2p";
     case Rung::kDnn: return "dnn";
     case Rung::kWarm: return "warm";
+    case Rung::kEdge: return "edge";
   }
   return "?";
 }

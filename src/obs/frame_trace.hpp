@@ -26,12 +26,13 @@ enum class Rung : std::uint8_t {
   kP2p = 3,         ///< peer lookup round + re-vote
   kDnn = 4,         ///< full inference
   kWarm = 5,        ///< quantized warm-tier prototype scan
+  kEdge = 6,        ///< region edge-cache lookup round
 };
 
-inline constexpr std::size_t kRungCount = 6;
+inline constexpr std::size_t kRungCount = 7;
 
 /// Printable rung name ("imu-gate", "temporal", "local-cache", "p2p",
-/// "dnn", "warm").
+/// "dnn", "warm", "edge").
 const char* to_string(Rung rung) noexcept;
 
 /// How a visited rung ended: it either answered the frame or passed it down.
@@ -87,7 +88,7 @@ class FrameTrace {
   }
 
   /// Annotates the open span with lookup work (candidate count + nearest
-  /// distance). Called by ApproxCache::lookup when LookupOptions::trace is
+  /// distance). Called by ApproxCache::lookup when CacheQuery::trace is
   /// set; no-op when no span is open.
   void annotate_lookup(std::uint32_t candidates,
                        float nearest_distance) noexcept {

@@ -6,6 +6,8 @@
 #include "src/core/pipeline.hpp"
 #include "src/dnn/centroid.hpp"
 #include "src/dnn/oracle.hpp"
+#include "src/edge/edge_cache.hpp"
+#include "src/edge/edge_client.hpp"
 #include "src/imu/trace.hpp"
 #include "src/net/event_sim.hpp"
 #include "src/util/thread_pool.hpp"
@@ -53,6 +55,7 @@ struct Device {
   std::unique_ptr<ApproxCache> cache;
   std::unique_ptr<ExactCache> exact_cache;
   std::unique_ptr<PeerCacheService> peers;
+  std::unique_ptr<EdgeClient> edge;
   std::unique_ptr<ReusePipeline> pipeline;
   SimTime last_imu_pull = 0;
   ExperimentMetrics metrics;
@@ -83,8 +86,10 @@ struct ExperimentRunner::Impl {
   std::vector<std::unique_ptr<Shard>> shards;
   std::vector<std::unique_ptr<Device>> devices;   // global device order
   std::vector<Shard*> shard_of;                   // per device
-  std::unique_ptr<ApproxCache> edge_cache;
-  std::unique_ptr<PeerCacheService> edge_service;
+  std::unique_ptr<EdgeCacheService> edge_service;
+  /// The edge service's private registry (histograms recorded live); merged
+  /// into the pooled registry after the devices, in run().
+  MetricsRegistry edge_registry;
   std::vector<ExperimentMetrics> device_metrics;
   MetricsRegistry pooled_registry;
   TraceRecorder trace;
@@ -107,11 +112,11 @@ struct ExperimentRunner::Impl {
     config.pipeline.cache.alsh.lsh.quantize.enabled =
         config.pipeline.enable_quantized_scan;
     // Devices may only run concurrently when nothing couples them: no P2P
-    // traffic, no edge super-peer, and no shared frame trace. Everything
-    // else they touch (scenes, popularity, extractor) is immutable after
+    // traffic, no edge tier, and no shared frame trace. Everything else
+    // they touch (scenes, popularity, extractor) is immutable after
     // construction.
     parallel = config.num_threads > 1 && config.num_devices > 1 &&
-               !config.pipeline.enable_p2p && !config.edge_server &&
+               !config.pipeline.enable_p2p && !config.pipeline.enable_edge &&
                !config.record_trace;
 
     Rng master{config.seed};
@@ -148,19 +153,18 @@ struct ExperimentRunner::Impl {
           extractor->recommended_max_distance();
     }
 
-    if (config.edge_server && config.pipeline.enable_p2p &&
-        config.pipeline.cache_mode == CacheMode::kApprox) {
-      // The edge server is a device-less super-peer: same protocol, large
-      // cache, no camera. Devices discover and query it like any peer.
-      ApproxCacheConfig edge_cfg = config.pipeline.cache;
-      edge_cfg.capacity = config.edge_capacity;
-      edge_cache = std::make_unique<ApproxCache>(extractor->dim(), edge_cfg,
-                                                 make_utility_policy());
-      PeerCacheParams edge_peer = config.peer;
-      edge_peer.advert_enabled = false;  // the edge answers, it doesn't gossip
-      edge_service = std::make_unique<PeerCacheService>(
-          shards[0]->sim, *shards[0]->medium, *edge_cache, edge_peer,
-          /*cell=*/0);
+    if (config.pipeline.enable_edge) {
+      // One region edge service, living on the shared cell. Its per-shard
+      // index/vote configuration tracks the device caches' (including the
+      // auto-threshold calibration above) so a vote means the same thing at
+      // every tier; capacity comes from EdgeParams, not the device config.
+      EdgeParams edge_params = config.pipeline.edge;
+      edge_params.cache = config.pipeline.cache;
+      edge_service =
+          std::make_unique<EdgeCacheService>(extractor->dim(), edge_params);
+      edge_service->attach_network(shards[0]->sim, *shards[0]->medium,
+                                   /*cell=*/0);
+      edge_service->attach_metrics(edge_registry);
     }
 
     for (int d = 0; d < config.num_devices; ++d) {
@@ -187,11 +191,11 @@ struct ExperimentRunner::Impl {
                                           oracle_groups);
       }
 
-      if (config.pipeline.cache_mode == CacheMode::kApprox) {
+      if (config.pipeline.enable_local_cache) {
         device->cache = std::make_unique<ApproxCache>(
             extractor->dim(), config.pipeline.cache,
             make_eviction(config.eviction));
-      } else if (config.pipeline.cache_mode == CacheMode::kExact) {
+      } else if (config.pipeline.enable_exact_cache) {
         device->exact_cache =
             std::make_unique<ExactCache>(config.pipeline.cache.capacity);
       }
@@ -201,13 +205,19 @@ struct ExperimentRunner::Impl {
         device->peers = std::make_unique<PeerCacheService>(
             shard.sim, *shard.medium, *device->cache, config.peer, cell);
       }
+      if (config.pipeline.enable_edge) {
+        device->edge = std::make_unique<EdgeClient>(
+            shard.sim, *shard.medium, edge_service->id(),
+            edge_service->params(), cell);
+      }
 
       device->pipeline = std::make_unique<ReusePipeline>(
           shard.sim, config.pipeline, *extractor, *device->model,
           device->cache.get(), device->exact_cache.get(), device->peers.get(),
-          rng.next_u64());
+          device->edge.get(), rng.next_u64());
       if (device->cache) device->cache->attach_metrics(device->registry);
       if (device->peers) device->peers->attach_metrics(device->registry);
+      if (device->edge) device->edge->attach_metrics(device->registry);
       device->pipeline->attach_metrics(device->registry);
       device->churn_rng = rng.fork();
       shard.device_indices.push_back(devices.size());
@@ -250,6 +260,11 @@ struct ExperimentRunner::Impl {
       shard.medium->set_cell(device.peers->id(),
                              2000 + static_cast<int>(index));
     }
+    if (device.edge) {
+      device.edge->stop();
+      shard.medium->set_cell(device.edge->id(),
+                             3000 + static_cast<int>(index));
+    }
   }
 
   /// Restart after a crash: back on the air (rejoining the shared cell —
@@ -263,6 +278,11 @@ struct ExperimentRunner::Impl {
       shard.medium->set_cell(device.peers->id(),
                              config.co_located ? 0 : static_cast<int>(index));
       device.peers->start();
+    }
+    if (device.edge) {
+      shard.medium->set_cell(device.edge->id(),
+                             config.co_located ? 0 : static_cast<int>(index));
+      device.edge->start();
     }
   }
 
@@ -302,6 +322,7 @@ struct ExperimentRunner::Impl {
   void run_shard(Shard& shard) {
     for (const std::size_t d : shard.device_indices) {
       if (devices[d]->peers) devices[d]->peers->start();
+      if (devices[d]->edge) devices[d]->edge->start();
       if (config.churn_period > 0 && config.co_located) {
         schedule_churn(d, /*present=*/true);
       }
@@ -326,7 +347,20 @@ struct ExperimentRunner::Impl {
   ExperimentMetrics run() {
     if (ran) throw std::logic_error("ExperimentRunner::run: already ran");
     ran = true;
-    if (edge_service) edge_service->start();
+    if (edge_service) {
+      edge_service->start();
+      // Edge chaos hooks: a crash stops the service and wipes every shard;
+      // a later restart comes back empty. The edge tier forces sequential
+      // mode (it couples devices), so shard 0 holds the whole world.
+      if (config.edge_down_at > 0) {
+        shards[0]->sim.schedule_at(config.edge_down_at,
+                                   [this] { edge_service->stop(); });
+        if (config.edge_up_at > config.edge_down_at) {
+          shards[0]->sim.schedule_at(config.edge_up_at,
+                                     [this] { edge_service->start(); });
+        }
+      }
+    }
     if (parallel && shards.size() > 1) {
       const std::size_t threads = std::min<std::size_t>(
           static_cast<std::size_t>(config.num_threads), shards.size());
@@ -365,11 +399,24 @@ struct ExperimentRunner::Impl {
           device.registry.inc(device.registry.counter("p2p/" + key), count);
         }
       }
+      if (device.edge) {
+        device.metrics.add_radio_energy_mj(
+            shard_of[d]->medium->energy_mj(device.edge->id()));
+        for (const auto& [key, count] : device.edge->counters().items()) {
+          device.registry.inc(device.registry.counter("edge/" + key), count);
+        }
+      }
       // Pipeline counters (sources, dropped) live directly in the device
       // registry since attach_metrics — nothing to copy.
       pooled_registry.merge(device.registry);
       pooled.merge(device.metrics);
       device_metrics.push_back(device.metrics);
+    }
+    if (edge_service) {
+      for (const auto& [key, count] : edge_service->counters().items()) {
+        edge_registry.inc(edge_registry.counter("edge/srv_" + key), count);
+      }
+      pooled_registry.merge(edge_registry);
     }
     // Fault counters are shard-level, not per-device. Register every key
     // unconditionally so the export schema is identical for chaos and
@@ -423,7 +470,7 @@ Counter ExperimentRunner::p2p_counters() const {
 }
 
 std::size_t ExperimentRunner::edge_cache_size() const {
-  return impl_->edge_cache ? impl_->edge_cache->size() : 0;
+  return impl_->edge_service ? impl_->edge_service->size() : 0;
 }
 
 const MetricsRegistry& ExperimentRunner::metrics() const noexcept {

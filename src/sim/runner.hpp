@@ -36,7 +36,8 @@ class ExperimentRunner {
   /// Pooled P2P counters across devices, valid after run().
   Counter p2p_counters() const;
 
-  /// Entries held by the edge cache server (0 when not configured).
+  /// Entries held by the region edge service across its shards (0 when the
+  /// ladder has no edge rung).
   std::size_t edge_cache_size() const;
 
   /// Pooled observability registry (per-rung latency histograms, hit/miss

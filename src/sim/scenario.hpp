@@ -28,7 +28,7 @@ struct ScenarioConfig {
   int num_devices = 1;
   SimDuration duration = 60 * kSecond;
   /// Worker threads for the simulation runner. When devices cannot interact
-  /// (P2P disabled, no edge server, no trace recording) each device runs in
+  /// (P2P disabled, no edge tier, no trace recording) each device runs in
   /// its own event simulation, spread across this many threads; per-device
   /// RNG streams are forked identically to the sequential path and metrics
   /// merge in device order, so results are bit-identical to num_threads = 1.
@@ -73,13 +73,14 @@ struct ScenarioConfig {
   /// bit-reproducible. See net/faults.hpp and `apxsim --faults`.
   FaultPlan faults;
 
-  // --- infrastructure baseline ---
-  /// Adds an edge cache server to the shared cell: a device-less node with
-  /// a large cache that answers lookups and absorbs adverts like a peer
-  /// (the infrastructure-based alternative the poster's
-  /// "infrastructure-less" claim is contrasted against).
-  bool edge_server = false;
-  std::size_t edge_capacity = 8192;
+  // --- infrastructure ---
+  /// Edge-tier chaos hooks (only meaningful when the pipeline ladder has an
+  /// edge rung). When edge_down_at > 0 the region's EdgeCacheService
+  /// crashes at that time — it stops serving and wipes every shard. When
+  /// edge_up_at > edge_down_at it restarts empty and devices re-warm it
+  /// through their normal DNN-validated feeds.
+  SimTime edge_down_at = 0;
+  SimTime edge_up_at = 0;
 
   // --- churn ---
   /// When > 0, each device independently alternates between the shared

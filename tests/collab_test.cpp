@@ -134,33 +134,32 @@ TEST(HotSet, OnlyLocalEntriesPushed) {
       [](const CacheEntry& e) { EXPECT_EQ(e.label, 1); });
 }
 
-// ------------------------------------------------------------ Edge server
+// --------------------------------------------------------------- Edge tier
 
 ScenarioConfig edge_scenario() {
   ScenarioConfig cfg = default_scenario();
   cfg.duration = 12 * kSecond;
   cfg.num_devices = 3;
-  cfg.pipeline = make_full_system_config();
-  cfg.edge_server = true;
+  cfg.pipeline = make_edge_config();
   return cfg;
 }
 
-TEST(EdgeServer, AccumulatesDeviceResults) {
+TEST(EdgeTier, AccumulatesDeviceResults) {
   ExperimentRunner runner{edge_scenario()};
   runner.run();
-  // Devices gossip their results; the edge absorbs them.
+  // Devices feed their DNN-validated results; the edge admits them.
   EXPECT_GT(runner.edge_cache_size(), 0u);
 }
 
-TEST(EdgeServer, AbsentByDefault) {
+TEST(EdgeTier, AbsentWithoutTheRung) {
   ScenarioConfig cfg = edge_scenario();
-  cfg.edge_server = false;
+  cfg.pipeline = make_full_system_config();
   ExperimentRunner runner{cfg};
   runner.run();
   EXPECT_EQ(runner.edge_cache_size(), 0u);
 }
 
-TEST(EdgeServer, RunsAreDeterministic) {
+TEST(EdgeTier, RunsAreDeterministic) {
   const ScenarioConfig cfg = edge_scenario();
   ExperimentRunner a{cfg}, b{cfg};
   const ExperimentMetrics ma = a.run();
@@ -169,14 +168,20 @@ TEST(EdgeServer, RunsAreDeterministic) {
   EXPECT_EQ(a.edge_cache_size(), b.edge_cache_size());
 }
 
-TEST(EdgeServer, DoesNotDegradeAccuracy) {
-  ScenarioConfig cfg = edge_scenario();
-  cfg.duration = 20 * kSecond;
-  cfg.edge_server = false;
-  const ExperimentMetrics without = run_scenario(cfg);
-  cfg.edge_server = true;
-  const ExperimentMetrics with = run_scenario(cfg);
-  EXPECT_GT(with.accuracy(), without.accuracy() - 0.05);
+TEST(EdgeTier, DoesNotDegradeAccuracy) {
+  // Pooled over seeds: a single-seed comparison of two different ladders is
+  // dominated by reshuffled timing/medium draws, not by edge-served errors.
+  ExperimentMetrics with, without;
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    ScenarioConfig cfg = edge_scenario();
+    cfg.duration = 20 * kSecond;
+    cfg.seed = seed;
+    cfg.pipeline = make_full_system_config();
+    without.merge(run_scenario(cfg));
+    cfg.pipeline = make_edge_config();
+    with.merge(run_scenario(cfg));
+  }
+  EXPECT_GT(with.accuracy(), without.accuracy() - 0.03);
 }
 
 }  // namespace

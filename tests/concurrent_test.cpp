@@ -12,6 +12,7 @@
 
 #include "src/ann/adaptive_lsh.hpp"
 #include "src/cache/approx_cache.hpp"
+#include "src/edge/edge_cache.hpp"
 #include "src/util/rng.hpp"
 #include "src/util/vecmath.hpp"
 
@@ -366,6 +367,60 @@ TEST(ConcurrentReadWrite, SharedReadSurfaceDuringBatches) {
   batcher.join();
   scanner.join();
   EXPECT_LE(cache.size(), cache.capacity());
+}
+
+// ------------------------------------------------------- Edge service
+
+// Many threads hammer one EdgeCacheService with the full direct API mix.
+// Each shard serializes its own mutations and the service counters sit
+// behind a mutex, so the test passes trivially on a race-free build and
+// lights up under TSan otherwise.
+TEST(EdgeConcurrent, MixedQueryFeedSweepHammer) {
+  EdgeParams params;
+  params.shards = 4;
+  params.capacity = 64;
+  params.error_budget = 1.0f;
+  // Tight TTL on a microsecond clock: sweeps race feeds over live entries
+  // instead of no-oping on an empty expiry set.
+  params.ttl = 20'000;
+  params.cache.hknn.max_distance = 0.8f;
+  EdgeCacheService svc{kDim, params};
+
+  constexpr int kThreads = 16;  // ISSUE calls for 8-32
+  constexpr int kOpsPerThread = 400;
+  std::atomic<std::uint64_t> queries{0}, feeds{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&svc, &params, &queries, &feeds, t] {
+      Rng rng{900 + static_cast<std::uint64_t>(t)};
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        const SimTime now = static_cast<SimTime>(op) * 100;
+        const double dice = rng.uniform();
+        if (dice < 0.45) {
+          const CacheResult res = svc.query(random_unit(rng), now);
+          EXPECT_GE(res.latency, svc.params().cache.lookup_base_latency);
+          queries.fetch_add(1, std::memory_order_relaxed);
+        } else if (dice < 0.85) {
+          (void)svc.feed(random_unit(rng),
+                         static_cast<Label>(rng.uniform_u64(16)), 0.9f, now);
+          feeds.fetch_add(1, std::memory_order_relaxed);
+        } else if (dice < 0.95) {
+          (void)svc.sweep(now);
+        } else {
+          EXPECT_LE(svc.size(), params.shards * params.capacity);
+        }
+      }
+    });
+  }
+  for (auto& th : workers) th.join();
+
+  // Quiescent now: the tallies must balance exactly.
+  const Counter& c = svc.counters();
+  EXPECT_EQ(c.get("lookup"), queries.load());
+  EXPECT_EQ(c.get("feed"), feeds.load());
+  EXPECT_EQ(c.get("admit") + c.get("reject_budget"), feeds.load());
+  EXPECT_LE(svc.size(), params.shards * params.capacity);
 }
 
 }  // namespace

@@ -42,11 +42,11 @@ struct Harness {
     ModelProfile profile = mobilenet_v2_profile();
     profile.top1_accuracy = 1.0;  // deterministic truth for rung tests
     model = make_oracle_model(profile, kClasses);
-    if (cfg.cache_mode == CacheMode::kApprox) {
+    if (cfg.enable_local_cache) {
       cfg.cache.index = IndexKind::kExact;
       cache = std::make_unique<ApproxCache>(extractor->dim(), cfg.cache,
                                             make_lru_policy());
-    } else if (cfg.cache_mode == CacheMode::kExact) {
+    } else if (cfg.enable_exact_cache) {
       exact_cache = std::make_unique<ExactCache>(cfg.cache.capacity);
     }
     if (with_peer) {

@@ -215,7 +215,9 @@ struct ChaosRun {
   std::string json;
   std::uint64_t crash = 0, restart = 0, burst_drop = 0, partition_drop = 0,
                 corrupted = 0, degraded = 0, backoff_skip = 0, bad_message = 0;
+  std::uint64_t edge_degraded = 0, edge_backoff_skip = 0;
   double p2p_rung_max_us = 0.0;
+  double edge_round_max_us = 0.0;
 };
 
 ScenarioConfig chaos_scenario(const std::string& spec) {
@@ -240,8 +242,13 @@ ChaosRun run_chaos(const ScenarioConfig& cfg) {
   out.degraded = reg.counter_value("p2p/degraded");
   out.backoff_skip = reg.counter_value("p2p/backoff_skip");
   out.bad_message = reg.counter_value("p2p/bad_message");
+  out.edge_degraded = reg.counter_value("edge/degraded");
+  out.edge_backoff_skip = reg.counter_value("edge/backoff_skip");
   if (const auto* h = reg.find_histogram("pipeline/rung_us/p2p")) {
     out.p2p_rung_max_us = h->max;
+  }
+  if (const auto* h = reg.find_histogram("edge/round_us")) {
+    out.edge_round_max_us = h->max;
   }
   return out;
 }
@@ -341,6 +348,89 @@ TEST(ChaosSoak, EverythingAtOnceSameSeedIsByteIdentical) {
   // And it actually injected every class.
   EXPECT_GT(a.burst_drop, 0u);
   EXPECT_GT(a.partition_drop, 0u);
+  EXPECT_GT(a.crash, 0u);
+  EXPECT_GT(a.corrupted, 0u);
+}
+
+// ------------------------------------------------------------- Edge chaos
+
+ScenarioConfig edge_chaos_scenario(const std::string& spec) {
+  ScenarioConfig cfg = chaos_scenario(spec);
+  cfg.pipeline = make_edge_config();
+  return cfg;
+}
+
+TEST(EdgeChaos, FullPartitionConvergesToStandaloneLatency) {
+  // The edge link is cut for the whole run (along with P2P — the partition
+  // severs every pair). The edge rung's timeout/backoff must keep the
+  // ladder moving: the fleet converges to the same latency and accuracy as
+  // a pipeline that never had the collaborative rungs.
+  const ChaosRun cut = run_chaos(edge_chaos_scenario("partition:full:0:15"));
+  ScenarioConfig standalone = chaos_scenario("");
+  standalone.pipeline.enable_p2p = false;
+  standalone.pipeline.enable_edge = false;
+  const ChaosRun solo = run_chaos(standalone);
+  EXPECT_GT(cut.partition_drop, 0u);
+  EXPECT_GT(cut.edge_degraded, 0u);    // lookups timed out...
+  EXPECT_GT(cut.edge_backoff_skip, 0u);  // ...then the client backed off
+  EXPECT_NEAR(cut.metrics.accuracy(), solo.metrics.accuracy(), 0.02);
+  EXPECT_LT(std::abs(cut.metrics.mean_latency_ms() -
+                     solo.metrics.mean_latency_ms()),
+            3.0);
+  // No edge round outlived the client's lookup timeout.
+  const ScenarioConfig probe = edge_chaos_scenario("");
+  EXPECT_LE(cut.edge_round_max_us,
+            static_cast<double>(probe.pipeline.edge.lookup_timeout) + 2000.0);
+}
+
+TEST(EdgeChaos, CrashWipesShardsAndRestartRewarms) {
+  // Crash at 6 s: the service must wipe its shards and go silent. Without a
+  // restart the run ends empty.
+  ScenarioConfig down = edge_chaos_scenario("");
+  down.edge_down_at = 6 * kSecond;
+  ExperimentRunner down_runner{down};
+  down_runner.run();
+  EXPECT_EQ(down_runner.edge_cache_size(), 0u);
+
+  // With a restart at 9 s the devices re-warm the empty service through
+  // their normal DNN-validated feeds.
+  ScenarioConfig cycle = down;
+  cycle.edge_up_at = 9 * kSecond;
+  ExperimentRunner cycle_runner{cycle};
+  cycle_runner.run();
+  EXPECT_GT(cycle_runner.edge_cache_size(), 0u);
+  const std::uint64_t admitted =
+      cycle_runner.metrics().counter_value("edge/srv_admit");
+  EXPECT_GT(admitted, 0u);
+
+  // The crash window costs reuse, not correctness: accuracy stays within
+  // two points of the fault-free edge run. Pooled over seeds — a
+  // single-seed comparison is dominated by reshuffled timing/medium draws
+  // (the crash shifts every later event), not by edge-served errors.
+  ExperimentMetrics clean, crashed;
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    ScenarioConfig cfg = edge_chaos_scenario("");
+    cfg.seed = seed;
+    clean.merge(run_scenario(cfg));
+    cfg.edge_down_at = 6 * kSecond;
+    cfg.edge_up_at = 9 * kSecond;
+    crashed.merge(run_scenario(cfg));
+  }
+  EXPECT_NEAR(crashed.accuracy(), clean.accuracy(), 0.02);
+}
+
+TEST(EdgeChaos, EverythingAtOnceSameSeedIsByteIdentical) {
+  const std::string spec =
+      "burst:0.15:8,spike:0.05:30,partition:split:4:3:8,crash:6:2,"
+      "corrupt:0.05";
+  ScenarioConfig cfg = edge_chaos_scenario(spec);
+  cfg.edge_down_at = 7 * kSecond;
+  cfg.edge_up_at = 10 * kSecond;
+  const ChaosRun a = run_chaos(cfg);
+  const ChaosRun b = run_chaos(cfg);
+  EXPECT_EQ(a.json, b.json);
+  EXPECT_DOUBLE_EQ(a.metrics.accuracy(), b.metrics.accuracy());
+  EXPECT_GT(a.burst_drop, 0u);
   EXPECT_GT(a.crash, 0u);
   EXPECT_GT(a.corrupted, 0u);
 }

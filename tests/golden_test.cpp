@@ -43,6 +43,9 @@ const GoldenCase kCases[] = {
     {"video", make_approx_video_config, 23},
     {"full", make_full_system_config, 1},  {"full", make_full_system_config, 23},
     {"adaptive", make_adaptive_config, 1}, {"adaptive", make_adaptive_config, 23},
+    // The edge aggregation tier (added with src/edge): one golden pins its
+    // wire traffic, admission decisions and sweep schedule at a fixed seed.
+    {"edge", make_edge_config, 1},
 };
 
 /// Small but complete instance of the evaluation workload: co-located

@@ -108,6 +108,74 @@ TEST(LadderSpecTest, RejectsMalformedRungArguments) {
   }
 }
 
+TEST(LadderSpecTest, ParsesAndRoundTripsEdgeArguments) {
+  const char* specs[] = {
+      "imu,temporal,local,p2p,edge,dnn",
+      "local,edge,dnn",
+      "imu,temporal,local,p2p,edge(shards=8),dnn",
+      "imu,temporal,local,p2p,"
+      "edge(shards=4,capacity=1024,ttl=30s,error_budget=0.25),dnn",
+      "local,edge(ttl=1500ms),dnn",
+  };
+  for (const char* text : specs) {
+    SCOPED_TRACE(text);
+    const LadderSpec spec = LadderSpec::parse(text);
+    EXPECT_EQ(spec.to_string(), text);
+    EXPECT_EQ(LadderSpec::parse(spec.to_string()).to_string(), text);
+    EXPECT_TRUE(spec.has("edge"));
+  }
+  const LadderSpec spec =
+      LadderSpec::parse("local,edge(shards=8,ttl=45s,error_budget=0.5),dnn");
+  EXPECT_EQ(spec.arg_value("edge", "shards"), "8");
+  EXPECT_EQ(spec.arg_value("edge", "ttl"), "45s");
+  EXPECT_EQ(spec.arg_value("edge", "error_budget"), "0.5");
+  EXPECT_TRUE(spec.has_arg("edge", "shards"));
+  EXPECT_FALSE(spec.has_arg("edge", "capacity"));
+}
+
+TEST(LadderSpecTest, RejectsMalformedEdgeArguments) {
+  const char* bad[] = {
+      "local,edge(shards=0),dnn",           // zero shard count
+      "local,edge(shards=abc),dnn",         // non-numeric count
+      "local,edge(shards),dnn",             // missing value
+      "local,edge(ttl=abc),dnn",            // malformed duration
+      "local,edge(ttl=30m),dnn",            // unknown duration unit
+      "local,edge(ttl=0s),dnn",             // zero duration
+      "local,edge(error_budget=1.5),dnn",   // fraction out of [0, 1]
+      "local,edge(error_budget=x),dnn",     // non-numeric fraction
+      "local,edge(bogus=1),dnn",            // unknown argument key
+      "local,edge(shards=4,shards=8),dnn",  // duplicate key
+      "local,edge(ttl=30s,),dnn",           // trailing comma
+      "local,edge(shards=4,dnn",            // unterminated parenthesis
+      "local(q8=1),dnn",                    // flag argument takes no value
+      "edge,local,dnn",                     // out of ladder order
+      "local,p2p,edge",                     // must still end with dnn
+  };
+  for (const char* text : bad) {
+    SCOPED_TRACE(text);
+    EXPECT_THROW((void)LadderSpec::parse(text), std::invalid_argument);
+  }
+}
+
+TEST(LadderSpecTest, EdgeArgsSyncEdgeParams) {
+  const PipelineConfig cfg = make_ladder_config(
+      "imu,temporal,local,p2p,edge(shards=8,ttl=45s,error_budget=0.5),dnn");
+  EXPECT_TRUE(cfg.enable_edge);
+  EXPECT_EQ(cfg.edge.shards, 8u);
+  EXPECT_EQ(cfg.edge.capacity, EdgeParams{}.capacity);  // omitted -> default
+  EXPECT_EQ(cfg.edge.ttl, 45 * kSecond);
+  EXPECT_FLOAT_EQ(cfg.edge.error_budget, 0.5f);
+  // Non-default fields round-trip through from_config; defaults are elided.
+  EXPECT_EQ(LadderSpec::from_config(cfg).to_string(),
+            "imu,temporal,local,p2p,edge(shards=8,ttl=45s,error_budget=0.5),"
+            "dnn");
+  EXPECT_EQ(LadderSpec::from_config(make_edge_config()).to_string(),
+            "imu,temporal,local,p2p,edge,dnn");
+
+  const PipelineConfig bare = make_ladder_config("local,dnn");
+  EXPECT_FALSE(bare.enable_edge);
+}
+
 TEST(LadderSpecTest, QuantizedArgSyncsQuantizeFlags) {
   const PipelineConfig q8 = make_ladder_config("imu,local(q8),dnn");
   EXPECT_TRUE(q8.enable_quantized_scan);
@@ -157,17 +225,20 @@ TEST(LadderSpecTest, ApplyLadderSyncsProvisioningFlags) {
   EXPECT_TRUE(warm.enable_temporal);
   EXPECT_TRUE(warm.enable_warm_tier);
   EXPECT_TRUE(warm.enable_p2p);
-  EXPECT_EQ(warm.cache_mode, CacheMode::kApprox);
+  EXPECT_TRUE(warm.enable_local_cache);
+  EXPECT_FALSE(warm.enable_exact_cache);
 
   const PipelineConfig exact = make_ladder_config("exact,dnn");
   EXPECT_FALSE(exact.enable_imu_gate);
   EXPECT_FALSE(exact.enable_temporal);
   EXPECT_FALSE(exact.enable_warm_tier);
   EXPECT_FALSE(exact.enable_p2p);
-  EXPECT_EQ(exact.cache_mode, CacheMode::kExact);
+  EXPECT_FALSE(exact.enable_local_cache);
+  EXPECT_TRUE(exact.enable_exact_cache);
 
   const PipelineConfig bare = make_ladder_config("dnn");
-  EXPECT_EQ(bare.cache_mode, CacheMode::kNone);
+  EXPECT_FALSE(bare.enable_local_cache);
+  EXPECT_FALSE(bare.enable_exact_cache);
   EXPECT_FALSE(bare.enable_p2p);
 }
 

@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <map>
 #include <set>
 #include <thread>
 
@@ -15,6 +16,7 @@
 #include "src/ann/quantize.hpp"
 #include "src/cache/approx_cache.hpp"
 #include "src/cache/snapshot.hpp"
+#include "src/edge/edge_cache.hpp"
 #include "src/net/event_sim.hpp"
 #include "src/net/messages.hpp"
 #include "src/sim/runner.hpp"
@@ -561,6 +563,61 @@ TEST(Trace, DeterministicBytesAcrossIdenticalRuns) {
   b.run();
   EXPECT_EQ(a.trace().serialize(), b.trace().serialize());
 }
+
+// ---------------------------------------------------------- Edge sweep fuzz
+
+class EdgeFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+// The TTL sweep's contract: for any mix of shard counts, TTLs, insert
+// times and sweep times, a sweep removes exactly the expired entries —
+// never an unexpired one, and never leaves an expired one behind.
+TEST_P(EdgeFuzz, SweepRemovesExactlyTheExpiredEntries) {
+  Rng rng{GetParam()};
+  constexpr std::size_t kDim = 16;
+  for (int trial = 0; trial < 25; ++trial) {
+    EdgeParams params;
+    params.shards = 1 + rng.uniform_u64(4);
+    params.capacity = 512;  // roomy: eviction must not muddy the property
+    params.ttl = 1 + static_cast<SimDuration>(rng.uniform_u64(50'000));
+    params.error_budget = 1.0f;  // admit everything
+    EdgeCacheService svc{kDim, params};
+
+    const std::size_t n = 1 + rng.uniform_u64(64);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(svc.feed(random_unit(rng, kDim),
+                           static_cast<Label>(rng.uniform_u64(8)), 0.9f,
+                           static_cast<SimTime>(rng.uniform_u64(100'000))));
+    }
+    // Entry ids are per-shard sequences, so key the bookkeeping by
+    // (shard, id) — two shards can both hold an id 1.
+    std::map<std::pair<std::size_t, VecId>, SimTime> inserted;
+    for (std::size_t s = 0; s < svc.shard_count(); ++s) {
+      svc.shard(s).for_each([&inserted, s](const CacheEntry& e) {
+        inserted.emplace(std::make_pair(s, e.id), e.insert_time);
+      });
+    }
+    ASSERT_EQ(inserted.size(), n);
+
+    const SimTime now = static_cast<SimTime>(rng.uniform_u64(160'000));
+    const std::size_t removed = svc.sweep(now);
+
+    std::set<std::pair<std::size_t, VecId>> alive;
+    for (std::size_t s = 0; s < svc.shard_count(); ++s) {
+      svc.shard(s).for_each([&alive, s](const CacheEntry& e) {
+        alive.insert(std::make_pair(s, e.id));
+      });
+    }
+    for (const auto& [key, at] : inserted) {
+      const bool expired = now >= at + params.ttl;
+      EXPECT_EQ(alive.count(key) == 0, expired)
+          << "shard " << key.first << " id " << key.second << " inserted at "
+          << at << ", sweep at " << now << ", ttl " << params.ttl;
+    }
+    EXPECT_EQ(removed, inserted.size() - alive.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EdgeFuzz, ::testing::Values(11u, 22u, 33u));
 
 }  // namespace
 }  // namespace apx

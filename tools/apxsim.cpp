@@ -41,13 +41,16 @@ void usage() {
       "apxsim — approximate-caching scenario driver\n"
       "\n"
       "  --config NAME      nocache | exact | local | imu | video | full |\n"
-      "                     adaptive (default: full)\n"
+      "                     adaptive | edge (default: full)\n"
       "  --ladder SPEC      explicit reuse-ladder composition instead of a\n"
       "                     preset: comma-separated rungs, cheapest first,\n"
       "                     ending in dnn. Rungs: imu temporal warm local\n"
-      "                     exact p2p dnn; local(q8) scans the cache on SQ8\n"
-      "                     codes with exact re-rank. e.g.\n"
+      "                     exact p2p edge dnn; local(q8) scans the cache on\n"
+      "                     SQ8 codes with exact re-rank; edge(...) takes\n"
+      "                     shards= capacity= ttl= error_budget=. e.g.\n"
       "                       --ladder imu,temporal,local(q8),p2p,dnn\n"
+      "                       --ladder 'imu,temporal,local,p2p,edge(shards=4,"
+      "ttl=30s),dnn'\n"
       "  --devices N        co-located devices (default 4)\n"
       "  --duration S       simulated seconds (default 60)\n"
       "  --classes N        object classes (default 64)\n"
@@ -94,6 +97,7 @@ PipelineConfig config_by_name(const std::string& name, bool& ok) {
   if (name == "video") return make_approx_video_config();
   if (name == "full") return make_full_system_config();
   if (name == "adaptive") return make_adaptive_config();
+  if (name == "edge") return make_edge_config();
   ok = false;
   return {};
 }

@@ -90,6 +90,16 @@ validate_metrics build-release/metrics_q8.json
 # The quantized subsystem must actually show up in its export.
 grep -q 'cache/bytes_codes' build-release/metrics_q8.json
 grep -q 'ann/rerank_survivors' build-release/metrics_q8.json
+echo "ladder matrix: --ladder imu,temporal,local,p2p,edge(shards=2,ttl=20s),dnn"
+./build-release/tools/apxsim \
+  --ladder 'imu,temporal,local,p2p,edge(shards=2,ttl=20s),dnn' \
+  --devices 2 --duration 10 \
+  --metrics-out build-release/metrics_edge.json > /dev/null
+validate_metrics build-release/metrics_edge.json
+# The edge subsystem must actually show up in its export (all-or-nothing:
+# validate_metrics has already checked the group is complete).
+grep -q 'edge/srv_lookup' build-release/metrics_edge.json
+grep -q 'edge/round_us' build-release/metrics_edge.json
 
 # M4 concurrent-bench smoke: a shrunk run of the shared-cache bench, its
 # JSON validated against the committed BENCH_concurrent.json schema.
@@ -131,10 +141,13 @@ if [[ "${1:-}" == "sanitize" ]]; then
   ./build-tsan/tests/hotpath_test \
     --gtest_filter='ThreadPoolTest.*:ParallelRunner.*:MiniCnnParallel.*'
   # The shared-cache concurrency suite: batched readers vs writers over one
-  # ApproxCache, plus the randomized concurrent fuzz schedules.
+  # ApproxCache, plus the randomized concurrent fuzz schedules (includes
+  # the EdgeConcurrent query/feed/sweep hammer on one EdgeCacheService).
   ./build-tsan/tests/concurrent_test
   ./build-tsan/tests/property_test \
     --gtest_filter='*ConcurrentBatchedReaders*'
+  # The edge tier suite: sharded service + admission + TTL sweeps.
+  ./build-tsan/tests/edge_test
   # A shrunk bench_m4 under tsan: real 32-thread contention on the shared
   # cache, with the sanitizer watching (the preset builds no benches, so
   # flip the switch for this one target).
