@@ -38,6 +38,24 @@ struct WarmTierParams {
   SimDuration per_prototype_latency = 1;  // 1 us per prototype
 };
 
+/// Region-reuse rung (DESIGN.md §11): diff the incoming frame against the
+/// keyframe per grid block, splice the unchanged blocks' cached MiniCnn
+/// activations back into the staged forward pass and recompute conv work
+/// only for the changed blocks (plus the conv halo). The rung accelerates
+/// feature extraction for the rungs below it; it never answers a frame.
+struct RegionReuseParams {
+  int grid = 4;              ///< blocks per side (2, 4 or 8: must divide
+                             ///< every MiniCnn stage side)
+  /// Changed-block fraction above which splicing is abandoned for a full
+  /// staged forward (the bookkeeping would cost more than it saves).
+  float max_changed = 0.5f;
+  SimDuration ttl = 2 * kSecond;  ///< per-block activation staleness bound
+  /// Per-block mean-abs-diff accepting reuse; same scale as the temporal
+  /// rung's whole-frame threshold (both compare [0,1] grayscale).
+  float block_diff_threshold = 0.045f;
+  SimDuration check_latency = 500;  ///< simulated block-diff cost (0.5 ms)
+};
+
 /// Full pipeline configuration.
 struct PipelineConfig {
   /// Declarative reuse-ladder spec ("imu,temporal,local,p2p,dnn"). When
@@ -57,6 +75,7 @@ struct PipelineConfig {
   bool enable_imu_gate = true;      ///< motion-scaled thresholds
   bool enable_imu_fastpath = true;  ///< stationary -> inherit last result
   bool enable_temporal = true;      ///< frame-diff keyframe reuse
+  bool enable_regions = false;      ///< block-level activation reuse
   bool enable_warm_tier = false;    ///< quantized prototype scan before local
   bool enable_p2p = true;           ///< peer lookup before DNN fallback
   bool enable_edge = false;         ///< region edge cache after p2p
@@ -77,6 +96,9 @@ struct PipelineConfig {
   MotionEstimatorParams motion;
   MotionGateParams gate;
   TemporalReuseParams temporal;
+  /// Region rung (ladder token "regions"); grid/max_changed/ttl are
+  /// grammar-visible, the rest provisioning knobs.
+  RegionReuseParams regions;
   WarmTierParams warm;
   ThresholdControllerParams threshold;
 

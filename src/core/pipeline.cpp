@@ -41,6 +41,11 @@ ReusePipeline::ReusePipeline(EventSimulator& sim, const PipelineConfig& config,
     throw std::invalid_argument(
         "ReusePipeline: edge rung needs an edge client");
   }
+  if (spec_.has("regions") && extractor_->staged_cnn() == nullptr) {
+    throw std::invalid_argument(
+        "ReusePipeline: regions rung needs a staged-CNN extractor "
+        "(--extractor cnn)");
+  }
   const RungBuildContext build_ctx{&config_, &spec_,       extractor_,
                                    model_,   cache_,       exact_cache_,
                                    peers_,   edge_};
@@ -111,6 +116,9 @@ void ReusePipeline::register_instruments(MetricsRegistry& metrics) {
   for (const auto& rung : rungs_) {
     if (const char* extra = rung->extra_source()) add_source(extra);
   }
+  // Rung-owned subsystem instruments (regions block counters, ...) resolve
+  // their handles against whichever registry is current.
+  for (const auto& rung : rungs_) rung->register_metrics(metrics);
   dropped_counter_ = metrics.counter("pipeline/dropped");
 }
 

@@ -11,6 +11,7 @@
 #include "src/core/rungs/imu_gate.hpp"
 #include "src/core/rungs/local_cache.hpp"
 #include "src/core/rungs/p2p.hpp"
+#include "src/core/rungs/regions.hpp"
 #include "src/core/rungs/temporal.hpp"
 #include "src/core/rungs/warm_tier.hpp"
 
@@ -279,6 +280,25 @@ std::string edge_args(const EdgeParams& p) {
   return out;
 }
 
+/// Canonical argument list of a regions token: only the fields that differ
+/// from the RegionReuseParams defaults, in registration order.
+std::string regions_args(const RegionReuseParams& p) {
+  const RegionReuseParams def;
+  std::string out;
+  const auto add = [&out](const char* key, const std::string& value) {
+    if (!out.empty()) out += ',';
+    out += key;
+    out += '=';
+    out += value;
+  };
+  if (p.grid != def.grid) add("grid", std::to_string(p.grid));
+  if (p.max_changed != def.max_changed) {
+    add("max_changed", format_fraction(p.max_changed));
+  }
+  if (p.ttl != def.ttl) add("ttl", format_spec_duration(p.ttl));
+  return out;
+}
+
 }  // namespace
 
 LadderSpec LadderSpec::from_config(const PipelineConfig& config) {
@@ -289,6 +309,7 @@ LadderSpec LadderSpec::from_config(const PipelineConfig& config) {
   };
   if (config.enable_imu_gate || config.enable_imu_fastpath) push("imu");
   if (config.enable_temporal) push("temporal");
+  if (config.enable_regions) push("regions", regions_args(config.regions));
   if (config.enable_warm_tier) push("warm");
   if (config.enable_local_cache) {
     push("local", config.enable_quantized_scan ? "q8" : "");
@@ -370,6 +391,28 @@ void apply_ladder(PipelineConfig& config, const LadderSpec& spec) {
   config.enable_imu_gate = imu;
   config.enable_imu_fastpath = imu;
   config.enable_temporal = spec.has("temporal");
+  // The spec is authoritative on the region rung's grammar-visible knobs:
+  // omitted keys reset to the RegionReuseParams defaults (provisioning
+  // fields the grammar cannot express are left alone).
+  config.enable_regions = spec.has("regions");
+  if (config.enable_regions) {
+    const RegionReuseParams def;
+    config.regions.grid = def.grid;
+    config.regions.max_changed = def.max_changed;
+    config.regions.ttl = def.ttl;
+    std::uint64_t n = 0;
+    if (parse_uint(spec.arg_value("regions", "grid"), n)) {
+      config.regions.grid = static_cast<int>(n);
+    }
+    float f = 0.0f;
+    if (parse_fraction(spec.arg_value("regions", "max_changed"), f)) {
+      config.regions.max_changed = f;
+    }
+    SimDuration d = 0;
+    if (parse_duration(spec.arg_value("regions", "ttl"), d)) {
+      config.regions.ttl = d;
+    }
+  }
   config.enable_warm_tier = spec.has("warm");
   config.enable_p2p = spec.has("p2p");
   config.enable_local_cache = spec.has("local");
@@ -413,16 +456,20 @@ void apply_ladder(PipelineConfig& config, const LadderSpec& spec) {
 RungRegistry::RungRegistry() {
   add("imu", 0, &make_imu_gate_rung);
   add("temporal", 1, &make_temporal_rung);
-  add("warm", 2, &make_warm_tier_rung);
-  add("local", 3, &make_local_cache_rung, {{"q8", ArgKind::kFlag}});
-  add("exact", 3, &make_exact_cache_rung);
-  add("p2p", 4, &make_p2p_rung);
-  add("edge", 5, &make_edge_rung,
+  add("regions", 2, &make_regions_rung,
+      {{"grid", ArgKind::kUint},
+       {"max_changed", ArgKind::kFraction},
+       {"ttl", ArgKind::kDuration}});
+  add("warm", 3, &make_warm_tier_rung);
+  add("local", 4, &make_local_cache_rung, {{"q8", ArgKind::kFlag}});
+  add("exact", 4, &make_exact_cache_rung);
+  add("p2p", 5, &make_p2p_rung);
+  add("edge", 6, &make_edge_rung,
       {{"shards", ArgKind::kUint},
        {"capacity", ArgKind::kUint},
        {"ttl", ArgKind::kDuration},
        {"error_budget", ArgKind::kFraction}});
-  add("dnn", 6, &make_dnn_rung);
+  add("dnn", 7, &make_dnn_rung);
 }
 
 RungRegistry& RungRegistry::instance() {

@@ -10,12 +10,14 @@
 //   token   := name [ "(" arglist ")" ]
 //   arglist := arg ("," arg)*
 //   arg     := key [ "=" value ]
-//   name    := "imu" | "temporal" | "warm" | "local" | "exact" | "p2p"
-//            | "edge" | "dnn"
+//   name    := "imu" | "temporal" | "regions" | "warm" | "local" | "exact"
+//            | "p2p" | "edge" | "dnn"
 //
 // Registered arguments: "local(q8)" — the SQ8 quantized candidate scan in
-// the local cache's index (DESIGN.md §8) — and the edge tier's
-// "edge(shards=4,capacity=2048,ttl=30s,error_budget=0.25)" (DESIGN.md §10).
+// the local cache's index (DESIGN.md §8) — the region rung's
+// "regions(grid=4,max_changed=0.5,ttl=2s)" (DESIGN.md §11), and the edge
+// tier's "edge(shards=4,capacity=2048,ttl=30s,error_budget=0.25)"
+// (DESIGN.md §10).
 // Values are validated by the argument's registered kind: flags take no
 // value; uints are positive integers; durations are positive integers with
 // an optional s/ms/us suffix (bare = microseconds); fractions are floats

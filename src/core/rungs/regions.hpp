@@ -1,0 +1,65 @@
+#pragma once
+// Region-reuse rung (DESIGN.md §11): block-level partial-result reuse over
+// the staged MiniCnn forward pass. The rung diffs the incoming frame
+// against the keyframe per grid block (BlockKeyframeTracker), splices the
+// unchanged blocks' cached stage-1/stage-2 activations (ActivationCache)
+// back into the forward pass, and recomputes conv work only for the
+// changed blocks plus the 1-pixel halo a 3x3 conv needs — resuming from
+// the deepest fully-cached stage when nothing changed at all. This is the
+// DeepCache-lineage tier below every label-reuse rung: it cannot answer a
+// frame, it makes the feature extraction the rungs below depend on cheaper
+// (they see features_ready and skip the extractor's full latency).
+//
+// The simulated cost is the extractor latency scaled by the fraction of
+// conv multiply-accumulates actually recomputed (MiniCnn::plan()), plus a
+// fixed block-diff check — the same honesty rule as every other rung.
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/rungs/rung.hpp"
+#include "src/dnn/activation_cache.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/video/locality.hpp"
+
+namespace apx {
+
+class RegionsRung final : public ReuseRung {
+ public:
+  /// Throws std::invalid_argument when the extractor has no staged CNN or
+  /// the configured grid does not divide every stage side.
+  explicit RegionsRung(const RungBuildContext& ctx);
+
+  std::string_view name() const noexcept override { return "regions"; }
+  Rung trace_rung() const noexcept override { return Rung::kRegions; }
+  void run(ReusePipeline& host) override;
+  void register_metrics(MetricsRegistry& metrics) override;
+
+ private:
+  void complete(ReusePipeline& host);
+
+  const FeatureExtractor* extractor_;
+  const MiniCnn* cnn_;
+  BlockKeyframeTracker matcher_;
+  ActivationCache acts_;
+  MiniCnn::ForwardState state_;  ///< reused across frames (zero steady-state
+                                 ///< allocation)
+  // Per-frame masks, sized once in the ctor.
+  std::vector<std::uint8_t> changed_;      ///< blocks recomputed this frame
+  std::vector<std::uint8_t> expired_;      ///< blocks past the ttl
+  std::vector<std::uint8_t> input_mask_;   ///< 32x32 changed input pixels
+  std::vector<std::uint8_t> stage1_mask_;  ///< 16x16 dirty stage-1 pixels
+  std::vector<std::uint8_t> stage2_mask_;  ///< 8x8 dirty stage-2 pixels
+  bool full_ = true;        ///< this frame takes the full staged forward
+  int changed_count_ = 0;   ///< blocks recomputed this frame
+
+  MetricsRegistry* metrics_ = nullptr;
+  MetricsRegistry::CounterId reused_ = 0;
+  MetricsRegistry::CounterId recomputed_ = 0;
+  MetricsRegistry::CounterId cache_bytes_ = 0;
+  MetricsRegistry::HistogramId splice_depth_ = 0;
+};
+
+std::unique_ptr<ReuseRung> make_regions_rung(const RungBuildContext& ctx);
+
+}  // namespace apx

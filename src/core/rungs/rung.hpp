@@ -26,6 +26,7 @@
 namespace apx {
 
 class ReusePipeline;
+class MetricsRegistry;
 class FeatureExtractor;
 class RecognitionModel;
 class ApproxCache;
@@ -92,6 +93,13 @@ class ReuseRung {
   /// baseline (nullptr for none) — its counter is registered when the rung
   /// is in the ladder.
   virtual const char* extra_source() const noexcept { return nullptr; }
+
+  /// Subsystem instruments beyond the standard per-rung set (the regions
+  /// rung's block counters, for example). Called whenever the pipeline
+  /// (re-)registers instruments — once at construction against the internal
+  /// registry and again on every attach_metrics — so implementations must
+  /// re-resolve their handles against `metrics` each call.
+  virtual void register_metrics(MetricsRegistry& metrics) { (void)metrics; }
 };
 
 }  // namespace apx

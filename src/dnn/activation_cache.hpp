@@ -1,0 +1,81 @@
+#pragma once
+// Bounded cache of one keyframe's staged MiniCnn activations, tiled by a
+// block grid (DESIGN.md §11). The region-reuse rung stores the stage-1 and
+// stage-2 tensors of the last fully-forwarded frame here; partially-changed
+// frames splice the unchanged blocks' tiles back into the forward pass and
+// recompute only the changed ones. The footprint is fixed by construction
+// (one stage-1 + one stage-2 tensor, DeepCache-style), so the cache cannot
+// grow — "bounded" is structural, not a policy.
+//
+// Staleness is tracked per block: install() moves only the recomputed
+// blocks' clocks forward, so a block that keeps being reused keeps the
+// install time of the frame its pixels actually come from, and the ttl
+// bounds how long any cached tile can influence an embedding.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/features/minicnn.hpp"
+#include "src/util/clock.hpp"
+
+namespace apx {
+
+/// Per-device cache of the keyframe's stage-1/stage-2 activation tiles.
+class ActivationCache {
+ public:
+  struct Params {
+    int grid = 4;                   ///< blocks per side
+    SimDuration ttl = 2 * kSecond;  ///< per-block staleness bound (0 = none)
+  };
+
+  /// Shapes come from MiniCnn::plan(). Throws std::invalid_argument when
+  /// `grid` does not divide every stage side (the legal grids for the
+  /// 32x32 input are 2, 4 and 8: a block must cover whole stage-2 pixels).
+  ActivationCache(const MiniCnn::ForwardPlan& plan, const Params& params);
+
+  bool valid() const noexcept { return valid_; }
+  void invalidate() noexcept { valid_ = false; }
+
+  int grid() const noexcept { return params_.grid; }
+  int block_count() const noexcept { return params_.grid * params_.grid; }
+
+  /// Resident activation bytes (fixed once constructed; the exported gauge).
+  std::size_t bytes() const noexcept {
+    return (stage1_.size() + stage2_.size()) * sizeof(float);
+  }
+
+  const MiniCnn::Tensor& stage1() const noexcept { return stage1_; }
+  const MiniCnn::Tensor& stage2() const noexcept { return stage2_; }
+  SimTime installed_at(int block) const noexcept {
+    return installed_[static_cast<std::size_t>(block)];
+  }
+
+  /// Flags blocks whose tiles exceeded the ttl at `now` (row-major, 1 =
+  /// expired) into `out` (block_count entries). No-op mask when ttl == 0 or
+  /// the cache is invalid.
+  void expire_blocks(SimTime now, std::span<std::uint8_t> out) const;
+
+  /// Stores the complete stage tensors of the frame just forwarded.
+  /// `recomputed` flags which blocks were recomputed this frame: only those
+  /// blocks' install times move to `now` — reused blocks keep the time of
+  /// the frame their pixels came from (see the staleness note above). The
+  /// first install (or any install after invalidate()) treats every block
+  /// as recomputed.
+  void install(const MiniCnn::Tensor& stage1, const MiniCnn::Tensor& stage2,
+               std::span<const std::uint8_t> recomputed, SimTime now);
+
+  /// Expands a changed-block mask to a pixel mask at `side` x `side`
+  /// resolution (side divisible by the grid; row-major, 1 = changed).
+  void block_to_pixel_mask(std::span<const std::uint8_t> blocks, int side,
+                           std::span<std::uint8_t> pixels) const;
+
+ private:
+  Params params_;
+  MiniCnn::StageShape shape1_, shape2_;
+  MiniCnn::Tensor stage1_, stage2_;
+  std::vector<SimTime> installed_;  ///< per block
+  bool valid_ = false;
+};
+
+}  // namespace apx

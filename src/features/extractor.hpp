@@ -13,6 +13,8 @@
 
 namespace apx {
 
+class MiniCnn;
+
 /// Interface for image -> feature-vector transforms.
 ///
 /// Implementations must be deterministic: the same image always maps to the
@@ -38,6 +40,11 @@ class FeatureExtractor {
   /// minimum inter-class distance (values measured on the synthetic world;
   /// a real deployment would calibrate the same way on its own data).
   virtual float recommended_max_distance() const noexcept = 0;
+
+  /// The staged-forward CNN behind this extractor when there is one (see
+  /// minicnn.hpp); the region-reuse rung needs the staged API to splice
+  /// cached activations. Null for closed-form extractors.
+  virtual const MiniCnn* staged_cnn() const noexcept { return nullptr; }
 };
 
 /// Factory helpers (definitions in the respective .cpp files).

@@ -10,8 +10,6 @@
 namespace apx {
 namespace {
 
-constexpr int kInputSide = 32;
-
 void init_conv(Rng& rng, int in_ch, int out_ch, MiniCnn* /*unused*/,
                std::vector<float>& weights, std::vector<float>& bias) {
   // He-style initialization keeps activations in a sane range through depth.
@@ -21,7 +19,33 @@ void init_conv(Rng& rng, int in_ch, int out_ch, MiniCnn* /*unused*/,
   bias.assign(static_cast<std::size_t>(out_ch), 0.0f);
 }
 
+void check_size(const MiniCnn::Tensor& t, const MiniCnn::StageShape& shape,
+                const char* what) {
+  if (t.size() != shape.size()) {
+    throw std::invalid_argument(std::string("MiniCnn: ") + what +
+                                " tensor has the wrong size");
+  }
+}
+
 }  // namespace
+
+const MiniCnn::ForwardPlan& MiniCnn::plan() noexcept {
+  static const ForwardPlan p = [] {
+    ForwardPlan out;
+    out.input = {kInputSide, kInputSide, 3};
+    out.stage1 = {kInputSide / 2, kInputSide / 2, 8};
+    out.stage2 = {kInputSide / 4, kInputSide / 4, 16};
+    out.stage3 = {kInputSide / 4, kInputSide / 4, 32};
+    // MACs = output pixels * out_channels * 9 taps * in_channels.
+    out.conv_macs = {
+        static_cast<double>(out.input.width) * out.input.height * 8 * 9 * 3,
+        static_cast<double>(out.stage1.width) * out.stage1.height * 16 * 9 * 8,
+        static_cast<double>(out.stage2.width) * out.stage2.height * 32 * 9 * 16,
+    };
+    return out;
+  }();
+  return p;
+}
 
 MiniCnn::MiniCnn(std::size_t dim, std::uint64_t seed) : dim_(dim) {
   if (dim == 0) throw std::invalid_argument("MiniCnn: dim == 0");
@@ -50,12 +74,12 @@ std::size_t MiniCnn::parameter_count() const noexcept {
          fc_weights_.size() + fc_bias_.size();
 }
 
-MiniCnn::Tensor MiniCnn::conv3x3_relu(const Tensor& in, int width, int height,
-                                      const ConvLayer& layer,
-                                      ThreadPool* pool) {
+void MiniCnn::conv3x3_relu_into(const Tensor& in, int width, int height,
+                                const ConvLayer& layer, ThreadPool* pool,
+                                Tensor& out) {
   const int in_ch = layer.in_channels;
   const int out_ch = layer.out_channels;
-  Tensor out(static_cast<std::size_t>(width) * height * out_ch, 0.0f);
+  out.resize(static_cast<std::size_t>(width) * height * out_ch);
   auto rows = [&](std::size_t y_begin, std::size_t y_end) {
     for (int y = static_cast<int>(y_begin); y < static_cast<int>(y_end); ++y) {
     for (int x = 0; x < width; ++x) {
@@ -90,14 +114,13 @@ MiniCnn::Tensor MiniCnn::conv3x3_relu(const Tensor& in, int width, int height,
   } else {
     rows(0, static_cast<std::size_t>(height));
   }
-  return out;
 }
 
-MiniCnn::Tensor MiniCnn::maxpool2(const Tensor& in, int width, int height,
-                                  int channels) {
+void MiniCnn::maxpool2_into(const Tensor& in, int width, int height,
+                            int channels, Tensor& out) {
   const int ow = width / 2;
   const int oh = height / 2;
-  Tensor out(static_cast<std::size_t>(ow) * oh * channels, 0.0f);
+  out.resize(static_cast<std::size_t>(ow) * oh * channels);
   for (int y = 0; y < oh; ++y) {
     for (int x = 0; x < ow; ++x) {
       for (int c = 0; c < channels; ++c) {
@@ -116,57 +139,216 @@ MiniCnn::Tensor MiniCnn::maxpool2(const Tensor& in, int width, int height,
       }
     }
   }
-  return out;
 }
 
-FeatureVec MiniCnn::embed(const Image& img, ThreadPool* pool) const {
-  Image input = img;
-  if (input.width() != kInputSide || input.height() != kInputSide) {
-    input = input.resized(kInputSide, kInputSide);
+void MiniCnn::conv_pixel(const Tensor& in, int width, int height,
+                         const ConvLayer& layer, int x, int y,
+                         std::span<float> out) {
+  const int in_ch = layer.in_channels;
+  const int out_ch = layer.out_channels;
+  // Same accumulation sequence per scalar as conv3x3_relu_into: the builds
+  // carry no FMA contraction or arch-specific flags, so replaying the order
+  // reproduces the full pass bit for bit.
+  for (int oc = 0; oc < out_ch; ++oc) {
+    float acc = layer.bias[static_cast<std::size_t>(oc)];
+    for (int ky = -1; ky <= 1; ++ky) {
+      const int sy = std::clamp(y + ky, 0, height - 1);
+      for (int kx = -1; kx <= 1; ++kx) {
+        const int sx = std::clamp(x + kx, 0, width - 1);
+        const std::size_t in_base =
+            (static_cast<std::size_t>(sy) * width + sx) * in_ch;
+        const std::size_t w_base =
+            ((static_cast<std::size_t>(oc) * in_ch) * 9) +
+            static_cast<std::size_t>((ky + 1) * 3 + (kx + 1));
+        for (int ic = 0; ic < in_ch; ++ic) {
+          acc += in[in_base + static_cast<std::size_t>(ic)] *
+                 layer.weights[w_base + static_cast<std::size_t>(ic) * 9];
+        }
+      }
+    }
+    out[static_cast<std::size_t>(oc)] = std::max(acc, 0.0f);
   }
-  // Expand grayscale to 3 channels.
-  Tensor t(static_cast<std::size_t>(kInputSide) * kInputSide * 3, 0.0f);
-  for (int y = 0; y < kInputSide; ++y) {
-    for (int x = 0; x < kInputSide; ++x) {
-      for (int c = 0; c < 3; ++c) {
-        t[(static_cast<std::size_t>(y) * kInputSide + x) * 3 +
-          static_cast<std::size_t>(c)] =
-            input.at(x, y, std::min(c, input.channels() - 1));
+}
+
+void MiniCnn::recompute_pooled(const Tensor& in, int in_width, int in_height,
+                               const ConvLayer& layer,
+                               std::span<const std::uint8_t> mask,
+                               Tensor& stage) {
+  const int ow = in_width / 2;
+  const int oh = in_height / 2;
+  const int ch = layer.out_channels;
+  std::array<std::array<float, 32>, 4> window;  // 2x2 conv pixels, all oc
+  for (int py = 0; py < oh; ++py) {
+    for (int px = 0; px < ow; ++px) {
+      if (mask[static_cast<std::size_t>(py) * ow + px] == 0) continue;
+      for (int dy = 0; dy < 2; ++dy) {
+        for (int dx = 0; dx < 2; ++dx) {
+          conv_pixel(in, in_width, in_height, layer, px * 2 + dx, py * 2 + dy,
+                     {window[static_cast<std::size_t>(dy * 2 + dx)].data(),
+                      static_cast<std::size_t>(ch)});
+        }
+      }
+      for (int c = 0; c < ch; ++c) {
+        float m = -1e30f;
+        for (int dy = 0; dy < 2; ++dy) {
+          for (int dx = 0; dx < 2; ++dx) {
+            m = std::max(m, window[static_cast<std::size_t>(dy * 2 + dx)]
+                                  [static_cast<std::size_t>(c)]);
+          }
+        }
+        stage[(static_cast<std::size_t>(py) * ow + px) * ch +
+              static_cast<std::size_t>(c)] = m;
       }
     }
   }
+}
 
-  int w = kInputSide, h = kInputSide;
-  t = conv3x3_relu(t, w, h, conv1_, pool);
-  t = maxpool2(t, w, h, conv1_.out_channels);
-  w /= 2;
-  h /= 2;
-  t = conv3x3_relu(t, w, h, conv2_, pool);
-  t = maxpool2(t, w, h, conv2_.out_channels);
-  w /= 2;
-  h /= 2;
-  t = conv3x3_relu(t, w, h, conv3_, pool);
-
-  // Global average pool.
-  std::vector<float> pooled(32, 0.0f);
-  const int pixels = w * h;
-  for (int p = 0; p < pixels; ++p) {
-    for (int c = 0; c < 32; ++c) {
-      pooled[static_cast<std::size_t>(c)] +=
-          t[static_cast<std::size_t>(p) * 32 + static_cast<std::size_t>(c)];
+void MiniCnn::propagate_dirty(std::span<const std::uint8_t> in, int width,
+                              int height, std::span<std::uint8_t> out) {
+  const int ow = width / 2;
+  const int oh = height / 2;
+  for (int py = 0; py < oh; ++py) {
+    for (int px = 0; px < ow; ++px) {
+      const int x0 = std::max(px * 2 - 1, 0);
+      const int x1 = std::min(px * 2 + 2, width - 1);
+      const int y0 = std::max(py * 2 - 1, 0);
+      const int y1 = std::min(py * 2 + 2, height - 1);
+      std::uint8_t dirty = 0;
+      for (int y = y0; y <= y1 && dirty == 0; ++y) {
+        for (int x = x0; x <= x1; ++x) {
+          if (in[static_cast<std::size_t>(y) * width + x] != 0) {
+            dirty = 1;
+            break;
+          }
+        }
+      }
+      out[static_cast<std::size_t>(py) * ow + px] = dirty;
     }
   }
-  for (float& v : pooled) v /= static_cast<float>(pixels);
+}
 
-  FeatureVec out(dim_, 0.0f);
+void MiniCnn::prepare_input(const Image& img, ForwardState& state) const {
+  const Image* src = &img;
+  Image scaled;
+  if (img.width() != kInputSide || img.height() != kInputSide) {
+    scaled = img.resized(kInputSide, kInputSide);
+    src = &scaled;
+  }
+  // Expand grayscale to 3 channels.
+  state.input.resize(static_cast<std::size_t>(kInputSide) * kInputSide * 3);
+  for (int y = 0; y < kInputSide; ++y) {
+    for (int x = 0; x < kInputSide; ++x) {
+      for (int c = 0; c < 3; ++c) {
+        state.input[(static_cast<std::size_t>(y) * kInputSide + x) * 3 +
+                    static_cast<std::size_t>(c)] =
+            src->at(x, y, std::min(c, src->channels() - 1));
+      }
+    }
+  }
+}
+
+void MiniCnn::forward(ForwardState& state, int from_stage, FeatureVec& out,
+                      ThreadPool* pool) const {
+  const ForwardPlan& p = plan();
+  if (from_stage < 0 || from_stage > 2) {
+    throw std::invalid_argument("MiniCnn::forward: from_stage out of [0, 2]");
+  }
+  if (from_stage == 0) check_size(state.input, p.input, "input");
+  if (from_stage == 1) check_size(state.stage1, p.stage1, "stage1");
+  if (from_stage == 2) check_size(state.stage2, p.stage2, "stage2");
+  if (from_stage < 1) {
+    conv3x3_relu_into(state.input, p.input.width, p.input.height, conv1_,
+                      pool, state.conv1);
+    maxpool2_into(state.conv1, p.input.width, p.input.height,
+                  conv1_.out_channels, state.stage1);
+  }
+  if (from_stage < 2) {
+    conv3x3_relu_into(state.stage1, p.stage1.width, p.stage1.height, conv2_,
+                      pool, state.conv2);
+    maxpool2_into(state.conv2, p.stage1.width, p.stage1.height,
+                  conv2_.out_channels, state.stage2);
+  }
+  conv3x3_relu_into(state.stage2, p.stage2.width, p.stage2.height, conv3_,
+                    pool, state.stage3);
+  head(state, out);
+}
+
+void MiniCnn::embed_into(const Image& img, ForwardState& state,
+                         FeatureVec& out, ThreadPool* pool) const {
+  prepare_input(img, state);
+  forward(state, /*from_stage=*/0, out, pool);
+}
+
+MiniCnn::SpliceStats MiniCnn::forward_spliced(
+    ForwardState& state, const Tensor& cached_stage1,
+    const Tensor& cached_stage2, std::span<const std::uint8_t> stage1_mask,
+    std::span<const std::uint8_t> stage2_mask, FeatureVec& out) const {
+  const ForwardPlan& p = plan();
+  check_size(state.input, p.input, "input");
+  check_size(cached_stage1, p.stage1, "cached stage1");
+  check_size(cached_stage2, p.stage2, "cached stage2");
+  if (stage1_mask.size() !=
+          static_cast<std::size_t>(p.stage1.width) * p.stage1.height ||
+      stage2_mask.size() !=
+          static_cast<std::size_t>(p.stage2.width) * p.stage2.height) {
+    throw std::invalid_argument("MiniCnn::forward_spliced: bad mask size");
+  }
+  SpliceStats stats;
+  const auto count = [](std::span<const std::uint8_t> mask) {
+    int n = 0;
+    for (const std::uint8_t v : mask) n += (v != 0);
+    return n;
+  };
+  stats.stage1_recomputed = count(stage1_mask);
+  // Splice: copy-assignment reuses the state tensors' capacity.
+  state.stage1 = cached_stage1;
+  state.stage2 = cached_stage2;
+  if (stats.stage1_recomputed == 0) {
+    // Every block cached and clean: resume straight at conv3.
+    stats.resume_stage = 2;
+  } else {
+    stats.resume_stage = 1;
+    stats.stage2_recomputed = count(stage2_mask);
+    recompute_pooled(state.input, p.input.width, p.input.height, conv1_,
+                     stage1_mask, state.stage1);
+    recompute_pooled(state.stage1, p.stage1.width, p.stage1.height, conv2_,
+                     stage2_mask, state.stage2);
+  }
+  conv3x3_relu_into(state.stage2, p.stage2.width, p.stage2.height, conv3_,
+                    nullptr, state.stage3);
+  head(state, out);
+  return stats;
+}
+
+void MiniCnn::head(ForwardState& state, FeatureVec& out) const {
+  const ForwardPlan& p = plan();
+  // Global average pool.
+  state.pooled.assign(32, 0.0f);
+  const int pixels = p.stage3.width * p.stage3.height;
+  for (int px = 0; px < pixels; ++px) {
+    for (int c = 0; c < 32; ++c) {
+      state.pooled[static_cast<std::size_t>(c)] +=
+          state.stage3[static_cast<std::size_t>(px) * 32 +
+                       static_cast<std::size_t>(c)];
+    }
+  }
+  for (float& v : state.pooled) v /= static_cast<float>(pixels);
+
+  out.resize(dim_);
   for (std::size_t d = 0; d < dim_; ++d) {
     float acc = fc_bias_[d];
     for (std::size_t c = 0; c < 32; ++c) {
-      acc += fc_weights_[d * 32 + c] * pooled[c];
+      acc += fc_weights_[d * 32 + c] * state.pooled[c];
     }
     out[d] = acc;
   }
   normalize(out);
+}
+
+FeatureVec MiniCnn::embed(const Image& img, ThreadPool* pool) const {
+  ForwardState state;
+  FeatureVec out;
+  embed_into(img, state, out, pool);
   return out;
 }
 
@@ -174,15 +356,23 @@ std::vector<FeatureVec> MiniCnn::embed_batch(std::span<const Image> imgs,
                                              ThreadPool* pool) const {
   std::vector<FeatureVec> out(imgs.size());
   if (pool == nullptr || pool->size() == 0 || imgs.size() < 2) {
-    for (std::size_t i = 0; i < imgs.size(); ++i) out[i] = embed(imgs[i]);
+    ForwardState state;
+    for (std::size_t i = 0; i < imgs.size(); ++i) {
+      embed_into(imgs[i], state, out[i]);
+    }
     return out;
   }
-  // One image per task: images are independent and each result lands in its
-  // own slot, so scheduling order cannot affect the output.
-  pool->parallel_for(0, imgs.size(), /*grain=*/1,
+  // Contiguous slices, a few per worker for balance; each task reuses one
+  // ForwardState across its images, so only the first image of a slice
+  // allocates. Images are independent and each result lands in its own
+  // slot, so scheduling order cannot affect the output.
+  const std::size_t grain =
+      std::max<std::size_t>(1, imgs.size() / (4 * (pool->size() + 1)));
+  pool->parallel_for(0, imgs.size(), grain,
                      [this, imgs, &out](std::size_t lo, std::size_t hi) {
+                       ForwardState state;
                        for (std::size_t i = lo; i < hi; ++i) {
-                         out[i] = embed(imgs[i]);
+                         embed_into(imgs[i], state, out[i]);
                        }
                      });
   return out;
@@ -202,6 +392,7 @@ class CnnExtractor final : public FeatureExtractor {
   FeatureVec extract(const Image& img) const override {
     return cnn_.embed(img);
   }
+  const MiniCnn* staged_cnn() const noexcept override { return &cnn_; }
 
  private:
   MiniCnn cnn_;

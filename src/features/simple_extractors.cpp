@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "src/features/extractor.hpp"
+#include "src/image/diff.hpp"
 
 namespace apx {
 namespace {
@@ -26,7 +27,7 @@ class DownsampleExtractor final : public FeatureExtractor {
   float recommended_max_distance() const noexcept override { return 0.45f; }
 
   FeatureVec extract(const Image& img) const override {
-    const Image small = img.to_gray().resized(side_, side_);
+    const Image small = downsample_gray(img, side_);
     FeatureVec v(small.data().begin(), small.data().end());
     normalize(v);
     return v;

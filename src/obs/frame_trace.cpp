@@ -11,6 +11,7 @@ const char* to_string(Rung rung) noexcept {
     case Rung::kDnn: return "dnn";
     case Rung::kWarm: return "warm";
     case Rung::kEdge: return "edge";
+    case Rung::kRegions: return "regions";
   }
   return "?";
 }

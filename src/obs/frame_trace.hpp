@@ -27,12 +27,13 @@ enum class Rung : std::uint8_t {
   kDnn = 4,         ///< full inference
   kWarm = 5,        ///< quantized warm-tier prototype scan
   kEdge = 6,        ///< region edge-cache lookup round
+  kRegions = 7,     ///< block-level activation reuse (staged forward)
 };
 
-inline constexpr std::size_t kRungCount = 7;
+inline constexpr std::size_t kRungCount = 8;
 
 /// Printable rung name ("imu-gate", "temporal", "local-cache", "p2p",
-/// "dnn", "warm", "edge").
+/// "dnn", "warm", "edge", "regions").
 const char* to_string(Rung rung) noexcept;
 
 /// How a visited rung ended: it either answered the frame or passed it down.
@@ -59,8 +60,9 @@ struct TraceSpan {
 /// rung that was disabled or skipped records no span.
 class FrameTrace {
  public:
-  /// Spans are bounded by the ladder depth; extra slack guards future rungs.
-  static constexpr std::size_t kMaxSpans = 8;
+  /// Spans are bounded by the ladder depth; extra slack guards future rungs
+  /// (the deepest ladder today visits 8).
+  static constexpr std::size_t kMaxSpans = 10;
 
   /// Starts a new frame; drops all previous spans.
   void reset(SimTime frame_time) noexcept {

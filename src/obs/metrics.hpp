@@ -59,6 +59,15 @@ class MetricsRegistry {
     counters_[id].value += by;
     ++version_;
   }
+
+  /// Overwrites a counter with an absolute value — gauge semantics (e.g.
+  /// resident cache bytes). Merging still sums gauges across registries,
+  /// the same fleet-total convention as cache/bytes_float.
+  void set(CounterId id, std::uint64_t value) noexcept {
+    counters_[id].value = value;
+    ++version_;
+  }
+
   void record(HistogramId id, double value) noexcept;
 
   /// Mutation stamp: bumped by every inc/record/registration/merge. Lets

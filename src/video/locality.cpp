@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "src/image/diff.hpp"
+
 namespace apx {
 
 TemporalReuseDetector::TemporalReuseDetector(const TemporalReuseParams& params)
@@ -13,8 +15,7 @@ TemporalReuseDetector::TemporalReuseDetector(const TemporalReuseParams& params)
 }
 
 Image TemporalReuseDetector::downsample(const Image& frame) const {
-  return frame.to_gray().resized(params_.downsample_side,
-                                 params_.downsample_side);
+  return downsample_gray(frame, params_.downsample_side);
 }
 
 TemporalCheck TemporalReuseDetector::check(const Image& frame) {
@@ -38,6 +39,62 @@ void TemporalReuseDetector::set_keyframe(const Image& frame) {
 void TemporalReuseDetector::invalidate() noexcept {
   keyframe_.reset();
   chain_ = 0;
+}
+
+BlockKeyframeTracker::BlockKeyframeTracker(const BlockMatchParams& params)
+    : params_(params) {
+  if (params.grid <= 0 || params.side <= 0 ||
+      params.side % params.grid != 0 || params.diff_threshold < 0.0f) {
+    throw std::invalid_argument("BlockKeyframeTracker: bad parameters");
+  }
+  block_diffs_.resize(static_cast<std::size_t>(params.grid) * params.grid);
+}
+
+int BlockKeyframeTracker::classify(const Image& frame,
+                                   std::span<std::uint8_t> changed) {
+  const std::size_t blocks =
+      static_cast<std::size_t>(params_.grid) * params_.grid;
+  if (changed.size() != blocks) {
+    throw std::invalid_argument("BlockKeyframeTracker: bad mask size");
+  }
+  last_ = downsample_gray(frame, params_.side);
+  if (!has_keyframe_) {
+    for (std::uint8_t& c : changed) c = 1;
+    return static_cast<int>(blocks);
+  }
+  block_mean_abs_diff(last_, reference_, params_.grid, block_diffs_);
+  int n = 0;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    changed[b] = block_diffs_[b] > params_.diff_threshold ? 1 : 0;
+    n += changed[b];
+  }
+  return n;
+}
+
+void BlockKeyframeTracker::update(std::span<const std::uint8_t> refresh) {
+  if (last_.empty()) return;  // nothing classified yet
+  if (!has_keyframe_) {
+    reference_ = last_;
+    has_keyframe_ = true;
+    return;
+  }
+  const int bw = params_.side / params_.grid;
+  for (int by = 0; by < params_.grid; ++by) {
+    for (int bx = 0; bx < params_.grid; ++bx) {
+      if (refresh[static_cast<std::size_t>(by) * params_.grid + bx] == 0) {
+        continue;
+      }
+      for (int y = by * bw; y < (by + 1) * bw; ++y) {
+        for (int x = bx * bw; x < (bx + 1) * bw; ++x) {
+          reference_.at(x, y, 0) = last_.at(x, y, 0);
+        }
+      }
+    }
+  }
+}
+
+void BlockKeyframeTracker::invalidate() noexcept {
+  has_keyframe_ = false;
 }
 
 }  // namespace apx

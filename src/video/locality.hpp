@@ -5,7 +5,10 @@
 // (not the previous frame) prevents unbounded drift; a maximum chain length
 // bounds staleness even when frames stay similar.
 
+#include <cstdint>
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "src/image/image.hpp"
 #include "src/util/clock.hpp"
@@ -54,6 +57,50 @@ class TemporalReuseDetector {
   TemporalReuseParams params_;
   std::optional<Image> keyframe_;  ///< downsampled grayscale
   int chain_ = 0;
+};
+
+/// Block-grid matcher knobs.
+struct BlockMatchParams {
+  int grid = 4;                   ///< blocks per side
+  int side = 32;                  ///< comparison resolution (gray side*side)
+  float diff_threshold = 0.045f;  ///< per-block mean-abs-diff accepting reuse
+};
+
+/// Block-grid extension of the keyframe machinery: where
+/// TemporalReuseDetector answers "is the whole frame still the keyframe?",
+/// this tracker answers it per grid block, so a partially-changed frame can
+/// reuse the unchanged blocks' cached work (the region-reuse rung,
+/// DESIGN.md §11). The reference pixels of a reused block stay those of the
+/// frame whose activations were cached — diffing against the latest frame
+/// instead would let slow drift accumulate unseen.
+class BlockKeyframeTracker {
+ public:
+  explicit BlockKeyframeTracker(const BlockMatchParams& params = {});
+
+  /// Downsamples `frame` (shared src/image/diff helper) and compares each
+  /// block against the keyframe: changed[b] = per-block mean-abs-diff >
+  /// threshold, row-major over the grid. With no keyframe every block is
+  /// marked changed. Returns the number of changed blocks. `changed` must
+  /// have grid*grid entries.
+  int classify(const Image& frame, std::span<std::uint8_t> changed);
+
+  /// Installs the blocks flagged in `refresh` from the last classified
+  /// frame as the new reference for those blocks (all blocks when there is
+  /// no keyframe yet). Call after the frame's activations were (re)computed.
+  void update(std::span<const std::uint8_t> refresh);
+
+  /// Drops the keyframe (e.g. after major motion invalidates it).
+  void invalidate() noexcept;
+
+  bool has_keyframe() const noexcept { return has_keyframe_; }
+  const BlockMatchParams& params() const noexcept { return params_; }
+
+ private:
+  BlockMatchParams params_;
+  Image reference_;  ///< downsampled grayscale keyframe (per-block ages vary)
+  Image last_;       ///< downsampled grayscale of the last classified frame
+  std::vector<float> block_diffs_;
+  bool has_keyframe_ = false;
 };
 
 }  // namespace apx

@@ -94,4 +94,21 @@ MultiFrame MultiObjectStream::next() {
   return frame;
 }
 
+void region_change_mask(const MultiFrame& frame, int grid,
+                        std::span<std::uint8_t> out) {
+  if (grid <= 0 || grid % MultiFrame::kGridSide != 0 ||
+      out.size() != static_cast<std::size_t>(grid) * grid) {
+    throw std::invalid_argument("region_change_mask: bad grid");
+  }
+  const int per_region = grid / MultiFrame::kGridSide;
+  for (int by = 0; by < grid; ++by) {
+    for (int bx = 0; bx < grid; ++bx) {
+      const int region =
+          (by / per_region) * MultiFrame::kGridSide + (bx / per_region);
+      out[static_cast<std::size_t>(by) * grid + bx] =
+          frame.changed[static_cast<std::size_t>(region)] ? 1 : 0;
+    }
+  }
+}
+
 }  // namespace apx

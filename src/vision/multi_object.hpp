@@ -13,6 +13,8 @@
 // cheaper than classification on phones).
 
 #include <array>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/image/scene.hpp"
@@ -71,6 +73,14 @@ Image compose_grid(const SceneGenerator& scenes,
 
 /// Crops region `index` (row-major) out of a grid frame.
 Image crop_region(const Image& frame, int index);
+
+/// Maps a MultiFrame's per-region change flags onto a finer `grid` x `grid`
+/// block mask (row-major, 1 = changed; `grid` must be a positive multiple
+/// of kGridSide): a block is flagged when the region it falls in changed
+/// this frame. The bridge between the stream's ground-truth change process
+/// and the region-reuse rung's block grid (bench_m5_regions).
+void region_change_mask(const MultiFrame& frame, int grid,
+                        std::span<std::uint8_t> out);
 
 /// Simulated cost of the region-proposal stage for one frame.
 constexpr SimDuration kRegionDetectLatency = 3 * kMillisecond;

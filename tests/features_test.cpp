@@ -4,11 +4,16 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "src/features/extractor.hpp"
 #include "src/features/minicnn.hpp"
 #include "src/image/scene.hpp"
+#include "src/util/thread_pool.hpp"
 #include "src/util/vecmath.hpp"
 
 namespace apx {
@@ -181,6 +186,316 @@ TEST(MiniCnn, ParameterCountMatchesArchitecture) {
   const std::size_t expected = (8 * 3 * 9 + 8) + (16 * 8 * 9 + 16) +
                                (32 * 16 * 9 + 32) + (64 * 32 + 64);
   EXPECT_EQ(cnn.parameter_count(), expected);
+}
+
+// ------------------------------------------------- staged forward pass
+//
+// The staged path (ForwardState / forward / forward_spliced) must be
+// bit-identical to the monolithic embed() — the region-reuse rung's whole
+// correctness story rests on exact equality, not numerical closeness.
+
+/// Marks every input pixel of block (bx, by) of a grid x grid partition of
+/// a side x side mask.
+void mark_block(std::vector<std::uint8_t>& mask, int side, int grid, int bx,
+                int by) {
+  const int bw = side / grid;
+  for (int y = by * bw; y < (by + 1) * bw; ++y) {
+    for (int x = bx * bw; x < (bx + 1) * bw; ++x) {
+      mask[static_cast<std::size_t>(y) * side + x] = 1;
+    }
+  }
+}
+
+/// Perturbs every pixel of block (bx, by) of `img` (side divisible by grid).
+void perturb_block(Image& img, int grid, int bx, int by) {
+  const int bw = img.width() / grid;
+  for (int y = by * bw; y < (by + 1) * bw; ++y) {
+    for (int x = bx * bw; x < (bx + 1) * bw; ++x) {
+      for (int c = 0; c < img.channels(); ++c) {
+        img.at(x, y, c) = 1.0f - img.at(x, y, c);
+      }
+    }
+  }
+}
+
+class MiniCnnStaged : public ::testing::Test {
+ protected:
+  /// Splices `current` against the cached activations of `keyframe`, with
+  /// dirty masks propagated from `input_mask`, and checks bit-identity
+  /// against a from-scratch embed of `current`.
+  void expect_splice_matches_full(const Image& keyframe, const Image& current,
+                                  const std::vector<std::uint8_t>& input_mask,
+                                  int expected_resume_stage) {
+    const MiniCnn::ForwardPlan& plan = MiniCnn::plan();
+    MiniCnn::ForwardState key_state;
+    FeatureVec key_out;
+    cnn_.embed_into(keyframe, key_state, key_out);
+    const MiniCnn::Tensor cached_stage1 = key_state.stage1;
+    const MiniCnn::Tensor cached_stage2 = key_state.stage2;
+
+    std::vector<std::uint8_t> stage1_mask(plan.stage1.size() /
+                                          plan.stage1.channels);
+    std::vector<std::uint8_t> stage2_mask(plan.stage2.size() /
+                                          plan.stage2.channels);
+    MiniCnn::propagate_dirty(input_mask, plan.input.width, plan.input.height,
+                             stage1_mask);
+    MiniCnn::propagate_dirty(stage1_mask, plan.stage1.width, plan.stage1.height,
+                             stage2_mask);
+
+    MiniCnn::ForwardState state;
+    cnn_.prepare_input(current, state);
+    FeatureVec spliced;
+    const MiniCnn::SpliceStats stats = cnn_.forward_spliced(
+        state, cached_stage1, cached_stage2, stage1_mask, stage2_mask, spliced);
+    EXPECT_EQ(stats.resume_stage, expected_resume_stage);
+
+    EXPECT_EQ(spliced, cnn_.embed(current));
+    // The state must also hold the complete activations of the current
+    // frame — that is what gets installed back into the cache.
+    MiniCnn::ForwardState full;
+    FeatureVec full_out;
+    cnn_.embed_into(current, full, full_out);
+    EXPECT_EQ(state.stage1, full.stage1);
+    EXPECT_EQ(state.stage2, full.stage2);
+    EXPECT_EQ(state.stage3, full.stage3);
+  }
+
+  MiniCnn cnn_{64, 7};
+  SceneGenerator scenes_{scene_config()};
+};
+
+TEST_F(MiniCnnStaged, PlanMatchesArchitecture) {
+  const MiniCnn::ForwardPlan& plan = MiniCnn::plan();
+  EXPECT_EQ(plan.input.width, 32);
+  EXPECT_EQ(plan.input.channels, 3);
+  EXPECT_EQ(plan.stage1.width, 16);
+  EXPECT_EQ(plan.stage1.channels, 8);
+  EXPECT_EQ(plan.stage2.width, 8);
+  EXPECT_EQ(plan.stage2.channels, 16);
+  EXPECT_EQ(plan.stage3.width, 8);
+  EXPECT_EQ(plan.stage3.channels, 32);
+  // MACs: out_w * out_h * out_c * 9 * in_c per conv.
+  EXPECT_EQ(plan.conv_macs[0], 32.0 * 32 * 8 * 9 * 3);
+  EXPECT_EQ(plan.conv_macs[1], 16.0 * 16 * 16 * 9 * 8);
+  EXPECT_EQ(plan.conv_macs[2], 8.0 * 8 * 32 * 9 * 16);
+  EXPECT_EQ(plan.total_macs(),
+            plan.conv_macs[0] + plan.conv_macs[1] + plan.conv_macs[2]);
+}
+
+TEST_F(MiniCnnStaged, EmbedIntoMatchesEmbedAcrossInputShapes) {
+  // Native 32x32, upscaled, non-square, and grayscale inputs all route
+  // through prepare_input's resize/expansion.
+  std::vector<Image> inputs;
+  inputs.push_back(scenes_.render(0, ViewParams{}));
+  auto big = scene_config();
+  big.image_size = 48;
+  inputs.push_back(SceneGenerator{big}.render(1, ViewParams{}));
+  Image wide(48, 24, 3);
+  Image gray(32, 32, 1);
+  Rng rng{21};
+  for (int y = 0; y < 24; ++y) {
+    for (int x = 0; x < 48; ++x) {
+      for (int c = 0; c < 3; ++c) {
+        wide.at(x, y, c) = static_cast<float>(rng.uniform());
+      }
+    }
+  }
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      gray.at(x, y, 0) = static_cast<float>(rng.uniform());
+    }
+  }
+  inputs.push_back(std::move(wide));
+  inputs.push_back(std::move(gray));
+
+  MiniCnn::ForwardState state;  // deliberately reused across shapes
+  FeatureVec out;
+  for (const Image& img : inputs) {
+    cnn_.embed_into(img, state, out);
+    EXPECT_EQ(out, cnn_.embed(img));
+  }
+}
+
+TEST_F(MiniCnnStaged, EmbedIntoMatchesEmbedWithPool) {
+  ThreadPool pool{3};
+  const Image img = scenes_.render(2, ViewParams{});
+  MiniCnn::ForwardState state;
+  FeatureVec out;
+  cnn_.embed_into(img, state, out, &pool);
+  EXPECT_EQ(out, cnn_.embed(img)) << "pool-backed staged path diverged";
+}
+
+TEST_F(MiniCnnStaged, ForwardResumesBitIdenticallyFromEveryStage) {
+  const Image img = scenes_.render(4, ViewParams{});
+  MiniCnn::ForwardState state;
+  FeatureVec reference;
+  cnn_.embed_into(img, state, reference);
+  for (int from_stage = 1; from_stage <= 2; ++from_stage) {
+    // Clobber everything downstream of the resume point; forward() must
+    // rebuild it from the surviving stage tensor alone.
+    MiniCnn::ForwardState resumed;
+    resumed.stage1 = state.stage1;
+    if (from_stage == 2) resumed.stage2 = state.stage2;
+    FeatureVec out;
+    cnn_.forward(resumed, from_stage, out);
+    EXPECT_EQ(out, reference) << "from_stage=" << from_stage;
+  }
+}
+
+TEST_F(MiniCnnStaged, ForwardRejectsBadResume) {
+  const Image img = scenes_.render(0, ViewParams{});
+  MiniCnn::ForwardState state;
+  FeatureVec out;
+  EXPECT_THROW(cnn_.forward(state, 3, out), std::invalid_argument);
+  EXPECT_THROW(cnn_.forward(state, -1, out), std::invalid_argument);
+  // Resuming from a stage whose tensor was never produced must throw, not
+  // read stale-sized memory.
+  EXPECT_THROW(cnn_.forward(state, 1, out), std::invalid_argument);
+  state.stage1.assign(MiniCnn::plan().stage1.size() - 1, 0.0f);
+  EXPECT_THROW(cnn_.forward(state, 1, out), std::invalid_argument);
+}
+
+TEST_F(MiniCnnStaged, FullSpliceResumesAtConv3) {
+  // Empty dirty masks: the embedding must be the *keyframe's*, recomputed
+  // from its cached stage-2 tensor alone (degenerate full-splice case).
+  const Image keyframe = scenes_.render(1, ViewParams{});
+  const Image current = scenes_.render(5, ViewParams{});  // ignored pixels
+  const MiniCnn::ForwardPlan& plan = MiniCnn::plan();
+  MiniCnn::ForwardState key_state;
+  FeatureVec key_out;
+  cnn_.embed_into(keyframe, key_state, key_out);
+
+  const std::vector<std::uint8_t> stage1_mask(
+      plan.stage1.size() / plan.stage1.channels, 0);
+  const std::vector<std::uint8_t> stage2_mask(
+      plan.stage2.size() / plan.stage2.channels, 0);
+  MiniCnn::ForwardState state;
+  cnn_.prepare_input(current, state);
+  FeatureVec out;
+  const MiniCnn::SpliceStats stats = cnn_.forward_spliced(
+      state, key_state.stage1, key_state.stage2, stage1_mask, stage2_mask, out);
+  EXPECT_EQ(stats.resume_stage, 2);
+  EXPECT_EQ(stats.stage1_recomputed, 0);
+  EXPECT_EQ(stats.stage2_recomputed, 0);
+  EXPECT_EQ(out, key_out);
+  EXPECT_EQ(state.stage1, key_state.stage1);
+  EXPECT_EQ(state.stage2, key_state.stage2);
+}
+
+TEST_F(MiniCnnStaged, ZeroSpliceMatchesFullForward) {
+  // All-dirty masks: nothing is reused, so the result must be bit-identical
+  // to a plain forward of the current frame even against an unrelated
+  // keyframe (degenerate zero-splice case).
+  const Image keyframe = scenes_.render(2, ViewParams{});
+  const Image current = scenes_.render(6, ViewParams{});
+  std::vector<std::uint8_t> input_mask(
+      static_cast<std::size_t>(MiniCnn::kInputSide) * MiniCnn::kInputSide, 1);
+  expect_splice_matches_full(keyframe, current, input_mask,
+                             /*expected_resume_stage=*/1);
+}
+
+TEST_F(MiniCnnStaged, PartialSpliceIsBitIdenticalForEveryBlock) {
+  // Flip one block at a time (every position in a 4x4 grid, interior and
+  // border) and splice the rest from the keyframe's cached activations.
+  const int grid = 4;
+  const Image keyframe = scenes_.render(3, ViewParams{});
+  for (int by = 0; by < grid; ++by) {
+    for (int bx = 0; bx < grid; ++bx) {
+      Image current = keyframe;
+      perturb_block(current, grid, bx, by);
+      std::vector<std::uint8_t> input_mask(
+          static_cast<std::size_t>(MiniCnn::kInputSide) * MiniCnn::kInputSide,
+          0);
+      mark_block(input_mask, MiniCnn::kInputSide, grid, bx, by);
+      SCOPED_TRACE("block (" + std::to_string(bx) + "," + std::to_string(by) +
+                   ")");
+      expect_splice_matches_full(keyframe, current, input_mask,
+                                 /*expected_resume_stage=*/1);
+    }
+  }
+}
+
+TEST_F(MiniCnnStaged, PartialSpliceHandlesMultipleScatteredBlocks) {
+  const int grid = 8;  // finest legal grid: one block = one stage-2 pixel
+  const Image keyframe = scenes_.render(7, ViewParams{});
+  Image current = keyframe;
+  std::vector<std::uint8_t> input_mask(
+      static_cast<std::size_t>(MiniCnn::kInputSide) * MiniCnn::kInputSide, 0);
+  const std::vector<std::pair<int, int>> blocks{{0, 0}, {7, 7}, {3, 4}, {5, 1}};
+  for (const auto& [bx, by] : blocks) {
+    perturb_block(current, grid, bx, by);
+    mark_block(input_mask, MiniCnn::kInputSide, grid, bx, by);
+  }
+  expect_splice_matches_full(keyframe, current, input_mask,
+                             /*expected_resume_stage=*/1);
+}
+
+TEST_F(MiniCnnStaged, SpliceRejectsBadTensorSizes) {
+  const MiniCnn::ForwardPlan& plan = MiniCnn::plan();
+  MiniCnn::ForwardState state;
+  cnn_.prepare_input(scenes_.render(0, ViewParams{}), state);
+  const MiniCnn::Tensor stage1(plan.stage1.size(), 0.0f);
+  const MiniCnn::Tensor stage2(plan.stage2.size(), 0.0f);
+  const std::vector<std::uint8_t> mask1(plan.stage1.size() /
+                                        plan.stage1.channels);
+  const std::vector<std::uint8_t> mask2(plan.stage2.size() /
+                                        plan.stage2.channels);
+  FeatureVec out;
+  const MiniCnn::Tensor short_tensor(3, 0.0f);
+  const std::vector<std::uint8_t> short_mask(3);
+  EXPECT_THROW(
+      cnn_.forward_spliced(state, short_tensor, stage2, mask1, mask2, out),
+      std::invalid_argument);
+  EXPECT_THROW(
+      cnn_.forward_spliced(state, stage1, short_tensor, mask1, mask2, out),
+      std::invalid_argument);
+  EXPECT_THROW(
+      cnn_.forward_spliced(state, stage1, stage2, short_mask, mask2, out),
+      std::invalid_argument);
+  EXPECT_THROW(
+      cnn_.forward_spliced(state, stage1, stage2, mask1, short_mask, out),
+      std::invalid_argument);
+}
+
+TEST(MiniCnnDirty, PropagateDirtyAppliesConvPoolFootprint) {
+  // A single dirty input pixel at (x, y) dirties output pixel (px, py) iff
+  // the 4x4 footprint [2px-1, 2px+2] x [2py-1, 2py+2] contains it.
+  const int w = 8, h = 8;
+  std::vector<std::uint8_t> in(static_cast<std::size_t>(w) * h, 0);
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(w / 2) * (h / 2), 0);
+  in[static_cast<std::size_t>(5) * w + 5] = 1;  // (5, 5)
+  MiniCnn::propagate_dirty(in, w, h, out);
+  for (int py = 0; py < h / 2; ++py) {
+    for (int px = 0; px < w / 2; ++px) {
+      const bool covers_x = (2 * px - 1 <= 5) && (5 <= 2 * px + 2);
+      const bool covers_y = (2 * py - 1 <= 5) && (5 <= 2 * py + 2);
+      EXPECT_EQ(out[static_cast<std::size_t>(py) * (w / 2) + px] != 0,
+                covers_x && covers_y)
+          << "px=" << px << " py=" << py;
+    }
+  }
+}
+
+TEST(MiniCnnDirty, PropagateDirtyCornerPixelStaysLocal) {
+  // Clamp padding reads no farther than the clipped footprint: a dirty
+  // corner pixel dirties exactly the corner output pixel.
+  const int w = 8, h = 8;
+  std::vector<std::uint8_t> in(static_cast<std::size_t>(w) * h, 0);
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(w / 2) * (h / 2), 9);
+  in[0] = 1;  // (0, 0)
+  MiniCnn::propagate_dirty(in, w, h, out);
+  int set = 0;
+  for (const std::uint8_t v : out) set += (v != 0);
+  EXPECT_EQ(set, 1);
+  EXPECT_NE(out[0], 0);
+}
+
+TEST(MiniCnnDirty, CleanMaskStaysClean) {
+  const int w = 32, h = 32;
+  const std::vector<std::uint8_t> in(static_cast<std::size_t>(w) * h, 0);
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(w / 2) * (h / 2), 9);
+  MiniCnn::propagate_dirty(in, w, h, out);
+  for (const std::uint8_t v : out) EXPECT_EQ(v, 0);
 }
 
 }  // namespace

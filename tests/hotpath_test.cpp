@@ -330,6 +330,59 @@ TEST(MiniCnnParallel, EmbedBatchMatchesPerImageEmbeds) {
   }
 }
 
+TEST(MiniCnnHotPath, WarmEmbedIntoPerformsZeroAllocations) {
+  // The staged forward pass reuses the caller's ForwardState; once warmed,
+  // embedding a stream of native-size frames must never touch the heap
+  // (the same discipline as the LSH query path).
+  SceneGenerator::Config scfg;
+  scfg.num_classes = 4;
+  scfg.image_size = MiniCnn::kInputSide;  // no resize: the pure hot path
+  SceneGenerator scenes{scfg};
+  MiniCnn cnn{64, 7};
+  std::vector<Image> imgs;
+  for (int cls = 0; cls < 4; ++cls) {
+    imgs.push_back(scenes.render(cls, ViewParams{}));
+  }
+
+  MiniCnn::ForwardState state;
+  FeatureVec out;
+  for (const Image& img : imgs) cnn.embed_into(img, state, out);
+
+  const std::size_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (const Image& img : imgs) cnn.embed_into(img, state, out);
+  const std::size_t after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u);
+}
+
+TEST(MiniCnnHotPath, EmbedBatchAllocatesOnlyResultsPlusConstantScratch) {
+  // The serial batch path shares one ForwardState across the whole batch:
+  // the only per-image allocation left is the returned FeatureVec itself.
+  // (The old path built every intermediate tensor per image.)
+  SceneGenerator::Config scfg;
+  scfg.num_classes = 8;
+  scfg.image_size = MiniCnn::kInputSide;
+  SceneGenerator scenes{scfg};
+  MiniCnn cnn{64, 7};
+  const auto count_allocs = [&](std::size_t n) {
+    std::vector<Image> imgs;
+    for (std::size_t i = 0; i < n; ++i) {
+      imgs.push_back(scenes.render(static_cast<int>(i % 8), ViewParams{}));
+    }
+    const std::size_t before = g_alloc_count.load(std::memory_order_relaxed);
+    const auto batch = cnn.embed_batch(imgs);
+    const std::size_t after = g_alloc_count.load(std::memory_order_relaxed);
+    EXPECT_EQ(batch.size(), n);
+    return after - before;
+  };
+  // Allocations grow by exactly one per extra image (its result vector),
+  // not by the forward pass's tensor count.
+  const std::size_t small = count_allocs(8);
+  const std::size_t large = count_allocs(32);
+  EXPECT_LE(small, 8u + 12u);
+  EXPECT_LE(large, 32u + 12u);
+  EXPECT_EQ(large - small, 24u);
+}
+
 // -------------------------------------- parallel runner determinism
 
 void expect_metrics_identical(const ExperimentMetrics& a,

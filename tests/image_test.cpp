@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <vector>
+
+#include "src/image/diff.hpp"
 #include "src/image/image.hpp"
 #include "src/image/scene.hpp"
 
@@ -107,6 +111,66 @@ TEST(Image, MeanComputesAverage) {
   Image img(2, 1, 1);
   img.at(0, 0, 0) = 1.0f;
   EXPECT_FLOAT_EQ(img.mean(), 0.5f);
+}
+
+// ------------------------------------------------------------ diff helpers
+
+TEST(Diff, DownsampleGrayMatchesToGrayResized) {
+  // The helper must be exactly to_gray + resized — the temporal rung's
+  // keyframe diffs were built on that composition and must not move.
+  Image img(12, 8, 3);
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 12; ++x) {
+      img.at(x, y, 0) = static_cast<float>(x) / 12.0f;
+      img.at(x, y, 1) = static_cast<float>(y) / 8.0f;
+      img.at(x, y, 2) = 0.25f;
+    }
+  }
+  const Image got = downsample_gray(img, 4);
+  const Image want = img.to_gray().resized(4, 4);
+  ASSERT_EQ(got.channels(), 1);
+  ASSERT_EQ(got.width(), 4);
+  ASSERT_EQ(got.height(), 4);
+  EXPECT_EQ(got.mean_abs_diff(want), 0.0f);
+}
+
+TEST(Diff, BlockMeanAbsDiffIsPerBlock) {
+  Image a(8, 8, 1), b(8, 8, 1);
+  // Change only the top-right 4x4 block by a constant 0.5.
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 4; x < 8; ++x) b.at(x, y, 0) = 0.5f;
+  }
+  std::vector<float> diffs(4);
+  block_mean_abs_diff(a, b, 2, diffs);
+  EXPECT_FLOAT_EQ(diffs[0], 0.0f);
+  EXPECT_FLOAT_EQ(diffs[1], 0.5f);  // row-major: (1, 0) is top-right
+  EXPECT_FLOAT_EQ(diffs[2], 0.0f);
+  EXPECT_FLOAT_EQ(diffs[3], 0.0f);
+}
+
+TEST(Diff, BlockMeanAbsDiffWholeImageMatchesMeanAbsDiff) {
+  Image a(8, 8, 1), b(8, 8, 1);
+  int i = 0;
+  for (float& v : a.data()) v = static_cast<float>(i++ % 7) / 7.0f;
+  i = 3;
+  for (float& v : b.data()) v = static_cast<float>(i++ % 5) / 5.0f;
+  std::vector<float> diffs(1);
+  block_mean_abs_diff(a, b, 1, diffs);
+  EXPECT_FLOAT_EQ(diffs[0], a.mean_abs_diff(b));
+}
+
+TEST(Diff, BlockMeanAbsDiffRejectsBadShapes) {
+  Image gray(8, 8, 1), color(8, 8, 3), small(4, 4, 1);
+  std::vector<float> diffs(4);
+  EXPECT_THROW(block_mean_abs_diff(gray, color, 2, diffs),
+               std::invalid_argument);
+  EXPECT_THROW(block_mean_abs_diff(gray, small, 2, diffs),
+               std::invalid_argument);
+  EXPECT_THROW(block_mean_abs_diff(gray, gray, 3, diffs),  // 3 !| 8
+               std::invalid_argument);
+  std::vector<float> short_out(3);
+  EXPECT_THROW(block_mean_abs_diff(gray, gray, 2, short_out),
+               std::invalid_argument);
 }
 
 // ---------------------------------------------------------------- Scene

@@ -176,6 +176,75 @@ TEST(LadderSpecTest, EdgeArgsSyncEdgeParams) {
   EXPECT_FALSE(bare.enable_edge);
 }
 
+TEST(LadderSpecTest, ParsesAndRoundTripsRegionsArguments) {
+  const char* specs[] = {
+      "imu,temporal,regions,local,dnn",
+      "regions,dnn",
+      "imu,temporal,regions(grid=8),warm,local,p2p,dnn",
+      "regions(grid=8,max_changed=0.25,ttl=5s),dnn",
+      "imu,regions(ttl=750ms),local,dnn",
+  };
+  for (const char* text : specs) {
+    SCOPED_TRACE(text);
+    const LadderSpec spec = LadderSpec::parse(text);
+    EXPECT_EQ(spec.to_string(), text);
+    EXPECT_EQ(LadderSpec::parse(spec.to_string()).to_string(), text);
+    EXPECT_TRUE(spec.has("regions"));
+  }
+  const LadderSpec spec =
+      LadderSpec::parse("regions(grid=2,max_changed=0.75,ttl=3s),dnn");
+  EXPECT_EQ(spec.arg_value("regions", "grid"), "2");
+  EXPECT_EQ(spec.arg_value("regions", "max_changed"), "0.75");
+  EXPECT_EQ(spec.arg_value("regions", "ttl"), "3s");
+  EXPECT_FALSE(spec.has_arg("regions", "q8"));
+}
+
+TEST(LadderSpecTest, RejectsMalformedRegionsArguments) {
+  const char* bad[] = {
+      "warm,regions,dnn",                    // out of ladder order
+      "local,regions,dnn",                   // out of ladder order
+      "regions,regions,dnn",                 // duplicate rung
+      "regions(grid=0),dnn",                 // zero grid
+      "regions(grid=abc),dnn",               // non-numeric grid
+      "regions(grid),dnn",                   // missing value
+      "regions(max_changed=1.5),dnn",        // fraction out of [0, 1]
+      "regions(max_changed=x),dnn",          // non-numeric fraction
+      "regions(ttl=0s),dnn",                 // zero duration
+      "regions(ttl=30m),dnn",                // unknown duration unit
+      "regions(q8),dnn",                     // unknown argument key
+      "regions(grid=4,grid=8),dnn",          // duplicate key
+  };
+  for (const char* text : bad) {
+    SCOPED_TRACE(text);
+    EXPECT_THROW((void)LadderSpec::parse(text), std::invalid_argument);
+  }
+}
+
+TEST(LadderSpecTest, RegionsArgsSyncRegionParams) {
+  const PipelineConfig cfg = make_ladder_config(
+      "imu,temporal,regions(grid=8,max_changed=0.25,ttl=5s),local,dnn");
+  EXPECT_TRUE(cfg.enable_regions);
+  EXPECT_EQ(cfg.regions.grid, 8);
+  EXPECT_FLOAT_EQ(cfg.regions.max_changed, 0.25f);
+  EXPECT_EQ(cfg.regions.ttl, 5 * kSecond);
+  // Non-grammar knobs stay at their defaults.
+  EXPECT_FLOAT_EQ(cfg.regions.block_diff_threshold,
+                  RegionReuseParams{}.block_diff_threshold);
+  EXPECT_EQ(LadderSpec::from_config(cfg).to_string(),
+            "imu,temporal,regions(grid=8,max_changed=0.25,ttl=5s),local,dnn");
+
+  // Default arguments are elided on the way back out.
+  const PipelineConfig plain =
+      make_ladder_config("imu,temporal,regions,local,dnn");
+  EXPECT_TRUE(plain.enable_regions);
+  EXPECT_EQ(plain.regions.grid, RegionReuseParams{}.grid);
+  EXPECT_EQ(LadderSpec::from_config(plain).to_string(),
+            "imu,temporal,regions,local,dnn");
+
+  const PipelineConfig bare = make_ladder_config("local,dnn");
+  EXPECT_FALSE(bare.enable_regions);
+}
+
 TEST(LadderSpecTest, QuantizedArgSyncsQuantizeFlags) {
   const PipelineConfig q8 = make_ladder_config("imu,local(q8),dnn");
   EXPECT_TRUE(q8.enable_quantized_scan);
@@ -261,9 +330,12 @@ TEST(LadderSpecTest, PresetsDeriveTheirDocumentedSpecs) {
 
 TEST(RungRegistryTest, NamesComeBackInRankOrder) {
   const std::vector<std::string> names = RungRegistry::instance().names();
-  ASSERT_GE(names.size(), 7u);
+  ASSERT_GE(names.size(), 8u);
   EXPECT_EQ(names.front(), "imu");
   EXPECT_EQ(names.back(), "dnn");
+  bool has_regions = false;
+  for (const std::string& n : names) has_regions |= (n == "regions");
+  EXPECT_TRUE(has_regions);
   const auto rank = [&](std::string_view n) {
     return RungRegistry::instance().find(n)->rank;
   };

@@ -17,6 +17,8 @@
 #include "src/cache/approx_cache.hpp"
 #include "src/cache/snapshot.hpp"
 #include "src/edge/edge_cache.hpp"
+#include "src/features/minicnn.hpp"
+#include "src/image/image.hpp"
 #include "src/net/event_sim.hpp"
 #include "src/net/messages.hpp"
 #include "src/sim/runner.hpp"
@@ -618,6 +620,78 @@ TEST_P(EdgeFuzz, SweepRemovesExactlyTheExpiredEntries) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EdgeFuzz, ::testing::Values(11u, 22u, 33u));
+
+// ------------------------------------------------- staged splice fuzz
+
+class SpliceFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+// The region-reuse correctness contract: splicing the cached activations of
+// every *unchanged* block back into the staged forward pass never changes
+// the embedding — bit-identical to recomputing the whole frame, for any
+// keyframe, any legal grid, and any subset of changed blocks.
+TEST_P(SpliceFuzz, SplicingUnchangedBlocksNeverChangesTheEmbedding) {
+  Rng rng{GetParam()};
+  const MiniCnn cnn{48, 7};
+  const MiniCnn::ForwardPlan& plan = MiniCnn::plan();
+  constexpr int kSide = MiniCnn::kInputSide;
+  for (int trial = 0; trial < 20; ++trial) {
+    Image keyframe(kSide, kSide, 3);
+    for (int y = 0; y < kSide; ++y) {
+      for (int x = 0; x < kSide; ++x) {
+        for (int c = 0; c < 3; ++c) {
+          keyframe.at(x, y, c) = static_cast<float>(rng.uniform());
+        }
+      }
+    }
+    const int grids[] = {2, 4, 8};
+    const int grid = grids[rng.uniform_u64(3)];
+    const int bw = kSide / grid;
+
+    // Flip a random subset of blocks (possibly none, possibly all) and
+    // perturb a random sample of each flipped block's pixels.
+    Image current = keyframe;
+    std::vector<std::uint8_t> input_mask(
+        static_cast<std::size_t>(kSide) * kSide, 0);
+    for (int by = 0; by < grid; ++by) {
+      for (int bx = 0; bx < grid; ++bx) {
+        if (rng.uniform() >= 0.4) continue;
+        for (int y = by * bw; y < (by + 1) * bw; ++y) {
+          for (int x = bx * bw; x < (bx + 1) * bw; ++x) {
+            input_mask[static_cast<std::size_t>(y) * kSide + x] = 1;
+            if (rng.uniform() < 0.5) {
+              current.at(x, y, static_cast<int>(rng.uniform_u64(3))) =
+                  static_cast<float>(rng.uniform());
+            }
+          }
+        }
+      }
+    }
+
+    MiniCnn::ForwardState key_state;
+    FeatureVec key_out;
+    cnn.embed_into(keyframe, key_state, key_out);
+
+    std::vector<std::uint8_t> stage1_mask(plan.stage1.size() /
+                                          plan.stage1.channels);
+    std::vector<std::uint8_t> stage2_mask(plan.stage2.size() /
+                                          plan.stage2.channels);
+    MiniCnn::propagate_dirty(input_mask, plan.input.width, plan.input.height,
+                             stage1_mask);
+    MiniCnn::propagate_dirty(stage1_mask, plan.stage1.width,
+                             plan.stage1.height, stage2_mask);
+
+    MiniCnn::ForwardState state;
+    cnn.prepare_input(current, state);
+    FeatureVec spliced;
+    (void)cnn.forward_spliced(state, key_state.stage1, key_state.stage2,
+                              stage1_mask, stage2_mask, spliced);
+    ASSERT_EQ(spliced, cnn.embed(current))
+        << "trial " << trial << " grid " << grid;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpliceFuzz,
+                         ::testing::Values(101u, 202u, 303u));
 
 }  // namespace
 }  // namespace apx

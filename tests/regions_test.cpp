@@ -1,0 +1,359 @@
+// Region-level partial-result reuse (DESIGN.md §11): the activation
+// cache's validity/staleness contract, the block keyframe tracker's drift
+// protection, and the regions rung end to end — accuracy parity with the
+// same ladder minus regions, metrics presence/absence, byte-identical
+// same-seed exports, and staged-extractor gating.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/dnn/activation_cache.hpp"
+#include "src/features/minicnn.hpp"
+#include "src/sim/runner.hpp"
+#include "src/video/locality.hpp"
+
+namespace apx {
+namespace {
+
+// ---------------------------------------------------------- ActivationCache
+
+ActivationCache::Params cache_params(int grid, SimDuration ttl = 2 * kSecond) {
+  ActivationCache::Params p;
+  p.grid = grid;
+  p.ttl = ttl;
+  return p;
+}
+
+MiniCnn::Tensor stage1_tensor(float fill = 0.0f) {
+  return MiniCnn::Tensor(MiniCnn::plan().stage1.size(), fill);
+}
+
+MiniCnn::Tensor stage2_tensor(float fill = 0.0f) {
+  return MiniCnn::Tensor(MiniCnn::plan().stage2.size(), fill);
+}
+
+TEST(ActivationCacheTest, LegalGridsDivideEveryStageSide) {
+  for (const int grid : {2, 4, 8}) {
+    SCOPED_TRACE(grid);
+    EXPECT_NO_THROW(ActivationCache(MiniCnn::plan(), cache_params(grid)));
+  }
+  // A block must cover whole stage-2 pixels (stage-2 side is 8).
+  for (const int grid : {0, -1, 3, 5, 16}) {
+    SCOPED_TRACE(grid);
+    EXPECT_THROW(ActivationCache(MiniCnn::plan(), cache_params(grid)),
+                 std::invalid_argument);
+  }
+}
+
+TEST(ActivationCacheTest, StartsInvalidAndInstallValidates) {
+  ActivationCache cache{MiniCnn::plan(), cache_params(4)};
+  EXPECT_FALSE(cache.valid());
+  EXPECT_EQ(cache.block_count(), 16);
+  const std::vector<std::uint8_t> all(16, 1);
+  cache.install(stage1_tensor(0.5f), stage2_tensor(0.25f), all, /*now=*/100);
+  EXPECT_TRUE(cache.valid());
+  EXPECT_EQ(cache.stage1()[0], 0.5f);
+  EXPECT_EQ(cache.stage2()[0], 0.25f);
+  cache.invalidate();
+  EXPECT_FALSE(cache.valid());
+}
+
+TEST(ActivationCacheTest, FootprintIsFixedByConstruction) {
+  const ActivationCache cache{MiniCnn::plan(), cache_params(4)};
+  // One stage-1 (16x16x8) + one stage-2 (8x8x16) float tensor, whatever
+  // happens later — "bounded" is structural.
+  const std::size_t expected =
+      (MiniCnn::plan().stage1.size() + MiniCnn::plan().stage2.size()) *
+      sizeof(float);
+  EXPECT_EQ(cache.bytes(), expected);
+}
+
+TEST(ActivationCacheTest, InstallMovesOnlyRecomputedClocks) {
+  ActivationCache cache{MiniCnn::plan(), cache_params(2)};
+  const std::vector<std::uint8_t> all(4, 1);
+  cache.install(stage1_tensor(), stage2_tensor(), all, /*now=*/10);
+  for (int b = 0; b < 4; ++b) EXPECT_EQ(cache.installed_at(b), 10);
+
+  std::vector<std::uint8_t> only_two(4, 0);
+  only_two[2] = 1;
+  cache.install(stage1_tensor(), stage2_tensor(), only_two, /*now=*/50);
+  EXPECT_EQ(cache.installed_at(0), 10);  // reused: keeps its frame's time
+  EXPECT_EQ(cache.installed_at(1), 10);
+  EXPECT_EQ(cache.installed_at(2), 50);  // recomputed: moves forward
+  EXPECT_EQ(cache.installed_at(3), 10);
+}
+
+TEST(ActivationCacheTest, FirstInstallAfterInvalidateRefreshesEveryClock) {
+  ActivationCache cache{MiniCnn::plan(), cache_params(2)};
+  const std::vector<std::uint8_t> all(4, 1);
+  cache.install(stage1_tensor(), stage2_tensor(), all, /*now=*/10);
+  cache.invalidate();
+  // Even a "nothing recomputed" mask refreshes everything on the first
+  // install after invalidation: the stored tensors are wholly new.
+  const std::vector<std::uint8_t> none(4, 0);
+  cache.install(stage1_tensor(), stage2_tensor(), none, /*now=*/90);
+  for (int b = 0; b < 4; ++b) EXPECT_EQ(cache.installed_at(b), 90);
+}
+
+TEST(ActivationCacheTest, ExpireFlagsExactlyTheTtlExceededBlocks) {
+  ActivationCache cache{MiniCnn::plan(), cache_params(2, /*ttl=*/50)};
+  std::vector<std::uint8_t> expired(4, 9);
+  // Invalid cache: no-op mask.
+  cache.expire_blocks(/*now=*/1000, expired);
+  for (const std::uint8_t v : expired) EXPECT_EQ(v, 0);
+
+  const std::vector<std::uint8_t> all(4, 1);
+  cache.install(stage1_tensor(), stage2_tensor(), all, /*now=*/0);
+  std::vector<std::uint8_t> refresh(4, 0);
+  refresh[1] = 1;
+  cache.install(stage1_tensor(), stage2_tensor(), refresh, /*now=*/100);
+
+  cache.expire_blocks(/*now=*/130, expired);
+  EXPECT_EQ(expired[0], 1);  // age 130 > 50
+  EXPECT_EQ(expired[1], 0);  // age 30
+  EXPECT_EQ(expired[2], 1);
+  EXPECT_EQ(expired[3], 1);
+  // Exactly at the ttl boundary a block is still fresh.
+  cache.expire_blocks(/*now=*/150, expired);
+  EXPECT_EQ(expired[1], 0);  // age exactly 50
+  cache.expire_blocks(/*now=*/151, expired);
+  EXPECT_EQ(expired[1], 1);
+}
+
+TEST(ActivationCacheTest, ZeroTtlNeverExpires) {
+  ActivationCache cache{MiniCnn::plan(), cache_params(2, /*ttl=*/0)};
+  const std::vector<std::uint8_t> all(4, 1);
+  cache.install(stage1_tensor(), stage2_tensor(), all, /*now=*/0);
+  std::vector<std::uint8_t> expired(4, 9);
+  cache.expire_blocks(/*now=*/1'000'000'000, expired);
+  for (const std::uint8_t v : expired) EXPECT_EQ(v, 0);
+}
+
+TEST(ActivationCacheTest, InstallRejectsWrongSizes) {
+  ActivationCache cache{MiniCnn::plan(), cache_params(4)};
+  const std::vector<std::uint8_t> all(16, 1);
+  EXPECT_THROW(
+      cache.install(MiniCnn::Tensor(3), stage2_tensor(), all, /*now=*/0),
+      std::invalid_argument);
+  EXPECT_THROW(
+      cache.install(stage1_tensor(), MiniCnn::Tensor(3), all, /*now=*/0),
+      std::invalid_argument);
+  const std::vector<std::uint8_t> short_mask(3, 1);
+  EXPECT_THROW(
+      cache.install(stage1_tensor(), stage2_tensor(), short_mask, /*now=*/0),
+      std::invalid_argument);
+}
+
+TEST(ActivationCacheTest, BlockToPixelMaskExpandsBlocks) {
+  const ActivationCache cache{MiniCnn::plan(), cache_params(2)};
+  std::vector<std::uint8_t> blocks(4, 0);
+  blocks[3] = 1;  // bottom-right block
+  std::vector<std::uint8_t> pixels(8 * 8, 9);
+  cache.block_to_pixel_mask(blocks, /*side=*/8, pixels);
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      const bool want = x >= 4 && y >= 4;
+      EXPECT_EQ(pixels[static_cast<std::size_t>(y) * 8 + x] != 0, want)
+          << "x=" << x << " y=" << y;
+    }
+  }
+}
+
+// ------------------------------------------------------ BlockKeyframeTracker
+
+BlockMatchParams match_params(int grid = 2, int side = 32) {
+  BlockMatchParams p;
+  p.grid = grid;
+  p.side = side;
+  return p;
+}
+
+/// side x side grayscale image with every pixel of block (bx, by) at
+/// `value` and the rest at zero.
+Image block_image(int side, int grid, int bx, int by, float value) {
+  Image img(side, side, 1);
+  const int bw = side / grid;
+  for (int y = by * bw; y < (by + 1) * bw; ++y) {
+    for (int x = bx * bw; x < (bx + 1) * bw; ++x) img.at(x, y, 0) = value;
+  }
+  return img;
+}
+
+TEST(BlockKeyframeTrackerTest, BadParamsThrow) {
+  EXPECT_THROW(BlockKeyframeTracker(match_params(0)), std::invalid_argument);
+  EXPECT_THROW(BlockKeyframeTracker(match_params(3, 32)),  // 3 !| 32
+               std::invalid_argument);
+  EXPECT_THROW(BlockKeyframeTracker(match_params(2, 0)), std::invalid_argument);
+  BlockMatchParams negative = match_params();
+  negative.diff_threshold = -0.1f;
+  EXPECT_THROW((void)BlockKeyframeTracker{negative}, std::invalid_argument);
+}
+
+TEST(BlockKeyframeTrackerTest, NoKeyframeMeansEveryBlockChanged) {
+  BlockKeyframeTracker tracker{match_params()};
+  EXPECT_FALSE(tracker.has_keyframe());
+  std::vector<std::uint8_t> changed(4, 0);
+  EXPECT_EQ(tracker.classify(Image(32, 32, 1), changed), 4);
+  for (const std::uint8_t v : changed) EXPECT_EQ(v, 1);
+}
+
+TEST(BlockKeyframeTrackerTest, IdenticalFrameIsUnchangedAfterUpdate) {
+  BlockKeyframeTracker tracker{match_params()};
+  const Image frame = block_image(32, 2, 0, 0, 0.8f);
+  std::vector<std::uint8_t> changed(4);
+  tracker.classify(frame, changed);
+  tracker.update(changed);
+  EXPECT_TRUE(tracker.has_keyframe());
+  EXPECT_EQ(tracker.classify(frame, changed), 0);
+  for (const std::uint8_t v : changed) EXPECT_EQ(v, 0);
+}
+
+TEST(BlockKeyframeTrackerTest, SingleBlockChangeFlagsOnlyThatBlock) {
+  BlockKeyframeTracker tracker{match_params()};
+  std::vector<std::uint8_t> changed(4);
+  tracker.classify(Image(32, 32, 1), changed);
+  tracker.update(changed);
+  // Top-right block jumps well past the threshold; the rest stay put.
+  EXPECT_EQ(tracker.classify(block_image(32, 2, 1, 0, 0.5f), changed), 1);
+  EXPECT_EQ(changed[0], 0);
+  EXPECT_EQ(changed[1], 1);
+  EXPECT_EQ(changed[2], 0);
+  EXPECT_EQ(changed[3], 0);
+}
+
+TEST(BlockKeyframeTrackerTest, ReusedBlocksDiffAgainstTheirKeyframe) {
+  // Drift protection: a reused block keeps being compared against the
+  // frame its cached activations came from, so sub-threshold drift
+  // accumulates until it trips the threshold instead of sliding unseen.
+  BlockMatchParams p = match_params();
+  p.diff_threshold = 0.045f;
+  BlockKeyframeTracker tracker{p};
+  std::vector<std::uint8_t> changed(4);
+  tracker.classify(Image(32, 32, 1), changed);
+  tracker.update(changed);  // keyframe: all zeros
+
+  // Drift to 0.04: below threshold against the keyframe -> reused.
+  EXPECT_EQ(tracker.classify(block_image(32, 2, 0, 0, 0.04f), changed), 0);
+  tracker.update(changed);  // nothing refreshed
+
+  // Drift to 0.08: against the *original* keyframe this is over threshold.
+  // (Against the previous frame it would be only 0.04 — the unsafe diff.)
+  EXPECT_EQ(tracker.classify(block_image(32, 2, 0, 0, 0.08f), changed), 1);
+  EXPECT_EQ(changed[0], 1);
+}
+
+TEST(BlockKeyframeTrackerTest, UpdateRefreshesOnlyFlaggedBlocks) {
+  BlockKeyframeTracker tracker{match_params()};
+  std::vector<std::uint8_t> changed(4);
+  tracker.classify(Image(32, 32, 1), changed);
+  tracker.update(changed);
+  const Image moved = block_image(32, 2, 0, 1, 0.6f);
+  EXPECT_EQ(tracker.classify(moved, changed), 1);
+  tracker.update(changed);
+  // The refreshed block now matches `moved`; the others still match zero.
+  EXPECT_EQ(tracker.classify(moved, changed), 0);
+}
+
+TEST(BlockKeyframeTrackerTest, InvalidateDropsTheKeyframe) {
+  BlockKeyframeTracker tracker{match_params()};
+  std::vector<std::uint8_t> changed(4);
+  tracker.classify(Image(32, 32, 1), changed);
+  tracker.update(changed);
+  ASSERT_TRUE(tracker.has_keyframe());
+  tracker.invalidate();
+  EXPECT_FALSE(tracker.has_keyframe());
+  EXPECT_EQ(tracker.classify(Image(32, 32, 1), changed), 4);
+}
+
+// ------------------------------------------------------------- rung, e2e
+
+ScenarioConfig regions_scenario(std::uint64_t seed) {
+  ScenarioConfig cfg = default_scenario();
+  cfg.num_devices = 2;
+  cfg.duration = 10 * kSecond;
+  cfg.scene.num_classes = 8;
+  cfg.extractor = ExtractorKind::kCnn;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(RegionsRungTest, AccuracyWithinOnePointOfTheNoRegionsLadder) {
+  // The rung only changes *how* features get computed, never their values
+  // (bit-identity is proven in features_test/property_test), so end-to-end
+  // accuracy must match the regions-free ladder to within noise.
+  const std::pair<const char*, const char*> ladders[] = {
+      {"imu,temporal,local,dnn", "imu,temporal,regions,local,dnn"},
+      {"imu,temporal,local,p2p,dnn", "imu,temporal,regions,local,p2p,dnn"},
+  };
+  for (const auto& [without, with] : ladders) {
+    for (const std::uint64_t seed : {3ull, 17ull}) {
+      SCOPED_TRACE(std::string(with) + " seed " + std::to_string(seed));
+      ScenarioConfig base = regions_scenario(seed);
+      base.pipeline = make_ladder_config(without);
+      ScenarioConfig regions = regions_scenario(seed);
+      regions.pipeline = make_ladder_config(with);
+      const double acc_without = run_scenario(base).accuracy();
+      const double acc_with = run_scenario(regions).accuracy();
+      EXPECT_NEAR(acc_with, acc_without, 0.01);
+    }
+  }
+}
+
+TEST(RegionsRungTest, ExportsItsCountersOnlyWithTheRung) {
+  ScenarioConfig cfg = regions_scenario(5);
+  cfg.pipeline = make_ladder_config("imu,temporal,regions,local,dnn");
+  ExperimentRunner runner{cfg};
+  runner.run();
+  const MetricsRegistry& metrics = runner.metrics();
+  // Every frame passes the rung: splices + full forwards cover all blocks.
+  EXPECT_GT(metrics.counter_value("regions/blocks_recomputed"), 0u);
+  EXPECT_GT(metrics.counter_value("regions/cache_bytes"), 0u);
+  EXPECT_NE(metrics.find_histogram("regions/splice_depth"), nullptr);
+  const std::string json = metrics.to_json();
+  EXPECT_NE(json.find("regions/blocks_reused"), std::string::npos);
+  EXPECT_NE(json.find("pipeline/rung_hit/regions"), std::string::npos);
+  EXPECT_NE(json.find("pipeline/rung_us/regions"), std::string::npos);
+
+  // The regions subsystem is all-or-nothing: a regions-free ladder must
+  // not leak a single regions key into its export.
+  ScenarioConfig bare = regions_scenario(5);
+  bare.pipeline = make_ladder_config("imu,temporal,local,dnn");
+  ExperimentRunner plain{bare};
+  plain.run();
+  EXPECT_EQ(plain.metrics().to_json().find("regions/"), std::string::npos);
+}
+
+TEST(RegionsRungTest, SameSeedExportsAreByteIdentical) {
+  ScenarioConfig cfg = regions_scenario(7);
+  cfg.pipeline =
+      make_ladder_config("imu,temporal,regions(grid=8,ttl=1s),local,dnn");
+  ExperimentRunner a{cfg}, b{cfg};
+  a.run();
+  b.run();
+  EXPECT_EQ(a.metrics().to_json(), b.metrics().to_json());
+}
+
+TEST(RegionsRungTest, RequiresAStagedCnnExtractor) {
+  // Every other extractor is a monolith the rung cannot splice into; the
+  // pipeline must reject the combination loudly at build time.
+  ScenarioConfig cfg = regions_scenario(1);
+  cfg.extractor = ExtractorKind::kHog;
+  cfg.pipeline = make_ladder_config("imu,temporal,regions,local,dnn");
+  EXPECT_THROW((void)run_scenario(cfg), std::invalid_argument);
+}
+
+TEST(RegionsRungTest, IllegalGridIsRejectedAtBuild) {
+  // grid=16 parses (it is a positive integer) but cannot tile the 8x8
+  // stage-2 tensor; the ActivationCache constructor catches it.
+  ScenarioConfig cfg = regions_scenario(1);
+  cfg.pipeline = make_ladder_config("imu,temporal,regions(grid=16),local,dnn");
+  EXPECT_THROW((void)run_scenario(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace apx

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
 #include "src/features/extractor.hpp"
 #include "src/util/vecmath.hpp"
 #include "src/vision/multi_object.hpp"
@@ -118,6 +122,34 @@ TEST(MultiObject, RegionFeaturesBeatWholeFrameUnderPartialChange) {
          extractor->extract(crop_region(after, 3)));
   EXPECT_GT(whole_shift, unchanged_shift * 5.0f);
   EXPECT_NEAR(unchanged_shift, 0.0f, 1e-5f);
+}
+
+TEST(MultiObject, RegionChangeMaskExpandsRegionsToBlocks) {
+  MultiFrame frame;
+  frame.changed = {false, true, false, false};  // top-right region only
+  std::vector<std::uint8_t> mask(16);
+  region_change_mask(frame, 4, mask);
+  for (int by = 0; by < 4; ++by) {
+    for (int bx = 0; bx < 4; ++bx) {
+      const bool want = (bx >= 2) && (by < 2);
+      EXPECT_EQ(mask[static_cast<std::size_t>(by) * 4 + bx] != 0, want)
+          << "bx=" << bx << " by=" << by;
+    }
+  }
+  // grid == kGridSide degenerates to the change flags themselves.
+  std::vector<std::uint8_t> coarse(4);
+  region_change_mask(frame, 2, coarse);
+  EXPECT_EQ(coarse, (std::vector<std::uint8_t>{0, 1, 0, 0}));
+}
+
+TEST(MultiObject, RegionChangeMaskRejectsBadGrids) {
+  MultiFrame frame;
+  std::vector<std::uint8_t> mask(9);
+  EXPECT_THROW(region_change_mask(frame, 3, mask), std::invalid_argument);
+  EXPECT_THROW(region_change_mask(frame, 0, mask), std::invalid_argument);
+  std::vector<std::uint8_t> wrong_size(5);
+  EXPECT_THROW(region_change_mask(frame, 2, wrong_size),
+               std::invalid_argument);
 }
 
 TEST(MultiObject, DeterministicPerSeed) {

@@ -100,6 +100,16 @@ validate_metrics build-release/metrics_edge.json
 # validate_metrics has already checked the group is complete).
 grep -q 'edge/srv_lookup' build-release/metrics_edge.json
 grep -q 'edge/round_us' build-release/metrics_edge.json
+echo "ladder matrix: --ladder imu,temporal,regions(grid=8,ttl=1s),local,p2p,dnn"
+./build-release/tools/apxsim \
+  --ladder 'imu,temporal,regions(grid=8,ttl=1s),local,p2p,dnn' \
+  --devices 2 --duration 10 \
+  --metrics-out build-release/metrics_regions.json > /dev/null
+validate_metrics build-release/metrics_regions.json
+# The regions subsystem must actually show up in its export (all-or-nothing:
+# validate_metrics has already checked the group is complete).
+grep -q 'regions/blocks_recomputed' build-release/metrics_regions.json
+grep -q 'regions/splice_depth' build-release/metrics_regions.json
 
 # M4 concurrent-bench smoke: a shrunk run of the shared-cache bench, its
 # JSON validated against the committed BENCH_concurrent.json schema.
@@ -128,6 +138,37 @@ print(f"bench_m4 schema ok: {len(smoke['metrics'])} metrics, "
       f"{len(smoke['extras'])} extras")
 PY
 
+# M5 regions-bench smoke: a shrunk run of the splice-vs-full sweep (the
+# binary itself asserts bit-identity every iteration), its JSON validated
+# against the committed BENCH_regions.json schema.
+cmake --build --preset release -j --target bench_m5_regions
+./build-release/bench/bench_m5_regions --smoke \
+  build-release/BENCH_regions_smoke.json
+python3 - build-release/BENCH_regions_smoke.json BENCH_regions.json <<'PY'
+import json, sys
+smoke = json.load(open(sys.argv[1]))
+committed = json.load(open(sys.argv[2]))
+for doc, name in ((smoke, "smoke"), (committed, "committed")):
+    for key in ("bench", "dim", "entries", "metrics", "extras"):
+        assert key in doc, f"{name}: missing {key}"
+    assert doc["bench"] == "m5_regions", doc["bench"]
+    for metric, fields in doc["metrics"].items():
+        for f in ("base_ns_op", "new_ns_op", "speedup"):
+            assert f in fields, f"{name}: {metric} missing {f}"
+        assert fields["new_ns_op"] > 0, f"{name}: {metric} empty measurement"
+assert set(smoke["metrics"]) == set(committed["metrics"]), (
+    set(smoke["metrics"]) ^ set(committed["metrics"]))
+assert set(smoke["extras"]) == set(committed["extras"]), (
+    set(smoke["extras"]) ^ set(committed["extras"]))
+# The committed exhibit must carry the headline claim: every <=25%-changed
+# point splices faster than full extraction.
+slow = [m for m, f in committed["metrics"].items()
+        if ("changed0pct" in m or "changed25pct" in m) and f["speedup"] <= 1.0]
+assert not slow, f"committed exhibit lost the partial-hit win: {slow}"
+print(f"bench_m5 schema ok: {len(smoke['metrics'])} metrics, "
+      f"{len(smoke['extras'])} extras")
+PY
+
 if [[ "${1:-}" == "sanitize" ]]; then
   cmake --preset asan-ubsan
   cmake --build --preset asan-ubsan -j
@@ -135,6 +176,9 @@ if [[ "${1:-}" == "sanitize" ]]; then
   # The quantized parity suite in full, under both sanitizers — the SQ8
   # kernels and the code arena are the newest pointer arithmetic in the tree.
   ./build-asan-ubsan/tests/quantized_test
+  # The region-reuse suite likewise: masked partial conv recomputation is
+  # the newest indexing arithmetic (halo clipping, tile splicing).
+  ./build-asan-ubsan/tests/regions_test
 
   cmake --preset tsan
   cmake --build --preset tsan -j
