@@ -3,9 +3,13 @@
 // adding whole tables. Expected shape: a few probes recover most of the
 // recall a narrow width loses, at a fraction of the memory cost of extra
 // tables (probes share the same tables; more tables duplicate storage).
+//
+// Every variant is scored against ONE exact ground truth computed once
+// from the shared dataset, so the recall column compares like with like.
 
 #include <cstdio>
 
+#include "bench/common.hpp"
 #include "src/ann/lsh.hpp"
 #include "src/util/rng.hpp"
 #include "src/util/table.hpp"
@@ -13,8 +17,11 @@
 namespace {
 
 using namespace apx;
+using namespace apx::bench;
 
 constexpr std::size_t kDim = 32;
+constexpr std::size_t kEntries = 2000;
+constexpr std::size_t kQueries = 500;
 
 FeatureVec random_unit(Rng& rng) {
   FeatureVec v(kDim);
@@ -23,40 +30,57 @@ FeatureVec random_unit(Rng& rng) {
   return v;
 }
 
+struct Workload {
+  std::vector<FeatureVec> base;
+  std::vector<FeatureVec> queries;
+  GroundTruth truth;
+};
+
+Workload make_workload() {
+  Workload w;
+  Rng rng{42};
+  for (std::size_t id = 0; id < kEntries; ++id) {
+    w.base.push_back(random_unit(rng));
+  }
+  Rng qrng{7};
+  for (std::size_t q = 0; q < kQueries; ++q) {
+    FeatureVec query = w.base[qrng.uniform_u64(w.base.size())];
+    for (float& x : query) x += static_cast<float>(qrng.normal(0.0, 0.015));
+    w.queries.push_back(std::move(query));
+  }
+  ExactKnnIndex exact{kDim};
+  for (VecId id = 0; id < kEntries; ++id) exact.insert(id, w.base[id]);
+  w.truth = exact_ground_truth(exact, w.queries, 1);
+  return w;
+}
+
 struct Result {
   double recall = 0.0;
   double candidates = 0.0;
 };
 
-Result measure(const LshParams& params) {
+Result measure(const LshParams& params, const Workload& w) {
   PStableLshIndex index{kDim, params};
-  Rng rng{42};
-  std::vector<FeatureVec> base;
-  for (VecId id = 0; id < 2000; ++id) {
-    base.push_back(random_unit(rng));
-    index.insert(id, base.back());
+  for (VecId id = 0; id < kEntries; ++id) index.insert(id, w.base[id]);
+  std::vector<std::vector<Neighbor>> results(w.queries.size());
+  QueryStats st;
+  double candidates = 0.0;
+  for (std::size_t q = 0; q < w.queries.size(); ++q) {
+    index.query_into(w.queries[q], 1, results[q], &st);
+    candidates += static_cast<double>(st.candidates);
   }
-  Rng qrng{7};
-  std::size_t found = 0, candidates = 0;
-  const std::size_t queries = 500;
-  for (std::size_t q = 0; q < queries; ++q) {
-    const VecId target = qrng.uniform_u64(base.size());
-    FeatureVec query = base[target];
-    for (float& x : query) x += static_cast<float>(qrng.normal(0.0, 0.015));
-    const auto result = index.query(query, 1);
-    if (!result.empty() && result[0].id == target) ++found;
-    candidates += index.last_candidate_count();
-  }
-  return {static_cast<double>(found) / static_cast<double>(queries),
-          static_cast<double>(candidates) / static_cast<double>(queries)};
+  return {recall_at_k(results, w.truth),
+          candidates / static_cast<double>(w.queries.size())};
 }
 
 }  // namespace
 
 int main() {
-  std::printf("=== A4: multiprobe LSH vs extra tables ===\n");
-  std::printf("expected shape: a few probes recover the recall a narrow "
-              "width loses, cheaper than extra tables\n\n");
+  banner("A4", "multiprobe LSH vs extra tables",
+         "a few probes recover the recall a narrow width loses, cheaper "
+         "than extra tables");
+
+  const Workload w = make_workload();
 
   LshParams narrow;
   narrow.num_tables = 4;
@@ -69,7 +93,7 @@ int main() {
   for (const std::size_t probes : {0u, 1u, 2u, 4u, 6u}) {
     LshParams params = narrow;
     params.probes_per_table = probes;
-    const Result r = measure(params);
+    const Result r = measure(params, w);
     table.row({"multiprobe", "4", std::to_string(probes),
                TextTable::num(r.recall, 3), TextTable::num(r.candidates, 1),
                "4x"});
@@ -77,7 +101,7 @@ int main() {
   for (const std::size_t tables : {8u, 16u}) {
     LshParams params = narrow;
     params.num_tables = tables;
-    const Result r = measure(params);
+    const Result r = measure(params, w);
     table.row({"more-tables", std::to_string(tables), "0",
                TextTable::num(r.recall, 3), TextTable::num(r.candidates, 1),
                std::to_string(tables) + "x"});

@@ -363,9 +363,11 @@ int main(int argc, char** argv) {
   std::printf("  speedup: %.2fx (p50), %.2fx (p99)\n", speedup_p50,
               speedup_p99);
   double mean_candidates = 0.0;
+  std::vector<Neighbor> nn;
+  QueryStats qst;
   for (const auto& q : queries) {
-    (void)new_index.query(q, 8);
-    mean_candidates += static_cast<double>(new_index.last_candidate_count());
+    new_index.query_into(q, 8, nn, &qst);
+    mean_candidates += static_cast<double>(qst.candidates);
   }
   mean_candidates /= static_cast<double>(queries.size());
   std::printf("  candidates scanned/query: %.0f\n", mean_candidates);

@@ -46,13 +46,6 @@ double ns_since(Clock::time_point t0) {
   return std::chrono::duration<double, std::nano>(Clock::now() - t0).count();
 }
 
-double percentile(std::vector<double>& samples, double p) {
-  if (samples.empty()) return 0.0;
-  std::sort(samples.begin(), samples.end());
-  return samples[static_cast<std::size_t>(
-      static_cast<double>(samples.size() - 1) * p)];
-}
-
 /// Clustered vector factory shared by preload and query streams.
 struct Clusters {
   std::vector<FeatureVec> centers;
@@ -173,8 +166,8 @@ PhaseResult run_phase(ApproxCache& cache, const Clusters& clusters,
   // Wall-clock ns per answered query: with perfect scaling, N threads cut
   // this N-fold, so the JSON's base/new "speedup" IS the scaling ratio.
   r.ns_per_query = elapsed_ns / static_cast<double>(queries);
-  r.p50_ns = percentile(per_query, 0.50);
-  r.p99_ns = percentile(per_query, 0.99);
+  r.p50_ns = percentile(per_query, 50.0);
+  r.p99_ns = percentile(per_query, 99.0);
   r.qps = static_cast<double>(queries) / (elapsed_ns * 1e-9);
   r.mean_candidates =
       static_cast<double>(cands) / static_cast<double>(queries);
@@ -281,10 +274,10 @@ int main(int argc, char** argv) {
       cache.fold_scratch(scratch);
     }
   }
-  const double legacy_p50 = percentile(legacy_ns, 0.50);
-  const double legacy_p99 = percentile(legacy_ns, 0.99);
-  const double batched_p50 = percentile(batched_ns, 0.50);
-  const double batched_p99 = percentile(batched_ns, 0.99);
+  const double legacy_p50 = percentile(legacy_ns, 50.0);
+  const double legacy_p99 = percentile(legacy_ns, 99.0);
+  const double batched_p50 = percentile(batched_ns, 50.0);
+  const double batched_p99 = percentile(batched_ns, 99.0);
   std::printf("\nsingle thread (per query):\n");
   std::printf("  legacy lookup()   p50 %8.0f ns   p99 %8.0f ns\n", legacy_p50,
               legacy_p99);

@@ -2,16 +2,74 @@
 // Shared helpers for the exhibit-regeneration benches (see DESIGN.md §3 for
 // the experiment index and EXPERIMENTS.md for paper-vs-measured results).
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdio>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "src/ann/exact_knn.hpp"
+#include "src/ann/index.hpp"
 #include "src/sim/runner.hpp"
 #include "src/util/table.hpp"
 
 namespace apx::bench {
+
+/// Exact answer key for a recall measurement: the true top-k of every query,
+/// computed once from an ExactKnnIndex and shared across all backends under
+/// comparison, so each is judged against the same ground truth.
+struct GroundTruth {
+  std::size_t k = 0;
+  std::vector<std::vector<Neighbor>> exact;  ///< per query, closest first
+};
+
+inline GroundTruth exact_ground_truth(const ExactKnnIndex& truth,
+                                      const std::vector<FeatureVec>& queries,
+                                      std::size_t k) {
+  GroundTruth gt;
+  gt.k = k;
+  gt.exact.resize(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    truth.query_into(queries[i], k, gt.exact[i]);
+  }
+  return gt;
+}
+
+/// Distance-threshold recall@k: a returned neighbour counts as recalled
+/// when its distance is within epsilon of the exact k-th distance, so ties
+/// (distinct ids at equal distance) are not penalized. Queries with no
+/// exact answer (empty index) are skipped.
+inline double recall_at_k(const std::vector<std::vector<Neighbor>>& results,
+                          const GroundTruth& truth) {
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const std::vector<Neighbor>& exact = truth.exact[i];
+    if (exact.empty()) continue;
+    ++counted;
+    const float kth = exact.back().distance + 1e-6f;
+    std::size_t matched = 0;
+    for (const Neighbor& nb : results[i]) {
+      if (nb.distance <= kth) ++matched;
+    }
+    total += static_cast<double>(std::min(matched, exact.size())) /
+             static_cast<double>(exact.size());
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+/// Interpolated percentile (p in [0, 100]); sorts `samples` in place.
+inline double percentile(std::vector<double>& samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double rank =
+      p / 100.0 * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
 
 /// Writer for the committed BENCH_*.json exhibits. One schema for every
 /// bench so the perf trajectory is machine-diffable across PRs:

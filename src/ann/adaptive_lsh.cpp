@@ -30,8 +30,9 @@ std::vector<Neighbor> AdaptiveLshIndex::query(std::span<const float> q,
 }
 
 void AdaptiveLshIndex::query_into(std::span<const float> q, std::size_t k,
-                                  std::vector<Neighbor>& out) const {
-  base_.query_into(q, k, out);
+                                  std::vector<Neighbor>& out,
+                                  QueryStats* stats) const {
+  base_.query_into(q, k, out, stats);
   if (!out.empty()) {
     // Feed the controller with the farthest distance this query actually
     // needed (the k-th neighbour, or the last one found when fewer exist).

@@ -47,7 +47,8 @@ class AdaptiveLshIndex final : public NnIndex {
   /// Zero-steady-state-allocation variant of query() (same side effects);
   /// a rebuild, when the controller triggers one, does allocate.
   void query_into(std::span<const float> q, std::size_t k,
-                  std::vector<Neighbor>& out) const override;
+                  std::vector<Neighbor>& out,
+                  QueryStats* stats = nullptr) const override;
 
   /// Forwards to the base index's per-caller scratch.
   std::unique_ptr<IndexScratch> make_scratch() const override {
@@ -76,14 +77,6 @@ class AdaptiveLshIndex final : public NnIndex {
   std::size_t size() const noexcept override { return base_.size(); }
   std::size_t dim() const noexcept override { return base_.dim(); }
 
-  std::size_t last_query_candidates() const noexcept override {
-    return base_.last_candidate_count();
-  }
-
-  std::size_t last_rerank_survivors() const noexcept override {
-    return base_.last_rerank_survivors();
-  }
-
   FeatureVec reconstructed(VecId id) const override {
     return base_.reconstructed(id);
   }
@@ -98,10 +91,6 @@ class AdaptiveLshIndex final : public NnIndex {
 
   /// Rebuilds performed so far.
   std::size_t rebuild_count() const noexcept { return rebuilds_; }
-
-  std::size_t last_candidate_count() const noexcept {
-    return base_.last_candidate_count();
-  }
 
  private:
   void maybe_adapt() const;

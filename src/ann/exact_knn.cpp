@@ -25,8 +25,10 @@ std::vector<Neighbor> ExactKnnIndex::query(std::span<const float> q,
 }
 
 void ExactKnnIndex::query_into(std::span<const float> q, std::size_t k,
-                               std::vector<Neighbor>& out) const {
+                               std::vector<Neighbor>& out,
+                               QueryStats* stats) const {
   assert(q.size() == dim_);
+  if (stats != nullptr) *stats = {vectors_.size(), 0, 0};
   out.clear();
   out.reserve(vectors_.size());
   for (const auto& [id, v] : vectors_) {

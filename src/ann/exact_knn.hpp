@@ -25,9 +25,10 @@ class ExactKnnIndex final : public NnIndex {
                               std::size_t k) const override;
   /// Scores every stored vector into `out` (reusing its capacity), then
   /// partial-sorts the top k — zero heap allocations once `out` has grown
-  /// to the index size.
+  /// to the index size. `stats` (optional) reports the full scan size.
   void query_into(std::span<const float> q, std::size_t k,
-                  std::vector<Neighbor>& out) const override;
+                  std::vector<Neighbor>& out,
+                  QueryStats* stats = nullptr) const override;
   std::size_t size() const noexcept override { return vectors_.size(); }
   std::size_t dim() const noexcept override { return dim_; }
 

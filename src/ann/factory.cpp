@@ -12,12 +12,14 @@ const char* to_string(IndexKind kind) noexcept {
     case IndexKind::kExact: return "exact";
     case IndexKind::kLsh: return "lsh";
     case IndexKind::kAdaptiveLsh: return "adaptive-lsh";
+    case IndexKind::kQalsh: return "qalsh";
   }
   return "?";
 }
 
 std::unique_ptr<NnIndex> make_index(IndexKind kind, std::size_t dim,
-                                    const AdaptiveLshParams& params) {
+                                    const AdaptiveLshParams& params,
+                                    const QalshParams& qalsh) {
   switch (kind) {
     case IndexKind::kExact:
       return std::make_unique<ExactKnnIndex>(dim);
@@ -25,6 +27,8 @@ std::unique_ptr<NnIndex> make_index(IndexKind kind, std::size_t dim,
       return std::make_unique<PStableLshIndex>(dim, params.lsh);
     case IndexKind::kAdaptiveLsh:
       return std::make_unique<AdaptiveLshIndex>(dim, params);
+    case IndexKind::kQalsh:
+      return std::make_unique<QalshIndex>(dim, qalsh);
   }
   throw std::invalid_argument("make_index: unknown index kind");
 }

@@ -8,25 +8,28 @@
 
 #include "src/ann/adaptive_lsh.hpp"
 #include "src/ann/index.hpp"
+#include "src/ann/qalsh.hpp"
 
 namespace apx {
 
 /// Which ANN index backs a cache.
-enum class IndexKind { kExact, kLsh, kAdaptiveLsh };
+enum class IndexKind { kExact, kLsh, kAdaptiveLsh, kQalsh };
 
-/// Printable kind name ("exact", "lsh", "adaptive-lsh").
+/// Printable kind name ("exact", "lsh", "adaptive-lsh", "qalsh").
 const char* to_string(IndexKind kind) noexcept;
 
 /// Builds an index of `kind` over `dim`-dimensional vectors. `params`
-/// covers the whole LSH family: kLsh uses params.lsh, kAdaptiveLsh all of
-/// it, kExact neither. Throws std::invalid_argument on an unknown kind.
+/// covers the whole bucketed LSH family: kLsh uses params.lsh, kAdaptiveLsh
+/// all of it; `qalsh` configures the query-aware backend; kExact uses
+/// neither. Throws std::invalid_argument on an unknown kind.
 ///
 /// Every backend returned here serves the batched request path
 /// (NnIndex::query_batch_into + make_scratch): the LSH family overrides it
-/// with table-major amortized hashing, the exact scan inherits the default
-/// loop, and future backends (QALSH, ...) get the loop-over-single default
-/// for free — consumers never need to know which one they hold.
+/// with table-major amortized hashing, QALSH with batch projection +
+/// per-query sweeps, the exact scan inherits the default loop — consumers
+/// never need to know which one they hold.
 std::unique_ptr<NnIndex> make_index(IndexKind kind, std::size_t dim,
-                                    const AdaptiveLshParams& params);
+                                    const AdaptiveLshParams& params,
+                                    const QalshParams& qalsh = QalshParams{});
 
 }  // namespace apx

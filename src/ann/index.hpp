@@ -35,12 +35,14 @@ class IndexScratch {
   virtual ~IndexScratch() = default;
 };
 
-/// Per-query work accounting from the batched path — the scratch-based
-/// equivalent of last_query_candidates()/last_rerank_survivors(), returned
-/// by value so concurrent readers never share mutable index state.
+/// Per-query work accounting, returned by value so concurrent readers never
+/// share mutable index state. Both the single-query path (query_into's
+/// `stats` out-parameter) and the batched path fill one of these; there is
+/// no index-owned mirror to race on.
 struct QueryStats {
   std::size_t candidates = 0;        ///< vectors whose distance was computed
   std::size_t rerank_survivors = 0;  ///< exact re-rank pass size (SQ8 only)
+  std::size_t rounds = 0;            ///< virtual-rehash rounds (QALSH only)
 };
 
 /// Mutable nearest-neighbour index over fixed-dimension float vectors.
@@ -63,13 +65,17 @@ class NnIndex {
                                       std::size_t k) const = 0;
 
   /// Allocation-conscious query path: clears and fills `out` with up to `k`
-  /// nearest stored vectors, closest first. Implementations that keep an
-  /// internal scratch (the LSH family, the exact scan) perform zero heap
+  /// nearest stored vectors, closest first, and — when `stats` is non-null —
+  /// fills it with this query's work accounting. Implementations that keep
+  /// an internal scratch (the LSH family, the exact scan) perform zero heap
   /// allocations in steady state — `out`'s capacity and the scratch are
-  /// reused across calls. The default simply wraps query().
+  /// reused across calls. The default simply wraps query() and assumes a
+  /// full scan for accounting.
   virtual void query_into(std::span<const float> q, std::size_t k,
-                          std::vector<Neighbor>& out) const {
+                          std::vector<Neighbor>& out,
+                          QueryStats* stats = nullptr) const {
     out = query(q, k);
+    if (stats != nullptr) *stats = {size(), 0, 0};
   }
 
   /// Creates the per-caller scratch query_batch_into() uses. Returns
@@ -89,14 +95,14 @@ class NnIndex {
   ///
   /// Thread-safety contract: with a distinct make_scratch() scratch per
   /// caller this is a *read-only* operation — no metrics recording, no
-  /// last_query_*() updates, no width-controller feedback — so any number
-  /// of threads may run it concurrently against each other (but not against
-  /// insert/remove/rebuild, which require exclusive access; the cache layer
-  /// provides that discipline). Backends amortize per-batch work here (the
-  /// LSH family hashes table-major so each projection matrix stays hot
-  /// across the whole batch); this default simply loops over query_into and
-  /// is concurrency-safe only when query_into is genuinely const (the exact
-  /// scan), so stateful backends must override it.
+  /// index-owned accounting updates, no width-controller feedback — so any
+  /// number of threads may run it concurrently against each other (but not
+  /// against insert/remove/rebuild, which require exclusive access; the
+  /// cache layer provides that discipline). Backends amortize per-batch
+  /// work here (the LSH family hashes table-major so each projection matrix
+  /// stays hot across the whole batch); this default simply loops over
+  /// query_into and is concurrency-safe only when query_into is genuinely
+  /// const (the exact scan), so stateful backends must override it.
   virtual void query_batch_into(std::span<const float> queries,
                                 std::size_t count, std::size_t k,
                                 IndexScratch* scratch,
@@ -104,10 +110,8 @@ class NnIndex {
                                 QueryStats* stats = nullptr) const {
     (void)scratch;
     for (std::size_t i = 0; i < count; ++i) {
-      query_into(queries.subspan(i * dim(), dim()), k, results[i]);
-      if (stats != nullptr) {
-        stats[i] = {last_query_candidates(), last_rerank_survivors()};
-      }
+      query_into(queries.subspan(i * dim(), dim()), k, results[i],
+                 stats != nullptr ? &stats[i] : nullptr);
     }
   }
 
@@ -121,20 +125,6 @@ class NnIndex {
     (void)dk_samples;
     (void)query_count;
   }
-
-  /// Stored vectors whose distance the last query (query/query_into)
-  /// computed — the work an approximate lookup actually did. Defaults to
-  /// size(), which is exact for full-scan indexes. Batched queries report
-  /// per-query work via QueryStats instead of mutating this.
-  virtual std::size_t last_query_candidates() const noexcept {
-    return size();
-  }
-
-  /// Survivors of the last query's exact re-rank pass — non-zero only for
-  /// indexes running a quantized scan (the SQ8 path scores candidates on
-  /// codes, then re-scores this many with float vectors). Defaults to 0:
-  /// float-scan indexes have no re-rank stage.
-  virtual std::size_t last_rerank_survivors() const noexcept { return 0; }
 
   /// The lossy reconstruction of `id`'s stored vector as the quantized
   /// scan sees it (empty when `id` is absent or the index keeps no codes).

@@ -268,7 +268,8 @@ void PStableLshIndex::gather_score(QueryScratch& sc, std::span<const float> q,
 }
 
 void PStableLshIndex::query_into(std::span<const float> q, std::size_t k,
-                                 std::vector<Neighbor>& out) const {
+                                 std::vector<Neighbor>& out,
+                                 QueryStats* stats) const {
   assert(q.size() == dim_);
   QueryScratch& sc = scratch_;
   const std::size_t per_table = 1 + probes();
@@ -277,8 +278,6 @@ void PStableLshIndex::query_into(std::span<const float> q, std::size_t k,
   }
   QueryStats st;
   gather_score(sc, q, k, sc.keys.data(), out, st);
-  last_candidates_ = st.candidates;
-  last_rerank_ = st.rerank_survivors;
   if (metrics_ != nullptr) {
     metrics_->record(candidates_hist_, static_cast<double>(st.candidates));
     if (quantized()) {
@@ -286,6 +285,7 @@ void PStableLshIndex::query_into(std::span<const float> q, std::size_t k,
                        static_cast<double>(st.rerank_survivors));
     }
   }
+  if (stats != nullptr) *stats = st;
 }
 
 void PStableLshIndex::query_batch_into(std::span<const float> queries,

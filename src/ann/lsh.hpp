@@ -51,8 +51,9 @@ struct LshParams {
 ///    is read-only: any number of threads may run it concurrently against
 ///    each other. It touches no index state — candidates, distances, seen
 ///    stamps, and work accounting all live in the caller's scratch.
-///  - query()/query_into() use the index-owned scratch and update the
-///    last_*() accounting members: one caller at a time.
+///  - query()/query_into() use the index-owned scratch and record metrics:
+///    one caller at a time (work accounting is returned via the QueryStats
+///    out-parameter, never stored on the index).
 ///  - insert()/remove()/rebuild_with_width()/attach_metrics() mutate tables
 ///    and arenas: exclusive access required (no concurrent readers).
 /// The cache layer (ApproxCache) enforces this discipline with its
@@ -90,11 +91,13 @@ class PStableLshIndex final : public NnIndex {
                               std::size_t k) const override;
 
   /// Allocation-free query path: clears and fills `out` with up to `k`
-  /// nearest stored vectors, closest first. After a warm-up call with a
+  /// nearest stored vectors, closest first, and fills `stats` (optional)
+  /// with the query's work accounting. After a warm-up call with a
   /// comparable workload, performs zero heap allocations (the internal
   /// scratch and `out`'s capacity are reused).
   void query_into(std::span<const float> q, std::size_t k,
-                  std::vector<Neighbor>& out) const override;
+                  std::vector<Neighbor>& out,
+                  QueryStats* stats = nullptr) const override;
 
   /// One QueryScratch per querying thread (see class comment).
   std::unique_ptr<IndexScratch> make_scratch() const override;
@@ -115,24 +118,8 @@ class PStableLshIndex final : public NnIndex {
 
   const LshParams& params() const noexcept { return params_; }
 
-  /// Number of stored vectors whose distance was computed on the last
-  /// query — the work an approximate lookup actually did.
-  std::size_t last_candidate_count() const noexcept {
-    return last_candidates_;
-  }
-
-  std::size_t last_query_candidates() const noexcept override {
-    return last_candidates_;
-  }
-
   /// Whether the SQ8 candidate scan is active.
   bool quantized() const noexcept { return params_.quantize.enabled; }
-
-  /// Survivors of the last quantized query's exact re-rank (0 when the
-  /// float path ran).
-  std::size_t last_rerank_survivors() const noexcept override {
-    return last_rerank_;
-  }
 
   /// Lossy SQ8 reconstruction of `id`'s stored vector; empty when `id` is
   /// absent or the scan is not quantized.
@@ -218,12 +205,10 @@ class PStableLshIndex final : public NnIndex {
   std::vector<float> sq8_scale_;          ///< per-slot grid scale
   std::vector<float> sq8_recon_norm_sq_;  ///< per-slot |reconstruction|^2
 
-  // Legacy single-query path only: the index-owned scratch and the last_*()
-  // accounting mirrors. The batched path never touches these (its scratch
-  // and QueryStats are caller-owned), which is what makes it read-only.
+  // Legacy single-query path only: the index-owned scratch. The batched
+  // path never touches it (its scratch and QueryStats are caller-owned),
+  // which is what makes that path read-only.
   mutable QueryScratch scratch_;
-  mutable std::size_t last_candidates_ = 0;
-  mutable std::size_t last_rerank_ = 0;
   MetricsRegistry* metrics_ = nullptr;
   std::uint32_t candidates_hist_ = 0;
   std::uint32_t rerank_hist_ = 0;

@@ -15,10 +15,12 @@ ApproxCache::ApproxCache(std::size_t dim, const ApproxCacheConfig& config,
                          std::unique_ptr<EvictionPolicy> eviction)
     : dim_(dim),
       config_(config),
-      quantized_scan_(config.alsh.lsh.quantize.enabled &&
-                      config.index != IndexKind::kExact),
+      quantized_scan_(config.index == IndexKind::kQalsh
+                          ? config.qalsh.quantize.enabled
+                          : (config.alsh.lsh.quantize.enabled &&
+                             config.index != IndexKind::kExact)),
       eviction_(std::move(eviction)),
-      index_(make_index(config.index, dim, config.alsh)),
+      index_(make_index(config.index, dim, config.alsh, config.qalsh)),
       label_of_([this](VecId id) { return entries_.at(id).label; }) {
   if (dim == 0 || config.capacity == 0 || eviction_ == nullptr) {
     throw std::invalid_argument("ApproxCache: bad configuration");
@@ -59,21 +61,24 @@ CacheResult ApproxCache::lookup(const CacheQuery& q) {
   std::unique_lock lock(mu_);
   CacheResult result;
   const std::size_t k = q.k_override != 0 ? q.k_override : config_.hknn.k;
-  index_->query_into(q.features, k, neighbor_scratch_);
+  QueryStats st;
+  index_->query_into(q.features, k, neighbor_scratch_, &st);
   const std::vector<Neighbor>& neighbors = neighbor_scratch_;
 
-  const std::size_t candidates = index_->last_query_candidates();
-  const std::size_t survivors = index_->last_rerank_survivors();
-  result.candidates = candidates;
-  result.latency = simulated_latency(candidates, survivors);
+  result.candidates = st.candidates;
+  result.latency = simulated_latency(st.candidates, st.rerank_survivors);
 
   const float nearest =
       neighbors.empty() ? -1.0f : neighbors.front().distance;
   if (q.trace != nullptr) {
-    q.trace->annotate_lookup(static_cast<std::uint32_t>(candidates),
+    q.trace->annotate_lookup(static_cast<std::uint32_t>(st.candidates),
                              nearest);
     if (quantized_scan_) {
-      q.trace->annotate_rerank(static_cast<std::uint32_t>(survivors));
+      q.trace->annotate_rerank(
+          static_cast<std::uint32_t>(st.rerank_survivors));
+    }
+    if (st.rounds > 0) {
+      q.trace->annotate_rounds(static_cast<std::uint32_t>(st.rounds));
     }
   }
   if (metrics_ != nullptr) {
@@ -138,6 +143,9 @@ void ApproxCache::lookup_batch(const CacheQuery& q,
       if (quantized_scan_) {
         q.trace->annotate_rerank(
             static_cast<std::uint32_t>(st.rerank_survivors));
+      }
+      if (st.rounds > 0) {
+        q.trace->annotate_rounds(static_cast<std::uint32_t>(st.rounds));
       }
     }
     ++scratch.lookups_;

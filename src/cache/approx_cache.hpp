@@ -53,6 +53,7 @@ struct ApproxCacheConfig {
   std::size_t capacity = 512;
   IndexKind index = IndexKind::kAdaptiveLsh;
   AdaptiveLshParams alsh;       ///< used by kLsh (inner) and kAdaptiveLsh
+  QalshParams qalsh;            ///< used by kQalsh only
   HknnParams hknn;
   /// Simulated cost model of one lookup on the device: a fixed overhead
   /// plus a per-candidate distance computation cost.

@@ -60,6 +60,18 @@ bool parse_fraction(std::string_view s, float& out) {
   return true;
 }
 
+/// Float strictly greater than 1 (capped at 64); false means malformed.
+bool parse_ratio(std::string_view s, float& out) {
+  if (s.empty()) return false;
+  const std::string buf{s};
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) return false;
+  if (!(v > 1.0 && v <= 64.0)) return false;
+  out = static_cast<float>(v);
+  return true;
+}
+
 bool parse_duration(std::string_view s, SimDuration& out) {
   std::string_view digits = s;
   SimDuration unit = kMicrosecond;
@@ -121,6 +133,13 @@ void check_arg(std::string_view text, std::string_view rung,
       float f = 0.0f;
       if (!has_value || !parse_fraction(value, f)) {
         bad_spec(text, where + " needs a value in [0, 1]");
+      }
+      break;
+    }
+    case ArgKind::kRatio: {
+      float f = 0.0f;
+      if (!has_value || !parse_ratio(value, f)) {
+        bad_spec(text, where + " needs a ratio value in (1, 64]");
       }
       break;
     }
@@ -247,6 +266,31 @@ LadderSpec LadderSpec::parse(std::string_view text) {
              "'p2p' requires 'local' (the P2P rung re-votes the local "
              "approximate cache)");
   }
+  // The QALSH guarantee knobs configure the query-aware backend, so they
+  // are meaningless without the 'qalsh' flag that selects it.
+  if (!spec.has_arg("local", "qalsh")) {
+    for (const std::string_view key : {"c", "delta", "beta"}) {
+      if (spec.has_arg("local", key)) {
+        bad_spec(text, "argument '" + std::string(key) +
+                           "' of rung 'local' requires the 'qalsh' flag");
+      }
+    }
+  } else {
+    // Tighter-than-kFraction ranges the backend's constructor enforces:
+    // reject here so a bad spec fails at parse, not at provisioning.
+    float f = 0.0f;
+    if (spec.has_arg("local", "delta") &&
+        (!parse_fraction(spec.arg_value("local", "delta"), f) || f <= 0.0f ||
+         f >= 1.0f)) {
+      bad_spec(text, "argument 'delta' of rung 'local' needs a value in "
+                     "(0, 1)");
+    }
+    if (spec.has_arg("local", "beta") &&
+        (!parse_fraction(spec.arg_value("local", "beta"), f) || f <= 0.0f)) {
+      bad_spec(text, "argument 'beta' of rung 'local' needs a value in "
+                     "(0, 1]");
+    }
+  }
   return spec;
 }
 
@@ -276,6 +320,27 @@ std::string edge_args(const EdgeParams& p) {
   if (p.ttl != def.ttl) add("ttl", format_spec_duration(p.ttl));
   if (p.error_budget != def.error_budget) {
     add("error_budget", format_fraction(p.error_budget));
+  }
+  return out;
+}
+
+/// Canonical argument list of a local token: the flag set (q8, qalsh) plus
+/// the QALSH guarantee knobs that differ from the QalshParams defaults, in
+/// registration order.
+std::string local_args(const PipelineConfig& config) {
+  std::string out;
+  const auto add = [&out](const std::string& piece) {
+    if (!out.empty()) out += ',';
+    out += piece;
+  };
+  if (config.enable_quantized_scan) add("q8");
+  if (config.cache.index == IndexKind::kQalsh) {
+    add("qalsh");
+    const QalshParams def;
+    const QalshParams& p = config.cache.qalsh;
+    if (p.c != def.c) add("c=" + format_fraction(p.c));
+    if (p.delta != def.delta) add("delta=" + format_fraction(p.delta));
+    if (p.beta != def.beta) add("beta=" + format_fraction(p.beta));
   }
   return out;
 }
@@ -312,7 +377,7 @@ LadderSpec LadderSpec::from_config(const PipelineConfig& config) {
   if (config.enable_regions) push("regions", regions_args(config.regions));
   if (config.enable_warm_tier) push("warm");
   if (config.enable_local_cache) {
-    push("local", config.enable_quantized_scan ? "q8" : "");
+    push("local", local_args(config));
     if (config.enable_p2p) push("p2p");
   } else if (config.enable_exact_cache) {
     push("exact");
@@ -423,6 +488,35 @@ void apply_ladder(PipelineConfig& config, const LadderSpec& spec) {
   // flag-reading callers can never observe a divergent pair.
   config.enable_quantized_scan = spec.has_arg("local", "q8");
   config.cache.alsh.lsh.quantize.enabled = config.enable_quantized_scan;
+  // "local(qalsh, ...)" swaps the cache index for the query-aware backend.
+  // The spec is authoritative on its grammar-visible guarantee knobs:
+  // omitted keys reset to the QalshParams defaults (seed / r0 / other
+  // provisioning fields the grammar cannot express are left alone).
+  if (spec.has_arg("local", "qalsh")) {
+    const QalshParams def;
+    config.cache.index = IndexKind::kQalsh;
+    config.cache.qalsh.c = def.c;
+    config.cache.qalsh.delta = def.delta;
+    config.cache.qalsh.beta = def.beta;
+    float f = 0.0f;
+    if (parse_ratio(spec.arg_value("local", "c"), f)) {
+      config.cache.qalsh.c = f;
+    }
+    if (parse_fraction(spec.arg_value("local", "delta"), f)) {
+      config.cache.qalsh.delta = f;
+    }
+    if (parse_fraction(spec.arg_value("local", "beta"), f)) {
+      config.cache.qalsh.beta = f;
+    }
+  } else if (config.cache.index == IndexKind::kQalsh) {
+    // A ladder without the flag reverts the grammar-selected backend; index
+    // kinds the grammar cannot express (kExact set directly by callers)
+    // are never clobbered.
+    config.cache.index = IndexKind::kAdaptiveLsh;
+  }
+  config.cache.qalsh.quantize.enabled =
+      config.enable_quantized_scan &&
+      config.cache.index == IndexKind::kQalsh;
   // The spec is authoritative on the edge tier's grammar-visible knobs:
   // omitted keys reset to the EdgeParams defaults (client-side fields the
   // grammar cannot express are left alone). parse() already validated the
@@ -461,7 +555,12 @@ RungRegistry::RungRegistry() {
        {"max_changed", ArgKind::kFraction},
        {"ttl", ArgKind::kDuration}});
   add("warm", 3, &make_warm_tier_rung);
-  add("local", 4, &make_local_cache_rung, {{"q8", ArgKind::kFlag}});
+  add("local", 4, &make_local_cache_rung,
+      {{"q8", ArgKind::kFlag},
+       {"qalsh", ArgKind::kFlag},
+       {"c", ArgKind::kRatio},
+       {"delta", ArgKind::kFraction},
+       {"beta", ArgKind::kFraction}});
   add("exact", 4, &make_exact_cache_rung);
   add("p2p", 5, &make_p2p_rung);
   add("edge", 6, &make_edge_rung,

@@ -112,6 +112,7 @@ class RungRegistry {
       kUint,      ///< positive integer ("shards=4")
       kDuration,  ///< positive integer + optional s/ms/us suffix ("ttl=30s")
       kFraction,  ///< float in [0, 1] ("error_budget=0.25")
+      kRatio,     ///< float > 1 ("c=2": QALSH approximation ratio)
     };
     std::string key;
     Kind kind = Kind::kFlag;

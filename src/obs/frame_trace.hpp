@@ -54,6 +54,9 @@ struct TraceSpan {
   /// Quantized scan only: candidates kept for the exact re-rank pass
   /// (0 on the float path — the whole candidate set is scored exactly).
   std::uint32_t rerank_survivors = 0;
+  /// QALSH backend only: virtual-rehash rounds the lookup ran before its
+  /// termination condition fired (0 for the bucketed LSH family).
+  std::uint32_t rehash_rounds = 0;
 };
 
 /// Trace of one frame through the ladder. Spans appear in visit order; a
@@ -104,6 +107,13 @@ class FrameTrace {
   void annotate_rerank(std::uint32_t survivors) noexcept {
     if (!open_) return;
     spans_[count_].rerank_survivors = survivors;
+  }
+
+  /// Annotates the open span with the QALSH virtual-rehash round count;
+  /// no-op when no span is open (bucketed-LSH lookups never call this).
+  void annotate_rounds(std::uint32_t rounds) noexcept {
+    if (!open_) return;
+    spans_[count_].rehash_rounds = rounds;
   }
 
   /// Closed spans, in visit order.

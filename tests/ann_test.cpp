@@ -187,8 +187,10 @@ TEST(Lsh, DistantPointsRarelyCollide) {
   // A far-away random query should scan few candidates.
   FeatureVec q = random_unit(rng, 16);
   scale_in_place(q, -50.0f);
-  index.query(q, 4);
-  EXPECT_LT(index.last_candidate_count(), 25u);
+  std::vector<Neighbor> out;
+  QueryStats st;
+  index.query_into(q, 4, out, &st);
+  EXPECT_LT(st.candidates, 25u);
 }
 
 TEST(Lsh, ReturnedDistancesAreExact) {
@@ -241,12 +243,14 @@ TEST(Lsh, WiderBucketsScanMoreCandidates) {
     b.insert(id, points[id]);
   }
   std::size_t narrow_c = 0, wide_c = 0;
+  std::vector<Neighbor> out;
+  QueryStats st;
   for (int i = 0; i < 20; ++i) {
     const FeatureVec q = random_unit(rng, 8);
-    a.query(q, 4);
-    narrow_c += a.last_candidate_count();
-    b.query(q, 4);
-    wide_c += b.last_candidate_count();
+    a.query_into(q, 4, out, &st);
+    narrow_c += st.candidates;
+    b.query_into(q, 4, out, &st);
+    wide_c += st.candidates;
   }
   EXPECT_LT(narrow_c, wide_c);
 }
@@ -381,9 +385,11 @@ TEST(AdaptiveLsh, CandidateCountBoundedUnderDensity) {
     if (id % 5 == 0) index.query(random_unit(rng, 8), 4);
   }
   // After adaptation the last candidate counts must be well below "all".
-  index.query(random_unit(rng, 8), 4);
+  std::vector<Neighbor> out;
+  QueryStats st;
+  index.query_into(random_unit(rng, 8), 4, out, &st);
   EXPECT_GE(index.rebuild_count(), 1u);
-  EXPECT_LT(index.last_candidate_count(), 400u);
+  EXPECT_LT(st.candidates, 400u);
 }
 
 // -------------------------------------------------------------- H-kNN
@@ -678,13 +684,14 @@ TEST(LshQuantized, RerankSurvivorsReported) {
   }
   const FeatureVec probe = random_unit(rng, 8);
   std::vector<Neighbor> out;
-  q8.query_into(probe, 4, out);
+  QueryStats st;
+  q8.query_into(probe, 4, out, &st);
   if (!out.empty()) {
-    EXPECT_GT(q8.last_rerank_survivors(), 0u);
-    EXPECT_LE(q8.last_rerank_survivors(), q8.last_candidate_count());
+    EXPECT_GT(st.rerank_survivors, 0u);
+    EXPECT_LE(st.rerank_survivors, st.candidates);
   }
-  flt.query_into(probe, 4, out);
-  EXPECT_EQ(flt.last_rerank_survivors(), 0u);
+  flt.query_into(probe, 4, out, &st);
+  EXPECT_EQ(st.rerank_survivors, 0u);
   EXPECT_TRUE(flt.reconstructed(0).empty());  // float index has no codes
 }
 

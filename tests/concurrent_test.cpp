@@ -59,12 +59,14 @@ void fill_cache(ApproxCache& cache, Rng& rng, std::size_t n) {
 // ------------------------------------------------------ Batch == single
 
 // The batched path must agree with the sequential path wherever the
-// sequential path is side-effect-free on query results: p-stable LSH and
-// the exact scan. (A-LSH is excluded on purpose — its legacy query_into
-// feeds the width controller, so interleaving legacy queries changes the
-// tables the next query sees.)
+// sequential path is side-effect-free on query results: p-stable LSH, the
+// exact scan, and QALSH (whose radius controller is fed only through
+// observe_query_feedback, never inline). (A-LSH is excluded on purpose —
+// its legacy query_into feeds the width controller, so interleaving legacy
+// queries changes the tables the next query sees.)
 TEST(BatchParity, BatchMatchesSingleLookup) {
-  for (const IndexKind kind : {IndexKind::kExact, IndexKind::kLsh}) {
+  for (const IndexKind kind :
+       {IndexKind::kExact, IndexKind::kLsh, IndexKind::kQalsh}) {
     SCOPED_TRACE(static_cast<int>(kind));
     ApproxCache cache{kDim, test_config(kind), make_lru_policy()};
     Rng rng{7};
@@ -216,8 +218,8 @@ TEST(BatchApi, BadSizesThrow) {
 
 // ------------------------------------------------- Readers vs readers
 
-TEST(ConcurrentReads, ManyReadersSeeIdenticalResults) {
-  ApproxCache cache{kDim, test_config(IndexKind::kLsh), make_lru_policy()};
+void many_readers_see_identical_results(IndexKind kind) {
+  ApproxCache cache{kDim, test_config(kind), make_lru_policy()};
   Rng rng{23};
   fill_cache(cache, rng, 256);
   constexpr std::size_t kQueries = 128;
@@ -258,10 +260,18 @@ TEST(ConcurrentReads, ManyReadersSeeIdenticalResults) {
   }
 }
 
+TEST(ConcurrentReads, ManyReadersSeeIdenticalResults) {
+  many_readers_see_identical_results(IndexKind::kLsh);
+}
+
+TEST(ConcurrentReads, QalshManyReadersSeeIdenticalResults) {
+  many_readers_see_identical_results(IndexKind::kQalsh);
+}
+
 // ------------------------------------------------- Readers vs writer
 
-TEST(ConcurrentReadWrite, ReadersSurviveWriterChurn) {
-  ApproxCacheConfig cfg = test_config(IndexKind::kLsh, /*capacity=*/256);
+void readers_survive_writer_churn(IndexKind kind) {
+  ApproxCacheConfig cfg = test_config(kind, /*capacity=*/256);
   ApproxCache cache{kDim, cfg, make_lru_policy()};
   Rng seed_rng{31};
   fill_cache(cache, seed_rng, 128);
@@ -324,6 +334,17 @@ TEST(ConcurrentReadWrite, ReadersSurviveWriterChurn) {
   // Folded tallies landed: hits + misses == lookups answered.
   EXPECT_EQ(cache.counters().get("hit") + cache.counters().get("miss"),
             total_lookups.load());
+}
+
+TEST(ConcurrentReadWrite, ReadersSurviveWriterChurn) {
+  readers_survive_writer_churn(IndexKind::kLsh);
+}
+
+// The QALSH read path walks sorted lines, pending tails, and the alive
+// bitmap that insert/remove/compact mutate — the TSan leg proves the
+// reader-writer split covers all of them.
+TEST(ConcurrentReadWrite, QalshReadersSurviveWriterChurn) {
+  readers_survive_writer_churn(IndexKind::kQalsh);
 }
 
 TEST(ConcurrentReadWrite, SharedReadSurfaceDuringBatches) {

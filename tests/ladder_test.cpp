@@ -262,6 +262,63 @@ TEST(LadderSpecTest, QuantizedArgSyncsQuantizeFlags) {
   EXPECT_EQ(LadderSpec::from_config(flagged).to_string(), "local(q8),dnn");
 }
 
+TEST(LadderSpecTest, QalshArgsSelectAndRoundTrip) {
+  // Bare flag: QALSH backend at its guarantee defaults.
+  const PipelineConfig basic = make_ladder_config("imu,local(qalsh),dnn");
+  EXPECT_EQ(basic.cache.index, IndexKind::kQalsh);
+  EXPECT_FLOAT_EQ(basic.cache.qalsh.c, QalshParams{}.c);
+  EXPECT_FLOAT_EQ(basic.cache.qalsh.delta, QalshParams{}.delta);
+  EXPECT_FLOAT_EQ(basic.cache.qalsh.beta, QalshParams{}.beta);
+  EXPECT_FALSE(basic.cache.qalsh.quantize.enabled);
+  EXPECT_EQ(LadderSpec::from_config(basic).to_string(),
+            "imu,local(qalsh),dnn");
+
+  // Tuned guarantee knobs survive a config round trip.
+  const char* tuned_text = "imu,local(qalsh,c=1.5,delta=0.25,beta=0.05),dnn";
+  const PipelineConfig tuned = make_ladder_config(tuned_text);
+  EXPECT_EQ(tuned.cache.index, IndexKind::kQalsh);
+  EXPECT_FLOAT_EQ(tuned.cache.qalsh.c, 1.5f);
+  EXPECT_FLOAT_EQ(tuned.cache.qalsh.delta, 0.25f);
+  EXPECT_FLOAT_EQ(tuned.cache.qalsh.beta, 0.05f);
+  EXPECT_EQ(LadderSpec::from_config(tuned).to_string(), tuned_text);
+
+  // q8 composes: the SQ8 sidecar follows the selected backend.
+  const PipelineConfig q8 = make_ladder_config("imu,local(q8,qalsh),dnn");
+  EXPECT_EQ(q8.cache.index, IndexKind::kQalsh);
+  EXPECT_TRUE(q8.enable_quantized_scan);
+  EXPECT_TRUE(q8.cache.qalsh.quantize.enabled);
+  EXPECT_EQ(LadderSpec::from_config(q8).to_string(),
+            "imu,local(q8,qalsh),dnn");
+
+  // Dropping the flag reverts the backend to the A-LSH default.
+  PipelineConfig reverted = make_ladder_config("imu,local(qalsh),dnn");
+  apply_ladder(reverted, LadderSpec::parse("imu,local,dnn"));
+  EXPECT_EQ(reverted.cache.index, IndexKind::kAdaptiveLsh);
+}
+
+TEST(LadderSpecTest, RejectsBadQalshArgs) {
+  const char* bad[] = {
+      // Guarantee knobs demand the qalsh flag on the same rung.
+      "local(c=2),dnn",
+      "local(delta=0.3),dnn",
+      "local(beta=0.1),dnn",
+      "local(q8,c=2),dnn",
+      // Ratio must sit in (1, 64]; delta in (0, 1); beta in (0, 1].
+      "local(qalsh,c=1),dnn",
+      "local(qalsh,c=0.5),dnn",
+      "local(qalsh,c=100),dnn",
+      "local(qalsh,delta=0),dnn",
+      "local(qalsh,delta=1),dnn",
+      "local(qalsh,beta=0),dnn",
+      // qalsh is a flag, not a valued argument.
+      "local(qalsh=1),dnn",
+  };
+  for (const char* text : bad) {
+    SCOPED_TRACE(text);
+    EXPECT_THROW((void)LadderSpec::parse(text), std::invalid_argument);
+  }
+}
+
 TEST(LadderSpecTest, ErrorsNameTheSpecAndTheViolation) {
   try {
     (void)LadderSpec::parse("p2p,dnn");

@@ -1,0 +1,488 @@
+// QalshIndex unit tests: scheme derivation from the guarantee parameters,
+// empirical recall against the paper's 1/2 - 1/e success bound, line
+// maintenance (amortized merges, tombstone compaction, slot reuse),
+// batch-vs-single parity, the zero-allocation steady state of the query
+// hot path, quantized-scan composition, and deterministic metric exports.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/ann/exact_knn.hpp"
+#include "src/ann/qalsh.hpp"
+#include "src/core/config.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/sim/runner.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/vecmath.hpp"
+
+// Global allocation counter (same trick as hotpath_test): the steady-state
+// assertions measure the query path's allocation count directly.
+namespace {
+std::atomic<std::size_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace apx {
+namespace {
+
+FeatureVec random_unit(Rng& rng, std::size_t dim) {
+  FeatureVec v(dim);
+  for (float& x : v) x = static_cast<float>(rng.normal());
+  normalize(v);
+  return v;
+}
+
+/// Clustered workload: near-duplicate views of a modest object population,
+/// the shape the cache holds in steady state.
+FeatureVec cluster_point(std::size_t cluster, std::size_t dim, Rng& rng,
+                         double sigma = 0.05) {
+  Rng crng{cluster * 7717 + 1};
+  FeatureVec v(dim);
+  for (float& x : v) x = static_cast<float>(crng.normal());
+  normalize(v);
+  for (float& x : v) x += static_cast<float>(rng.normal(0.0, sigma));
+  return v;
+}
+
+float exact_l2(const FeatureVec& a, const FeatureVec& b) {
+  float s = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const float d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+// ------------------------------------------------------ scheme derivation
+
+TEST(QalshScheme, DerivesPaperSchemeFromGuaranteeParams) {
+  const QalshIndex index{16, QalshParams{}};  // c=2, delta~1/e, beta=0.01
+  const QalshIndex::Scheme& s = index.scheme();
+  // Verified against the QALSH formulas: w = sqrt(8c^2 ln c / (c^2-1)),
+  // m from the Chernoff separation of p1/p2, l = ceil(alpha * m).
+  EXPECT_NEAR(s.w, 2.719, 1e-3);
+  EXPECT_NEAR(s.p1, 0.8262, 1e-3);
+  EXPECT_NEAR(s.p2, 0.5032, 1e-3);
+  EXPECT_EQ(s.m, 53u);
+  EXPECT_EQ(s.l, 39u);
+  EXPECT_GT(s.p1, s.p2);
+  EXPECT_LE(s.l, s.m);
+}
+
+TEST(QalshScheme, LooserRatioNeedsFewerProjections) {
+  QalshParams loose;
+  loose.c = 3.0f;
+  const QalshIndex a{16, loose};
+  const QalshIndex b{16, QalshParams{}};
+  EXPECT_LT(a.scheme().m, b.scheme().m);
+}
+
+TEST(QalshScheme, RejectsBadParameters) {
+  QalshParams p;
+  EXPECT_THROW(QalshIndex(0, p), std::invalid_argument);  // dim
+  p = QalshParams{};
+  p.c = 1.0f;  // ratio must exceed 1
+  EXPECT_THROW(QalshIndex(16, p), std::invalid_argument);
+  p = QalshParams{};
+  p.c = 1.001f;  // c -> 1 needs an absurd projection count: capped
+  EXPECT_THROW(QalshIndex(16, p), std::invalid_argument);
+  p = QalshParams{};
+  p.delta = 0.0f;
+  EXPECT_THROW(QalshIndex(16, p), std::invalid_argument);
+  p = QalshParams{};
+  p.delta = 1.0f;
+  EXPECT_THROW(QalshIndex(16, p), std::invalid_argument);
+  p = QalshParams{};
+  p.beta = 0.0f;
+  EXPECT_THROW(QalshIndex(16, p), std::invalid_argument);
+  p = QalshParams{};
+  p.r0 = 0.0f;
+  EXPECT_THROW(QalshIndex(16, p), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- queries
+
+TEST(QalshQuery, ReturnsExactSortedDistances) {
+  constexpr std::size_t kDim = 8;
+  QalshIndex index{kDim, QalshParams{}};
+  Rng rng{5};
+  std::vector<FeatureVec> stored;
+  for (VecId id = 0; id < 32; ++id) {
+    stored.push_back(random_unit(rng, kDim));
+    index.insert(id, stored.back());
+  }
+  const FeatureVec q = random_unit(rng, kDim);
+  const auto result = index.query(q, 5);
+  ASSERT_EQ(result.size(), 5u);
+  for (std::size_t i = 0; i < result.size(); ++i) {
+    EXPECT_NEAR(result[i].distance,
+                exact_l2(q, stored[static_cast<std::size_t>(result[i].id)]),
+                1e-4f);
+    if (i > 0) EXPECT_GE(result[i].distance, result[i - 1].distance);
+  }
+}
+
+TEST(QalshQuery, SmallIndexExhaustsToExactAnswer) {
+  constexpr std::size_t kDim = 8;
+  QalshIndex index{kDim, QalshParams{}};
+  Rng rng{9};
+  for (VecId id = 0; id < 5; ++id) index.insert(id, random_unit(rng, kDim));
+  std::vector<Neighbor> out;
+  QueryStats st;
+  index.query_into(random_unit(rng, kDim), 10, out, &st);
+  // Fewer entries than k: the sweep exhausts every line and the candidate
+  // set is the whole index — exactly what an exact scan would return.
+  EXPECT_EQ(out.size(), 5u);
+  EXPECT_EQ(st.candidates, 5u);
+  EXPECT_GE(st.rounds, 1u);
+}
+
+TEST(QalshQuery, EmptyIndexAndZeroK) {
+  QalshIndex index{8, QalshParams{}};
+  EXPECT_TRUE(index.query(FeatureVec(8, 0.1f), 4).empty());
+  Rng rng{3};
+  index.insert(0, random_unit(rng, 8));
+  EXPECT_TRUE(index.query(FeatureVec(8, 0.1f), 0).empty());
+}
+
+// The headline guarantee: QALSH answers a c-approximate NN query with
+// probability >= 1/2 - delta (= 1/2 - 1/e ~= 0.132 at the defaults).
+// Empirical *exact* top-1 recall — a strictly harder event — must clear
+// that floor across dimensions, scales, and projection seeds.
+TEST(QalshQuery, EmpiricalRecallClearsTheoreticalBound) {
+  constexpr double kBound = 0.5 - 0.36788;  // 1/2 - 1/e
+  for (const std::size_t dim : {8u, 32u}) {
+    for (const std::size_t size : {500u, 2000u}) {
+      for (const std::uint64_t seed : {1u, 2u, 3u}) {
+        SCOPED_TRACE(testing::Message()
+                     << "dim=" << dim << " size=" << size
+                     << " seed=" << seed);
+        QalshParams p;
+        p.seed = seed;
+        QalshIndex index{dim, p};
+        ExactKnnIndex truth{dim};
+        Rng rng{seed * 104729 + 17};
+        for (VecId id = 0; id < size; ++id) {
+          const FeatureVec v = cluster_point(id % 32, dim, rng);
+          index.insert(id, v);
+          truth.insert(id, v);
+        }
+        std::size_t agree = 0;
+        const std::size_t queries = 150;
+        std::vector<Neighbor> approx, exact;
+        for (std::size_t q = 0; q < queries; ++q) {
+          const FeatureVec query = cluster_point(q % 32, dim, rng);
+          index.query_into(query, 1, approx);
+          truth.query_into(query, 1, exact);
+          ASSERT_FALSE(approx.empty());
+          ASSERT_FALSE(exact.empty());
+          if (approx[0].distance <= exact[0].distance + 1e-6f) ++agree;
+        }
+        const double recall =
+            static_cast<double>(agree) / static_cast<double>(queries);
+        EXPECT_GE(recall, kBound);
+        // The bound is loose; on clustered data the defaults should do far
+        // better, and a regression that *only just* clears 0.132 is a bug.
+        EXPECT_GE(recall, 0.6);
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------ line maintenance
+
+TEST(QalshMaintenance, InsertValidationAndRemoveSemantics) {
+  QalshIndex index{8, QalshParams{}};
+  Rng rng{21};
+  index.insert(7, random_unit(rng, 8));
+  EXPECT_THROW(index.insert(7, random_unit(rng, 8)),
+               std::invalid_argument);  // duplicate id
+  FeatureVec bad(8, 0.0f);
+  bad[3] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_THROW(index.insert(8, bad), std::invalid_argument);
+  bad[3] = std::numeric_limits<float>::infinity();
+  EXPECT_THROW(index.insert(8, bad), std::invalid_argument);
+  EXPECT_EQ(index.size(), 1u);  // failed inserts left no trace
+  EXPECT_TRUE(index.remove(7));
+  EXPECT_FALSE(index.remove(7));
+  EXPECT_EQ(index.size(), 0u);
+}
+
+TEST(QalshMaintenance, MergeCompactAndSlotReuseStayCoherent) {
+  constexpr std::size_t kDim = 8;
+  QalshIndex index{kDim, QalshParams{}};
+  Rng rng{33};
+  std::vector<FeatureVec> stored;
+  for (VecId id = 0; id < 300; ++id) {
+    stored.push_back(cluster_point(id % 16, kDim, rng));
+    index.insert(id, stored.back());
+  }
+  EXPECT_GE(index.merge_count(), 1u);  // 300 inserts crossed the batch bound
+
+  // Tombstone half the index; crossing the quarter-dead bound compacts.
+  for (VecId id = 0; id < 300; id += 2) EXPECT_TRUE(index.remove(id));
+  EXPECT_GE(index.compaction_count(), 1u);
+  EXPECT_EQ(index.size(), 150u);
+
+  // No removed id may ever come back from a query.
+  Rng qrng{34};
+  for (std::size_t q = 0; q < 50; ++q) {
+    for (const Neighbor& nb :
+         index.query(cluster_point(q % 16, kDim, qrng), 8)) {
+      EXPECT_EQ(nb.id % 2, 1u) << "tombstoned id resurfaced";
+    }
+  }
+
+  // Reinsert fresh ids into the recycled slots; results must reflect the
+  // new vectors, not the stale line entries of the dead ones.
+  for (VecId id = 1000; id < 1150; ++id) {
+    index.insert(id, cluster_point(id % 16, kDim, rng));
+  }
+  index.flush();
+  std::vector<Neighbor> out;
+  for (std::size_t q = 0; q < 50; ++q) {
+    const FeatureVec query = cluster_point(q % 16, kDim, qrng);
+    index.query_into(query, 4, out);
+    for (const Neighbor& nb : out) {
+      EXPECT_TRUE((nb.id % 2 == 1 && nb.id < 300) || nb.id >= 1000)
+          << "unexpected id " << nb.id;
+    }
+  }
+}
+
+// ----------------------------------------------------- batch == single
+
+TEST(QalshBatch, BatchMatchesSingleExactly) {
+  constexpr std::size_t kDim = 16;
+  constexpr std::size_t kQueries = 48;
+  QalshIndex index{kDim, QalshParams{}};
+  Rng rng{55};
+  for (VecId id = 0; id < 400; ++id) {
+    index.insert(id, cluster_point(id % 24, kDim, rng));
+  }
+  std::vector<float> flat;
+  for (std::size_t q = 0; q < kQueries; ++q) {
+    const FeatureVec v = cluster_point(q % 24, kDim, rng);
+    flat.insert(flat.end(), v.begin(), v.end());
+  }
+  auto scratch = index.make_scratch();
+  std::vector<std::vector<Neighbor>> batched(kQueries);
+  std::vector<QueryStats> batched_stats(kQueries);
+  index.query_batch_into(flat, kQueries, 4, scratch.get(), batched,
+                         batched_stats.data());
+  std::vector<Neighbor> single;
+  QueryStats st;
+  for (std::size_t q = 0; q < kQueries; ++q) {
+    const std::span<const float> query{flat.data() + q * kDim, kDim};
+    index.query_into(query, 4, single, &st);
+    ASSERT_EQ(batched[q].size(), single.size()) << "query " << q;
+    for (std::size_t i = 0; i < single.size(); ++i) {
+      EXPECT_EQ(batched[q][i].id, single[i].id) << "query " << q;
+      EXPECT_EQ(batched[q][i].distance, single[i].distance) << "query " << q;
+    }
+    EXPECT_EQ(batched_stats[q].candidates, st.candidates);
+    EXPECT_EQ(batched_stats[q].rounds, st.rounds);
+  }
+}
+
+TEST(QalshBatch, ForeignScratchThrows) {
+  QalshIndex index{8, QalshParams{}};
+  Rng rng{2};
+  index.insert(0, random_unit(rng, 8));
+  const std::vector<float> flat(8, 0.1f);
+  std::vector<std::vector<Neighbor>> results(1);
+  EXPECT_THROW(
+      index.query_batch_into(flat, 1, 2, nullptr, results, nullptr),
+      std::invalid_argument);
+}
+
+// ------------------------------------------------------ radius controller
+
+TEST(QalshController, FeedbackRaisesStartRadiusAndPreservesRecall) {
+  constexpr std::size_t kDim = 16;
+  QalshParams p;
+  p.r0 = 0.01f;  // deliberately far below the workload's d_k
+  QalshIndex index{kDim, p};
+  ExactKnnIndex truth{kDim};
+  Rng rng{71};
+  for (VecId id = 0; id < 1000; ++id) {
+    const FeatureVec v = cluster_point(id % 16, kDim, rng, 0.15);
+    index.insert(id, v);
+    truth.insert(id, v);
+  }
+  index.flush();
+
+  Rng qrng{72};
+  std::vector<FeatureVec> queries;
+  for (std::size_t q = 0; q < 80; ++q) {
+    queries.push_back(cluster_point(q % 16, kDim, qrng, 0.15));
+  }
+  std::vector<Neighbor> out;
+  QueryStats st;
+  std::size_t rounds_before = 0;
+  std::vector<float> dks;
+  for (const FeatureVec& q : queries) {
+    index.query_into(q, 4, out, &st);
+    rounds_before += st.rounds;
+    if (!out.empty()) dks.push_back(out.back().distance);
+  }
+
+  index.observe_query_feedback(dks, queries.size());
+  EXPECT_GT(index.start_radius(), p.r0);
+
+  std::size_t rounds_after = 0;
+  std::size_t agree = 0;
+  std::vector<Neighbor> exact;
+  for (const FeatureVec& q : queries) {
+    index.query_into(q, 1, out, &st);
+    rounds_after += st.rounds;
+    truth.query_into(q, 1, exact);
+    if (!out.empty() && !exact.empty() &&
+        out[0].distance <= exact[0].distance + 1e-6f) {
+      ++agree;
+    }
+  }
+  // Skipping the early rounds must cut work, not recall: collision
+  // frequencies at a radius are schedule-independent.
+  EXPECT_LT(rounds_after, rounds_before);
+  EXPECT_GE(static_cast<double>(agree) /
+                static_cast<double>(queries.size()),
+            0.6);
+}
+
+// ----------------------------------------------------------- zero alloc
+
+TEST(QalshHotPath, SteadyStateQueriesDoNotAllocate) {
+  constexpr std::size_t kDim = 16;
+  for (const bool quantized : {false, true}) {
+    SCOPED_TRACE(quantized ? "sq8" : "float");
+    QalshParams p;
+    p.quantize.enabled = quantized;
+    QalshIndex index{kDim, p};
+    Rng rng{91};
+    for (VecId id = 0; id < 500; ++id) {
+      index.insert(id, cluster_point(id % 16, kDim, rng));
+    }
+    index.flush();
+    std::vector<FeatureVec> queries;
+    for (std::size_t q = 0; q < 64; ++q) {
+      queries.push_back(cluster_point(q % 16, kDim, rng));
+    }
+    std::vector<Neighbor> out;
+    QueryStats st;
+    // Warm pass: every scratch buffer grows to its high-water mark.
+    for (const FeatureVec& q : queries) index.query_into(q, 4, out, &st);
+    // Steady state: the same traffic must perform zero heap allocations.
+    const std::size_t before = g_alloc_count.load(std::memory_order_relaxed);
+    for (const FeatureVec& q : queries) index.query_into(q, 4, out, &st);
+    const std::size_t after = g_alloc_count.load(std::memory_order_relaxed);
+    EXPECT_EQ(after - before, 0u);
+  }
+}
+
+// ------------------------------------------------------- quantized scan
+
+TEST(QalshQuantized, Sq8ScanReranksExactly) {
+  constexpr std::size_t kDim = 16;
+  QalshParams p;
+  p.quantize.enabled = true;
+  QalshIndex index{kDim, p};
+  ASSERT_TRUE(index.quantized());
+  Rng rng{101};
+  std::vector<FeatureVec> stored;
+  for (VecId id = 0; id < 200; ++id) {
+    stored.push_back(cluster_point(id % 8, kDim, rng));
+    index.insert(id, stored.back());
+  }
+  std::vector<Neighbor> out;
+  QueryStats st;
+  for (std::size_t q = 0; q < 20; ++q) {
+    const FeatureVec query = cluster_point(q % 8, kDim, rng);
+    index.query_into(query, 4, out, &st);
+    ASSERT_FALSE(out.empty());
+    EXPECT_GT(st.rerank_survivors, 0u);
+    EXPECT_LE(st.rerank_survivors, st.candidates);
+    for (const Neighbor& nb : out) {
+      // Survivor distances are exact float distances, not ADC estimates.
+      EXPECT_NEAR(
+          nb.distance,
+          exact_l2(query, stored[static_cast<std::size_t>(nb.id)]), 1e-4f);
+    }
+  }
+  const FeatureVec recon = index.reconstructed(0);
+  ASSERT_EQ(recon.size(), kDim);
+  EXPECT_NEAR(exact_l2(recon, stored[0]), 0.0f, 0.05f);
+}
+
+// ------------------------------------------------------------- metrics
+
+TEST(QalshMetrics, RegistersWholeSubsystemAndCountsStops) {
+  QalshIndex index{8, QalshParams{}};
+  MetricsRegistry metrics;
+  index.attach_metrics(metrics);
+  Rng rng{7};
+  for (VecId id = 0; id < 100; ++id) index.insert(id, random_unit(rng, 8));
+  constexpr std::size_t kQueries = 30;
+  for (std::size_t q = 0; q < kQueries; ++q) {
+    (void)index.query(random_unit(rng, 8), 4);
+  }
+  // All-or-nothing: every instrument of the "ann/qalsh" group exists even
+  // if its stop reason never fired.
+  const auto* rounds = metrics.find_histogram("ann/qalsh/rounds");
+  const auto* collisions = metrics.find_histogram("ann/qalsh/collisions");
+  ASSERT_NE(rounds, nullptr);
+  ASSERT_NE(collisions, nullptr);
+  EXPECT_EQ(rounds->count, kQueries);
+  EXPECT_EQ(collisions->count, kQueries);
+  const std::uint64_t stops = metrics.value(metrics.counter("ann/qalsh/c1_stop")) +
+                              metrics.value(metrics.counter("ann/qalsh/c2_stop")) +
+                              metrics.value(metrics.counter("ann/qalsh/exhausted"));
+  EXPECT_EQ(stops, kQueries);
+  // Registered-but-idle instruments export as zeros, not absences.
+  (void)metrics.value(metrics.counter("ann/qalsh/merges"));
+  (void)metrics.value(metrics.counter("ann/qalsh/compactions"));
+}
+
+TEST(QalshMetrics, SameSeedExportsAreByteIdentical) {
+  ScenarioConfig cfg = default_scenario();
+  cfg.pipeline = make_ladder_config("imu,temporal,local(qalsh),p2p,dnn");
+  cfg.num_devices = 2;
+  cfg.duration = 6 * kSecond;
+  cfg.scene.num_classes = 16;
+  cfg.seed = 13;
+  ExperimentRunner a{cfg}, b{cfg};
+  a.run();
+  b.run();
+  const std::string json = a.metrics().to_json();
+  EXPECT_EQ(json, b.metrics().to_json());
+  EXPECT_NE(json.find("ann/qalsh/rounds"), std::string::npos);
+  EXPECT_NE(json.find("ann/qalsh/c1_stop"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace apx

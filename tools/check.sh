@@ -110,6 +110,16 @@ validate_metrics build-release/metrics_regions.json
 # validate_metrics has already checked the group is complete).
 grep -q 'regions/blocks_recomputed' build-release/metrics_regions.json
 grep -q 'regions/splice_depth' build-release/metrics_regions.json
+echo "ladder matrix: --ladder imu,temporal,local(qalsh),p2p,dnn"
+./build-release/tools/apxsim \
+  --ladder 'imu,temporal,local(qalsh),p2p,dnn' \
+  --devices 2 --duration 10 \
+  --metrics-out build-release/metrics_qalsh.json > /dev/null
+validate_metrics build-release/metrics_qalsh.json
+# The qalsh subsystem must actually show up in its export (all-or-nothing:
+# validate_metrics has already checked the group is complete).
+grep -q 'ann/qalsh/rounds' build-release/metrics_qalsh.json
+grep -q 'ann/qalsh/c1_stop' build-release/metrics_qalsh.json
 
 # M4 concurrent-bench smoke: a shrunk run of the shared-cache bench, its
 # JSON validated against the committed BENCH_concurrent.json schema.
@@ -179,6 +189,10 @@ if [[ "${1:-}" == "sanitize" ]]; then
   # The region-reuse suite likewise: masked partial conv recomputation is
   # the newest indexing arithmetic (halo clipping, tile splicing).
   ./build-asan-ubsan/tests/regions_test
+  # The QALSH suite in full: sorted-line cursor sweeps, pending-tail
+  # merges, tombstone compaction and slot recycling are the newest
+  # pointer/index arithmetic in src/ann.
+  ./build-asan-ubsan/tests/qalsh_test
 
   cmake --preset tsan
   cmake --build --preset tsan -j
@@ -186,7 +200,8 @@ if [[ "${1:-}" == "sanitize" ]]; then
     --gtest_filter='ThreadPoolTest.*:ParallelRunner.*:MiniCnnParallel.*'
   # The shared-cache concurrency suite: batched readers vs writers over one
   # ApproxCache, plus the randomized concurrent fuzz schedules (includes
-  # the EdgeConcurrent query/feed/sweep hammer on one EdgeCacheService).
+  # the EdgeConcurrent query/feed/sweep hammer on one EdgeCacheService and
+  # the QALSH reader/writer suites over its sorted lines + pending tails).
   ./build-tsan/tests/concurrent_test
   ./build-tsan/tests/property_test \
     --gtest_filter='*ConcurrentBatchedReaders*'
